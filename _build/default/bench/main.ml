@@ -1,0 +1,531 @@
+(* Benchmark harness: one target per experiment in DESIGN.md.
+
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- fig3.1       -- the paper's figure
+     dune exec bench/main.exe -- headline     -- 5.4x / 26% numbers
+     dune exec bench/main.exe -- stability    -- E3 fault-injection matrix
+     dune exec bench/main.exe -- customize    -- E4 environment comparison
+     dune exec bench/main.exe -- debugload    -- E5 debugging under load
+     dune exec bench/main.exe -- ablation-trap         -- E6
+     dune exec bench/main.exe -- ablation-passthrough  -- E7
+     dune exec bench/main.exe -- micro        -- M1 bechamel microbenches *)
+
+module Machine = Vmm_hw.Machine
+module Cpu = Vmm_hw.Cpu
+module Asm = Vmm_hw.Asm
+module Isa = Vmm_hw.Isa
+module Costs = Vmm_hw.Costs
+module Phys_mem = Vmm_hw.Phys_mem
+module Uart = Vmm_hw.Uart
+module Packet = Vmm_proto.Packet
+module Command = Vmm_proto.Command
+module Monitor = Core.Monitor
+module Kernel = Vmm_guest.Kernel
+module Workload = Vmm_harness.Workload
+module Session = Vmm_debugger.Session
+module Embedded = Vmm_baseline.Embedded_debugger
+module Hw_simulator = Vmm_baseline.Hw_simulator
+
+let section title =
+  Printf.printf "\n==================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==================================================\n"
+
+(* ---------------------------------------------------------------- *)
+(* E1 — Fig 3.1: CPU load vs transfer rate on the three systems.    *)
+(* ---------------------------------------------------------------- *)
+
+let fig3_1_rates =
+  [ 25.0; 50.0; 100.0; 150.0; 200.0; 300.0; 400.0; 500.0; 600.0; 700.0 ]
+
+let fig3_1 () =
+  section
+    "E1 / Fig 3.1 -- CPU load (%) vs transfer rate (Mbps)\n\
+     ('*' marks saturation: achieved < 95% of requested)";
+  Printf.printf "%10s %12s %12s %12s\n" "rate_mbps" "real_hw" "lw_vmm"
+    "vmware_like";
+  let cell (m : Workload.measurement) =
+    Printf.sprintf "%5.1f%%%s"
+      (100.0 *. m.Workload.cpu_load)
+      (if m.Workload.achieved_mbps < 0.95 *. m.Workload.requested_mbps then "*"
+       else " ")
+  in
+  let results =
+    List.map
+      (fun rate ->
+        let row =
+          List.map
+            (fun sys ->
+              let m, _ = Workload.run sys ~rate_mbps:rate ~duration_s:0.25 in
+              m)
+            Workload.all_systems
+        in
+        (match row with
+         | [ bare; lw; full ] ->
+           Printf.printf "%10.0f %12s %12s %12s\n" rate (cell bare) (cell lw)
+             (cell full)
+         | _ -> assert false);
+        (rate, row))
+      fig3_1_rates
+  in
+  (* a small ASCII rendering of the figure *)
+  Printf.printf "\n  CPU load\n";
+  let series =
+    [
+      (Workload.Bare_metal, 'R');
+      (Workload.Lightweight_vmm, 'L');
+      (Workload.Hosted_full_vmm, 'V');
+    ]
+  in
+  for percent = 10 downto 0 do
+    Printf.printf "  %3d%% |" (percent * 10);
+    List.iter
+      (fun (_rate, row) ->
+        let ch = ref ' ' in
+        let mark_for sys mark =
+          match List.find_opt (fun m -> m.Workload.system = sys) row with
+          | Some m ->
+            if
+              int_of_float ((100.0 *. m.Workload.cpu_load /. 10.0) +. 0.5)
+              = percent
+            then ch := mark
+          | None -> ()
+        in
+        List.iter (fun (sys, mark) -> mark_for sys mark) series;
+        Printf.printf "  %c  " !ch)
+      results;
+    print_newline ()
+  done;
+  Printf.printf "       +";
+  List.iter (fun _ -> Printf.printf "-----") results;
+  Printf.printf "\n        ";
+  List.iter (fun (rate, _) -> Printf.printf "%4.0f " rate) results;
+  Printf.printf
+    " Mbps\n  R = real hardware, L = lightweight VMM, V = VMware-like full VMM\n"
+
+(* ---------------------------------------------------------------- *)
+(* E2 — headline ratios.                                            *)
+(* ---------------------------------------------------------------- *)
+
+let headline () =
+  section "E2 -- maximum sustainable transfer rate (paper Section 3 text)";
+  let max_of sys =
+    Workload.max_sustainable_rate ~duration_s:0.2 sys ~lo:5.0 ~hi:1000.0
+      ~steps:11
+  in
+  let bare = max_of Workload.Bare_metal in
+  let lw = max_of Workload.Lightweight_vmm in
+  let full = max_of Workload.Hosted_full_vmm in
+  Printf.printf "%-28s %10.1f Mbps\n" "real hardware" bare;
+  Printf.printf "%-28s %10.1f Mbps\n" "lightweight VMM" lw;
+  Printf.printf "%-28s %10.1f Mbps\n" "VMware-like full VMM" full;
+  Printf.printf "\n%-40s %8.2fx   (paper: 5.4x)\n"
+    "lightweight VMM vs full VMM" (lw /. full);
+  Printf.printf "%-40s %7.1f%%   (paper: ~26%%)\n"
+    "lightweight VMM vs real hardware"
+    (100.0 *. lw /. bare)
+
+(* ---------------------------------------------------------------- *)
+(* E3 — stability under injected guest failure.                     *)
+(* ---------------------------------------------------------------- *)
+
+let bench_costs = { Costs.default with Costs.uart_cycles_per_byte = 2000 }
+
+let buggy_guest bug =
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x20000);
+  (match bug with
+   | `Wild_store ->
+     Asm.movi a 2 (Asm.imm 0x80000);
+     Asm.movi a 3 (Asm.imm 0xDEAD);
+     Asm.label a "sweep";
+     Asm.st a 2 0 3;
+     Asm.addi a 2 2 (Asm.imm 4);
+     Asm.cmpi a 2 (Asm.imm 0x90000);
+     Asm.jnz a (Asm.lbl "sweep")
+   | `Corrupt_iht ->
+     Asm.movi a 2 (Asm.imm 0x3000);
+     Asm.liht a 2;
+     Asm.int_ a 40
+   | `Jump_void ->
+     Asm.movi a 2 (Asm.imm 0xFF000000);
+     Asm.jr a 2
+   | `Mask_interrupts ->
+     (* guest masks every interrupt line, then hangs with interrupts off:
+        a debugger relying on the guest's interrupt plumbing is cut off *)
+     Asm.movi a 2 (Asm.imm 0xFF);
+     Asm.outi a (Asm.imm (Machine.Ports.pic + 1)) 2;
+     Asm.cli a);
+  Asm.label a "spin";
+  Asm.jmp a (Asm.lbl "spin");
+  Asm.assemble a
+
+let bug_name = function
+  | `Wild_store -> "wild store sweep"
+  | `Corrupt_iht -> "interrupt table corrupted"
+  | `Jump_void -> "jump into unmapped memory"
+  | `Mask_interrupts -> "guest masks all interrupts"
+
+let lw_survives bug =
+  let machine =
+    Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:bench_costs ()
+  in
+  let monitor = Monitor.install machine in
+  Monitor.boot_guest monitor (buggy_guest bug) ~entry:0x1000;
+  let session = Session.attach machine in
+  Machine.run_seconds machine 0.05;
+  match Session.read_registers session with Some _ -> true | None -> false
+
+let embedded_survives bug =
+  let machine =
+    Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:bench_costs ()
+  in
+  let agent = Embedded.attach machine ~region:0x80000 in
+  Machine.boot machine (buggy_guest bug) ~entry:0x1000;
+  (try Machine.run_seconds machine 0.05
+   with Cpu.Panic _ -> Embedded.mark_machine_dead agent);
+  String.iter
+    (fun c -> Uart.inject_rx (Machine.uart machine) (Char.code c))
+    (Packet.frame (Command.command_to_wire Command.Read_registers));
+  Embedded.service agent > 0
+
+let stability () =
+  section "E3 -- debugger availability after injected OS bugs";
+  Printf.printf "%-32s %18s %18s\n" "injected bug" "lightweight VMM"
+    "embedded debugger";
+  List.iter
+    (fun bug ->
+      let verdict b = if b then "ALIVE" else "DEAD" in
+      Printf.printf "%-32s %18s %18s\n" (bug_name bug)
+        (verdict (lw_survives bug))
+        (verdict (embedded_survives bug)))
+    [ `Wild_store; `Corrupt_iht; `Jump_void; `Mask_interrupts ];
+  Printf.printf
+    "\nExpected: the monitor's stub survives every fault (paper claim 1);\n\
+     the embedded debugger dies whenever its resources are touched.\n"
+
+(* ---------------------------------------------------------------- *)
+(* E4 — customizability: what each environment needs per device.    *)
+(* ---------------------------------------------------------------- *)
+
+let customize () =
+  section "E4 -- debugging-environment comparison (paper Section 1)";
+  let max_of sys =
+    Workload.max_sustainable_rate ~duration_s:0.2 sys ~lo:5.0 ~hi:1000.0
+      ~steps:8
+  in
+  let bare = max_of Workload.Bare_metal in
+  let lw = max_of Workload.Lightweight_vmm in
+  let full = max_of Workload.Hosted_full_vmm in
+  let rows =
+    Hw_simulator.comparison_rows ~lwvmm_io_efficiency:(lw /. bare)
+      ~fullvmm_io_efficiency:(full /. bare)
+    @ [ Hw_simulator.properties Hw_simulator.default ]
+  in
+  Printf.printf "%-32s %10s %22s %14s\n" "environment" "stable?"
+    "new device needs" "I/O efficiency";
+  List.iter
+    (fun row ->
+      Printf.printf "%-32s %10s %22s %13.1f%%\n" row.Hw_simulator.name
+        (if row.Hw_simulator.stable_under_os_crash then "yes" else "no")
+        (if row.Hw_simulator.needs_device_model_per_device then
+           "device model in env"
+         else "guest driver only")
+        (100.0 *. row.Hw_simulator.io_efficiency))
+    rows;
+  Printf.printf
+    "\nOnly the lightweight VMM is simultaneously stable, device-agnostic\n\
+     and efficient -- the paper's three requirements.\n"
+
+(* ---------------------------------------------------------------- *)
+(* E5 — debugging while the guest streams (monitoring under load).  *)
+(* ---------------------------------------------------------------- *)
+
+let debugload () =
+  section
+    "E5 -- debug-command latency and overhead during streaming\n\
+     (real 115200-baud debug link; one register poll every 5 ms)";
+  Printf.printf "%10s %12s %14s %18s\n" "rate_mbps" "load" "load+polling"
+    "cmd latency (ms)";
+  List.iter
+    (fun rate ->
+      let base, _ =
+        Workload.run Workload.Lightweight_vmm ~rate_mbps:rate ~duration_s:0.2
+      in
+      let config = Kernel.default_config ~rate_mbps:rate in
+      let ctx, _program = Workload.prepare Workload.Lightweight_vmm ~config in
+      let machine = Workload.machine_of ctx in
+      let session = Session.attach machine in
+      Machine.run_seconds machine 0.05;
+      let t0 = Machine.now machine in
+      let busy0 = Vmm_sim.Stats.busy_cycles (Machine.load machine) in
+      let latencies = ref [] in
+      while
+        Costs.seconds_of_cycles Costs.default (Int64.sub (Machine.now machine) t0)
+        < 0.2
+      do
+        (match Session.read_registers session with
+         | Some _ -> latencies := Session.last_latency_s session :: !latencies
+         | None -> ());
+        Machine.run_seconds machine 0.005
+      done;
+      let elapsed = Int64.sub (Machine.now machine) t0 in
+      let busy =
+        Int64.sub (Vmm_sim.Stats.busy_cycles (Machine.load machine)) busy0
+      in
+      let load_polling = Int64.to_float busy /. Int64.to_float elapsed in
+      let mean_latency =
+        match !latencies with
+        | [] -> nan
+        | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+      in
+      Printf.printf "%10.0f %11.1f%% %13.1f%% %18.3f\n" rate
+        (100.0 *. base.Workload.cpu_load)
+        (100.0 *. load_polling)
+        (1000.0 *. mean_latency))
+    [ 0.0; 50.0; 100.0; 150.0 ];
+  Printf.printf
+    "\nThe stub answers while the guest streams; polling costs a few\n\
+     percent of CPU and latency stays in the millisecond range.\n"
+
+(* ---------------------------------------------------------------- *)
+(* E6 — ablation: world-switch (trap) cost.                         *)
+(* ---------------------------------------------------------------- *)
+
+let ablation_trap () =
+  section
+    "E6 -- ablation: monitor world-switch cost vs maximum rate\n\
+     (the knob that separates the lightweight VMM from real hardware)";
+  Printf.printf "%22s %22s %12s\n" "world_switch (cycles)" "max rate (Mbps)"
+    "vs default";
+  let default_ws = Costs.default.Costs.world_switch in
+  let rate_for ws =
+    let costs = { Costs.default with Costs.world_switch = ws } in
+    Workload.max_sustainable_rate ~costs ~duration_s:0.2
+      Workload.Lightweight_vmm ~lo:5.0 ~hi:1000.0 ~steps:9
+  in
+  let default_rate = rate_for default_ws in
+  List.iter
+    (fun ws ->
+      let rate = if ws = default_ws then default_rate else rate_for ws in
+      Printf.printf "%22d %22.1f %11.2fx\n" ws rate (rate /. default_rate))
+    [ 2000; 5000; 10000; default_ws; 40000; 80000 ]
+
+(* ---------------------------------------------------------------- *)
+(* E7 — ablation: pass-through vs trap-and-forward devices.         *)
+(* ---------------------------------------------------------------- *)
+
+let ablation_passthrough () =
+  section
+    "E7 -- ablation: direct device access vs monitor-mediated access\n\
+     (isolates the design decision behind the 5.4x)";
+  let measure ~passthrough label =
+    let config = Kernel.default_config ~rate_mbps:100.0 in
+    let machine = Machine.create ~mem_size:(16 * 1024 * 1024) () in
+    let monitor = Monitor.install ~passthrough machine in
+    Monitor.boot_guest monitor (Kernel.build config) ~entry:Kernel.entry;
+    Machine.run_seconds machine 0.05;
+    let t0 = Machine.now machine in
+    let busy0 = Vmm_sim.Stats.busy_cycles (Machine.load machine) in
+    let bytes0 = Vmm_hw.Nic.bytes_sent (Machine.nic machine) in
+    Machine.run_seconds machine 0.2;
+    let elapsed = Int64.sub (Machine.now machine) t0 in
+    let busy =
+      Int64.sub (Vmm_sim.Stats.busy_cycles (Machine.load machine)) busy0
+    in
+    let bytes =
+      Int64.sub (Vmm_hw.Nic.bytes_sent (Machine.nic machine)) bytes0
+    in
+    let secs = Costs.seconds_of_cycles Costs.default elapsed in
+    let stats = Monitor.stats monitor in
+    Printf.printf "%-34s %9.1f %9.1f%% %14d\n" label
+      (Int64.to_float bytes *. 8.0 /. secs /. 1e6)
+      (100.0 *. Int64.to_float busy /. Int64.to_float elapsed)
+      stats.Monitor.io_emulations
+  in
+  Printf.printf "%-34s %9s %10s %14s\n" "configuration (at 100 Mbps)"
+    "achieved" "load" "trapped i/o";
+  measure ~passthrough:Monitor.default_passthrough
+    "SCSI+NIC direct (the paper)";
+  measure
+    ~passthrough:[ { Monitor.base = Machine.Ports.scsi; count = 7 } ]
+    "SCSI direct, NIC trapped";
+  measure ~passthrough:[] "everything trapped"
+
+(* ---------------------------------------------------------------- *)
+(* E8 — ablation: application in ring 3 (three-level protection).   *)
+(* ---------------------------------------------------------------- *)
+
+let ablation_usermode () =
+  section
+    "E8 -- ablation: streaming application at guest ring 3\n\
+     (the paper's third protection level: app / OS / monitor)";
+  Printf.printf "%-18s %12s %12s %12s %12s\n" "system" "kernel app"
+    "ring-3 app" "overhead" "rate held?";
+  List.iter
+    (fun sys ->
+      let run user =
+        let config =
+          { (Kernel.default_config ~rate_mbps:50.0) with Kernel.user_mode = user }
+        in
+        let ctx, program = Workload.prepare sys ~config in
+        Workload.measure ctx program ~config ~warmup_s:0.05 ~duration_s:0.2
+      in
+      let kernel = run false and user = run true in
+      Printf.printf "%-18s %11.1f%% %11.1f%% %11.1f%% %12s\n"
+        (Workload.system_name sys)
+        (100.0 *. kernel.Workload.cpu_load)
+        (100.0 *. user.Workload.cpu_load)
+        (100.0 *. (user.Workload.cpu_load -. kernel.Workload.cpu_load))
+        (if user.Workload.achieved_mbps >= 0.95 *. 50.0 then "yes" else "no"))
+    Workload.all_systems;
+  Printf.printf
+    "\nOn real hardware ring crossings are nearly free; under the\n\
+     monitor each one is a world switch, so the third protection level\n\
+     has a visible but affordable price at this rate.\n"
+
+(* ---------------------------------------------------------------- *)
+(* E9 — ablation: segment size (interrupt-rate sensitivity).        *)
+(* ---------------------------------------------------------------- *)
+
+let ablation_segment () =
+  section
+    "E9 -- ablation: disk segment size at 100 Mbps\n\
+     (smaller segments = more pacing/disk interrupts per byte)";
+  Printf.printf "%14s %14s %14s %14s\n" "segment (KiB)" "real_hw" "lw_vmm"
+    "vmware_like";
+  List.iter
+    (fun kib ->
+      let cells =
+        List.map
+          (fun sys ->
+            let config =
+              {
+                (Kernel.default_config ~rate_mbps:100.0) with
+                Kernel.segment_bytes = kib * 1024;
+              }
+            in
+            let ctx, program = Workload.prepare sys ~config in
+            let m =
+              Workload.measure ctx program ~config ~warmup_s:0.05
+                ~duration_s:0.2
+            in
+            Printf.sprintf "%5.1f%%%s"
+              (100.0 *. m.Workload.cpu_load)
+              (if m.Workload.achieved_mbps < 95.0 then "*" else " "))
+          Workload.all_systems
+      in
+      match cells with
+      | [ bare; lw; full ] ->
+        Printf.printf "%14d %14s %14s %14s\n" kib bare lw full
+      | _ -> assert false)
+    [ 16; 32; 64; 128; 256 ]
+
+(* ---------------------------------------------------------------- *)
+(* M1 — bechamel microbenchmarks.                                   *)
+(* ---------------------------------------------------------------- *)
+
+let micro () =
+  section "M1 -- microbenchmarks (host-side wall time per operation)";
+  let open Bechamel in
+  let step_machine =
+    let machine = Machine.create ~mem_size:(2 * 1024 * 1024) () in
+    let a = Asm.create ~origin:0x1000 () in
+    Asm.label a "loop";
+    Asm.addi a 1 1 (Asm.imm 1);
+    Asm.jmp a (Asm.lbl "loop");
+    Machine.boot machine (Asm.assemble a) ~entry:0x1000;
+    Test.make ~name:"interpret 1000 instructions"
+      (Staged.stage (fun () -> ignore (Machine.run_steps machine 1000)))
+  in
+  let world_switch =
+    let machine = Machine.create ~mem_size:(16 * 1024 * 1024) () in
+    let monitor = Monitor.install machine in
+    let a = Asm.create ~origin:0x1000 () in
+    Asm.label a "loop";
+    Asm.sti a;
+    Asm.jmp a (Asm.lbl "loop");
+    Monitor.boot_guest monitor (Asm.assemble a) ~entry:0x1000;
+    Test.make ~name:"100 emulated traps (STI)"
+      (Staged.stage (fun () -> ignore (Machine.run_steps machine 100)))
+  in
+  let packet_roundtrip =
+    let payload = String.make 64 'm' in
+    Test.make ~name:"packet frame+decode (64B)"
+      (Staged.stage (fun () ->
+           let d = Packet.decoder () in
+           ignore (Packet.feed_string d (Packet.frame payload))))
+  in
+  let event_queue =
+    Test.make ~name:"event queue add+pop x100"
+      (Staged.stage (fun () ->
+           let q = Vmm_sim.Event_queue.create () in
+           for i = 1 to 100 do
+             ignore
+               (Vmm_sim.Event_queue.add q
+                  ~time:(Int64.of_int (i * 37 mod 100))
+                  i)
+           done;
+           while Vmm_sim.Event_queue.pop q <> None do
+             ()
+           done))
+  in
+  let kernel_build =
+    Test.make ~name:"assemble guest kernel"
+      (Staged.stage (fun () ->
+           ignore (Kernel.build (Kernel.default_config ~rate_mbps:100.0))))
+  in
+  let tests =
+    [ step_machine; world_switch; packet_roundtrip; event_queue; kernel_build ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ estimate ] ->
+            Printf.printf "%-36s %12.1f ns/run\n" name estimate
+          | Some _ | None -> Printf.printf "%-36s (no estimate)\n" name)
+        analysis)
+    tests
+
+(* ---------------------------------------------------------------- *)
+
+let targets =
+  [
+    ("fig3.1", fig3_1);
+    ("headline", headline);
+    ("stability", stability);
+    ("customize", customize);
+    ("debugload", debugload);
+    ("ablation-trap", ablation_trap);
+    ("ablation-passthrough", ablation_passthrough);
+    ("ablation-usermode", ablation_usermode);
+    ("ablation-segment", ablation_segment);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ :: [] | [] -> List.map fst targets
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown bench target '%s'; known: %s\n" name
+          (String.concat ", " (List.map fst targets));
+        exit 1)
+    requested

@@ -1,0 +1,119 @@
+(* lwvmm_dbg: the host-machine debugger front end.
+
+   Boots the HiTactix-like guest under the lightweight monitor on a
+   simulated target machine and gives you the remote-debugging command
+   loop of the paper's Fig 2.1.  Reads commands from stdin (one per line);
+   see `help`.  Extra commands beyond the debugger language:
+
+     run <seconds>   -- advance the target by simulated wall time
+     stats           -- monitor counters
+     trace           -- recent monitor events
+     quit
+
+   Usage: dune exec bin/lwvmm_dbg.exe -- [--rate MBPS] [--fast-uart]
+          [--script 'cmd;cmd;...'] *)
+
+module Machine = Vmm_hw.Machine
+module Costs = Vmm_hw.Costs
+module Monitor = Core.Monitor
+module Kernel = Vmm_guest.Kernel
+module Session = Vmm_debugger.Session
+module Symbols = Vmm_debugger.Symbols
+module Cli = Vmm_debugger.Cli
+
+let run rate fast_uart script =
+  let costs =
+    if fast_uart then { Costs.default with Costs.uart_cycles_per_byte = 2000 }
+    else Costs.default
+  in
+  let machine = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs () in
+  let monitor = Monitor.install machine in
+  let program = Kernel.build (Kernel.default_config ~rate_mbps:rate) in
+  Monitor.boot_guest monitor program ~entry:Kernel.entry;
+  Machine.run_seconds machine 0.02;
+  let session = Session.attach machine in
+  let symbols = Symbols.of_program program in
+  let cli = Cli.create ~session ~symbols in
+  Printf.printf
+    "lwvmm_dbg: guest streaming at %.0f Mbps under the lightweight monitor\n\
+     type 'help' for commands, 'quit' to exit\n"
+    rate;
+  let execute line =
+    match String.trim line with
+    | "" -> true
+    | "quit" | "exit" -> false
+    | "trace" ->
+      let records =
+        Vmm_sim.Trace.find (Machine.trace machine) ~component:"monitor"
+      in
+      if records = [] then print_endline "(no monitor events recorded)"
+      else
+        List.iter
+          (fun r -> Format.printf "%a@." Vmm_sim.Trace.pp_record r)
+          records;
+      true
+    | "stats" ->
+      let s = Monitor.stats monitor in
+      Printf.printf
+        "world switches %d | pic %d pit %d cpu %d io %d | shadow fills %d | \
+         reflected irqs %d | escalations %d\n"
+        s.Monitor.world_switches s.Monitor.pic_emulations
+        s.Monitor.pit_emulations s.Monitor.cpu_emulations
+        s.Monitor.io_emulations s.Monitor.shadow_fills
+        s.Monitor.reflected_irqs s.Monitor.escalations;
+      true
+    | line when String.length line > 4 && String.sub line 0 4 = "run " ->
+      (match float_of_string_opt (String.sub line 4 (String.length line - 4)) with
+       | Some s when s > 0.0 && s <= 60.0 ->
+         Machine.run_seconds machine s;
+         let c = Kernel.read_counters (Machine.mem machine) program in
+         Printf.printf "advanced %.3f s: %d ticks, %d frames sent\n" s
+           c.Kernel.ticks c.Kernel.frames_sent
+       | Some _ | None -> print_endline "usage: run <seconds in (0, 60]>");
+      true
+    | line ->
+      print_endline (Cli.execute cli line);
+      true
+  in
+  match script with
+  | Some script ->
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line <> "" then begin
+          Printf.printf "(dbg) %s\n" line;
+          ignore (execute line)
+        end)
+      (String.split_on_char ';' script)
+  | None ->
+    let rec repl () =
+      print_string "(dbg) ";
+      match In_channel.input_line stdin with
+      | Some line -> if execute line then repl ()
+      | None -> ()
+    in
+    repl ()
+
+open Cmdliner
+
+let rate =
+  let doc = "Guest streaming rate in Mbps." in
+  Arg.(value & opt float 50.0 & info [ "rate" ] ~docv:"MBPS" ~doc)
+
+let fast_uart =
+  let doc =
+    "Model a fast debug link instead of real 115200 baud (snappier \
+     interactive use)."
+  in
+  Arg.(value & flag & info [ "fast-uart" ] ~doc)
+
+let script =
+  let doc = "Run a semicolon-separated command list instead of a REPL." in
+  Arg.(value & opt (some string) None & info [ "script" ] ~docv:"CMDS" ~doc)
+
+let cmd =
+  let doc = "remote debugger for guests under the lightweight VMM" in
+  let info = Cmd.info "lwvmm_dbg" ~doc in
+  Cmd.v info Term.(const run $ rate $ fast_uart $ script)
+
+let () = exit (Cmd.eval cmd)

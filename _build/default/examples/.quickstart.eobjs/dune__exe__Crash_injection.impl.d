@@ -1,0 +1,1 @@
+examples/crash_injection.ml: Buffer Char Core List Printf String Vmm_baseline Vmm_debugger Vmm_hw Vmm_proto Vmm_sim

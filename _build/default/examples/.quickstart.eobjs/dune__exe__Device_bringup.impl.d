@@ -1,0 +1,1 @@
+examples/device_bringup.ml: Core Int64 Printf Vmm_hw Vmm_sim

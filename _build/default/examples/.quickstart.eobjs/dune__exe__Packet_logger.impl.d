@@ -1,0 +1,1 @@
+examples/packet_logger.ml: Bytes Char Core Printf String Vmm_guest Vmm_hw Vmm_sim

@@ -1,0 +1,1 @@
+examples/profiling_session.ml: Core List Printf Vmm_debugger Vmm_guest Vmm_hw

@@ -1,0 +1,1 @@
+examples/profiling_session.mli:

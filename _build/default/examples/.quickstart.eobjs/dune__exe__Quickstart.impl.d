@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Option Printf Vmm_debugger Vmm_guest Vmm_hw

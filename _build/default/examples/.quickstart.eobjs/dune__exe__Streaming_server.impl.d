@@ -1,0 +1,1 @@
+examples/streaming_server.ml: Array Core List Printf Sys Vmm_baseline Vmm_guest Vmm_harness

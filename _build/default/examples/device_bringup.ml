@@ -1,0 +1,172 @@
+(* Customizability demonstration (the paper's second claim): bring up a
+   brand-new high-throughput I/O device and give the guest direct access
+   to it without touching a single line of monitor code.
+
+   The device here is a "capture card" that DMA-writes video fields into
+   memory at a constant rate — the kind of appliance hardware HiTactix
+   targeted.  Under the lightweight VMM the bring-up recipe is only:
+     1. attach the device model to the bus (hardware exists),
+     2. open its ports in the I/O permission bitmap (one install argument),
+     3. write a guest driver.
+   Under the full VMM the same device would additionally require a device
+   emulation model inside the VMM before the guest could use it at all.
+
+   Run with: dune exec examples/device_bringup.exe *)
+
+module Machine = Vmm_hw.Machine
+module Cpu = Vmm_hw.Cpu
+module Io_bus = Vmm_hw.Io_bus
+module Engine = Vmm_sim.Engine
+module Asm = Vmm_hw.Asm
+module Isa = Vmm_hw.Isa
+module Phys_mem = Vmm_hw.Phys_mem
+module Pic = Vmm_hw.Pic
+module Monitor = Core.Monitor
+
+(* --- The new device: a frame-capture card ----------------------------- *)
+
+module Capture_card = struct
+  let port_base = 0x3C0
+  let irq_line = 7
+  let field_bytes = 4096
+
+  type t = {
+    engine : Engine.t;
+    mem : Phys_mem.t;
+    raise_irq : unit -> unit;
+    mutable dma_addr : int;
+    mutable running : bool;
+    mutable fields_captured : int;
+    interval_cycles : int64;
+  }
+
+  let create ~engine ~mem ~raise_irq ~fields_per_second ~cpu_hz =
+    {
+      engine;
+      mem;
+      raise_irq;
+      dma_addr = 0;
+      running = false;
+      fields_captured = 0;
+      interval_cycles = Int64.of_float (cpu_hz /. fields_per_second);
+    }
+
+  let rec capture t =
+    if t.running then begin
+      (* synthesize a video field directly into memory (device DMA) *)
+      for i = 0 to field_bytes - 1 do
+        Phys_mem.write_u8 t.mem (t.dma_addr + i)
+          ((t.fields_captured + i) land 0xFF)
+      done;
+      t.fields_captured <- t.fields_captured + 1;
+      t.raise_irq ();
+      ignore (Engine.after t.engine ~delay:t.interval_cycles (fun () -> capture t))
+    end
+
+  let io_read t = function
+    | 0 -> t.dma_addr
+    | 1 -> if t.running then 1 else 0
+    | 2 -> t.fields_captured
+    | _ -> 0xFFFFFFFF
+
+  let io_write t offset v =
+    match offset with
+    | 0 -> t.dma_addr <- v
+    | 1 ->
+      let was = t.running in
+      t.running <- v land 1 <> 0;
+      if t.running && not was then capture t
+    | _ -> ()
+
+  let attach t bus =
+    Io_bus.register bus ~name:"capture" ~base:port_base ~count:3
+      ~read:(io_read t) ~write:(io_write t)
+end
+
+(* --- A guest driver for it, in 20 instructions ------------------------ *)
+
+let capture_guest () =
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x20000);
+  Asm.movi a 1 (Asm.lbl "iht");
+  Asm.liht a 1;
+  (* point the card at a buffer and start it: direct port access *)
+  Asm.movi a 2 (Asm.imm 0x50000);
+  Asm.outi a (Asm.imm Capture_card.port_base) 2;
+  Asm.movi a 2 (Asm.imm 1);
+  Asm.outi a (Asm.imm (Capture_card.port_base + 1)) 2;
+  Asm.sti a;
+  Asm.label a "idle";
+  Asm.hlt a;
+  Asm.jmp a (Asm.lbl "idle");
+  (* per-field interrupt: count fields in r7, checksum first word in r8 *)
+  Asm.label a "field_handler";
+  Asm.addi a 7 7 (Asm.imm 1);
+  Asm.movi a 2 (Asm.imm 0x50000);
+  Asm.ld a 8 2 0;
+  Asm.movi a 2 (Asm.imm 0x20);
+  Asm.outi a (Asm.imm Machine.Ports.pic) 2;
+  Asm.iret a;
+  Asm.align a 8;
+  Asm.label a "iht";
+  for v = 0 to 63 do
+    if v = Isa.vec_irq_base_default + Capture_card.irq_line then begin
+      Asm.word a (Asm.lbl "field_handler");
+      Asm.word a (Asm.imm 1)
+    end
+    else begin
+      Asm.word a (Asm.imm 0);
+      Asm.word a (Asm.imm 0)
+    end
+  done;
+  Asm.assemble a
+
+let () =
+  Printf.printf "Device bring-up under the lightweight VMM (paper claim 2).\n\n";
+  let machine = Machine.create ~mem_size:(16 * 1024 * 1024) () in
+
+  (* step 1: the new hardware appears on the bus *)
+  let card =
+    Capture_card.create ~engine:(Machine.engine machine)
+      ~mem:(Machine.mem machine)
+      ~raise_irq:(fun () ->
+        Pic.raise_irq (Machine.pic machine) Capture_card.irq_line)
+      ~fields_per_second:60.0
+      ~cpu_hz:(Machine.costs machine).Vmm_hw.Costs.cpu_hz
+  in
+  Capture_card.attach card (Machine.bus machine);
+  Printf.printf "1. capture card attached at ports 0x%x-0x%x, IRQ %d\n"
+    Capture_card.port_base
+    (Capture_card.port_base + 2)
+    Capture_card.irq_line;
+
+  (* step 2: install the monitor, declaring the card pass-through.
+     NOTE: this is configuration, not monitor code — the monitor has no
+     idea what a capture card is. *)
+  let passthrough =
+    { Monitor.base = Capture_card.port_base; count = 3 }
+    :: Monitor.default_passthrough
+  in
+  let monitor = Monitor.install ~passthrough machine in
+  Printf.printf
+    "2. monitor installed; capture ports opened in the I/O bitmap\n";
+
+  (* step 3: boot a guest with a driver for it *)
+  Monitor.boot_guest monitor (capture_guest ()) ~entry:0x1000;
+  Printf.printf "3. guest booted with a 20-instruction driver\n\n";
+
+  Machine.run_seconds machine 0.5;
+  let fields = Cpu.read_reg (Machine.cpu machine) 7 in
+  let stats = Monitor.stats monitor in
+  Printf.printf "after 0.5 s simulated: guest serviced %d field interrupts\n"
+    fields;
+  Printf.printf "fields captured by the card: %d\n"
+    (Capture_card.io_read card 2);
+  Printf.printf
+    "trapped i/o: %d total, all of them PIC end-of-interrupt writes (%d);\n\
+     the capture card's own ports never trapped\n"
+    stats.Monitor.io_emulations stats.Monitor.pic_emulations;
+  Printf.printf
+    "\nMonitor source files changed to support the new device: 0.\n\
+     A conventional full VMM would have needed a capture-card emulator\n\
+     before the guest's first port access could succeed.\n"

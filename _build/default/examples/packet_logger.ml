@@ -1,0 +1,89 @@
+(* The receive-side appliance: a UDP logger.
+
+   The paper's workload streams *out* of the appliance; this example runs
+   the complementary path under the same lightweight monitor: frames
+   arrive on the gigabit NIC (direct access), the guest validates each
+   UDP payload checksum and appends valid payloads to a SCSI disk — all
+   while remaining fully debuggable.
+
+   The harness plays the network: it injects a mix of valid and corrupted
+   frames, then audits the guest's verdicts and reads the log back off
+   the disk.
+
+   Run with: dune exec examples/packet_logger.exe *)
+
+module Machine = Vmm_hw.Machine
+module Engine = Vmm_sim.Engine
+module Nic = Vmm_hw.Nic
+module Io_bus = Vmm_hw.Io_bus
+module Phys_mem = Vmm_hw.Phys_mem
+module Costs = Vmm_hw.Costs
+module Monitor = Core.Monitor
+module Rx_logger = Vmm_guest.Rx_logger
+module Netfmt = Vmm_guest.Netfmt
+
+let payload_of i =
+  Printf.sprintf "log-entry-%04d:%s" i (String.make 100 (Char.chr (65 + (i mod 26))))
+
+let () =
+  let machine = Machine.create ~mem_size:(16 * 1024 * 1024) () in
+  let monitor = Monitor.install machine in
+  let program = Rx_logger.build Rx_logger.default_config in
+  Monitor.boot_guest monitor program ~entry:Rx_logger.entry;
+  Printf.printf "UDP logger appliance booted under the lightweight monitor\n";
+
+  (* the "network": 200 frames at 20k frames/s, every 10th corrupted *)
+  let total = 200 in
+  let interval =
+    Costs.cycles_of_seconds (Machine.costs machine) (1.0 /. 20_000.0)
+  in
+  let engine = Machine.engine machine in
+  let rec inject i =
+    if i < total then begin
+      let frame = Netfmt.build ~payload:(payload_of i) ~ip_id:i in
+      if i mod 10 = 9 then
+        Bytes.set frame
+          (Netfmt.off_payload + 3)
+          (Char.chr (Char.code (Bytes.get frame (Netfmt.off_payload + 3)) lxor 0xFF));
+      Nic.inject_rx (Machine.nic machine) frame;
+      ignore (Engine.after engine ~delay:interval (fun () -> inject (i + 1)))
+    end
+  in
+  ignore (Engine.after engine ~delay:interval (fun () -> inject 0));
+  Machine.run_seconds machine 0.1;
+
+  let c = Rx_logger.read_counters (Machine.mem machine) program in
+  Printf.printf "\ninjected          : %d frames (every 10th corrupted)\n" total;
+  Printf.printf "guest received    : %d frames, %d bytes\n" c.Rx_logger.rx_frames
+    c.Rx_logger.rx_bytes;
+  Printf.printf "checksum verdicts : %d valid, %d invalid\n" c.Rx_logger.rx_valid
+    c.Rx_logger.rx_invalid;
+  Printf.printf "logged to disk    : %d payloads (%d dropped while busy)\n"
+    c.Rx_logger.logged c.Rx_logger.log_dropped;
+
+  (* audit: read the first logged payload back off the disk through the
+     controller, like a maintenance console would *)
+  let bus = Machine.bus machine in
+  let base = Machine.Ports.scsi in
+  let expected = payload_of 0 in
+  Io_bus.write bus base 0;
+  Io_bus.write bus (base + 1) Rx_logger.log_first_lba;
+  Io_bus.write bus (base + 2) (String.length expected);
+  Io_bus.write bus (base + 3) 0x700000;
+  Io_bus.write bus (base + 4) 1;
+  ignore (Engine.run_until_idle engine);
+  Io_bus.write bus (base + 6) 0;
+  let read_back =
+    Bytes.to_string
+      (Phys_mem.read_bytes (Machine.mem machine) ~addr:0x700000
+         ~len:(String.length expected))
+  in
+  Printf.printf "\ndisk audit        : first log slot %s\n"
+    (if String.equal read_back expected then "matches the injected payload"
+     else "MISMATCH");
+
+  let stats = Monitor.stats monitor in
+  Printf.printf
+    "monitor           : %d world switches, %d reflected irqs -- receive \
+     path is pass-through too\n"
+    stats.Monitor.world_switches stats.Monitor.reflected_irqs

@@ -1,0 +1,50 @@
+(* Interrupt-driven profiling of a live appliance.
+
+   The monitor samples the interrupted guest pc at every reflected timer
+   tick, so the host debugger can ask "where does the CPU go?" without
+   stopping the target — the kind of question the paper's environment is
+   built to answer while the OS runs high-throughput I/O.
+
+   This session profiles the streaming guest at a low and a high rate and
+   shows the shift from idle time to the packetization path.
+
+   Run with: dune exec examples/profiling_session.exe *)
+
+module Machine = Vmm_hw.Machine
+module Costs = Vmm_hw.Costs
+module Monitor = Core.Monitor
+module Kernel = Vmm_guest.Kernel
+module Session = Vmm_debugger.Session
+module Symbols = Vmm_debugger.Symbols
+module Cli = Vmm_debugger.Cli
+
+let profile_at rate =
+  let costs = { Costs.default with Costs.uart_cycles_per_byte = 2000 } in
+  let machine = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs () in
+  let monitor = Monitor.install machine in
+  (* user-mode guest: the application packetizes with interrupts enabled,
+     so timer samples can land in it.  (The kernel-mode guest does all its
+     work inside interrupt handlers with IF clear — invisible to timer
+     sampling, exactly as on real hardware.) *)
+  let program =
+    Kernel.build
+      { (Kernel.default_config ~rate_mbps:rate) with Kernel.user_mode = true }
+  in
+  Monitor.boot_guest monitor program ~entry:Kernel.entry;
+  Machine.run_seconds machine 0.5 (* sampling window *);
+  let session = Session.attach machine in
+  let symbols = Symbols.of_program program in
+  let cli = Cli.create ~session ~symbols in
+  Printf.printf "\n--- profile at %.0f Mbps ---\n%s\n" rate
+    (Cli.execute cli "profile 6")
+
+let () =
+  Printf.printf
+    "Timer-interrupt pc sampling of the streaming appliance under the\n\
+     lightweight monitor (the guest keeps running throughout).\n";
+  List.iter profile_at [ 20.0; 150.0 ];
+  Printf.printf
+    "\nAt 20 Mbps every sample lands in the kernel's wait-segment block\n\
+     point (the appliance is idle); at 150 Mbps the samples migrate into\n\
+     the application's payload copy/checksum loop -- live evidence of\n\
+     where the transfer budget goes, gathered without stopping the guest.\n"

@@ -1,0 +1,1 @@
+lib/baseline/embedded_debugger.ml: Array Bytes Char String Vmm_hw Vmm_proto

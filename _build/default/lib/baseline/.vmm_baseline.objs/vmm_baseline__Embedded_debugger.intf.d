@@ -1,0 +1,1 @@
+lib/baseline/embedded_debugger.mli: Vmm_hw

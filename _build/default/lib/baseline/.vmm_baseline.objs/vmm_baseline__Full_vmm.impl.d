@@ -1,0 +1,1 @@
+lib/baseline/full_vmm.ml: Array Bytes Core Vmm_hw

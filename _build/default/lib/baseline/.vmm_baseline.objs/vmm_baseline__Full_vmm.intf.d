@@ -1,0 +1,1 @@
+lib/baseline/full_vmm.mli: Vmm_hw

@@ -1,0 +1,1 @@
+lib/baseline/hw_simulator.mli:

@@ -1,0 +1,44 @@
+type t = { slowdown : float }
+
+let default = { slowdown = 500.0 }
+
+let wall_clock_seconds t ~simulated_seconds = simulated_seconds *. t.slowdown
+
+let effective_rate_mbps t ~native_rate_mbps = native_rate_mbps /. t.slowdown
+
+type properties = {
+  name : string;
+  stable_under_os_crash : bool;
+  needs_device_model_per_device : bool;
+  io_efficiency : float;
+}
+
+let properties t =
+  {
+    name = "hardware simulator + debugger";
+    stable_under_os_crash = true;
+    needs_device_model_per_device = true;
+    io_efficiency = 1.0 /. t.slowdown;
+  }
+
+let comparison_rows ~lwvmm_io_efficiency ~fullvmm_io_efficiency =
+  [
+    {
+      name = "embedded in-OS debugger";
+      stable_under_os_crash = false;
+      needs_device_model_per_device = false;
+      io_efficiency = 1.0;
+    };
+    {
+      name = "full VMM (hosted)";
+      stable_under_os_crash = true;
+      needs_device_model_per_device = true;
+      io_efficiency = fullvmm_io_efficiency;
+    };
+    {
+      name = "lightweight VMM (this paper)";
+      stable_under_os_crash = true;
+      needs_device_model_per_device = false;
+      io_efficiency = lwvmm_io_efficiency;
+    };
+  ]

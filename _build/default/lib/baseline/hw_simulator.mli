@@ -1,0 +1,36 @@
+(** The "hardware simulator working with a software debugger" environment
+    from the paper's introduction.
+
+    A full-system simulator gives perfect stability and visibility but
+    executes the target orders of magnitude slower than real time and
+    cannot drive the physical I/O devices, so I/O-heavy debugging sessions
+    are impractical.  This module models that cost structure: the same
+    workload's wall-clock time and effective achievable I/O rate under a
+    configurable slowdown, plus the qualitative properties the paper's
+    three-way comparison rests on. *)
+
+type t = { slowdown : float  (** simulated-seconds-to-wall ratio *) }
+
+(** A 2005-era cycle-level full-system simulator: ~500x. *)
+val default : t
+
+(** [wall_clock_seconds t ~simulated_seconds] — how long the user waits. *)
+val wall_clock_seconds : t -> simulated_seconds:float -> float
+
+(** [effective_rate_mbps t ~native_rate_mbps] — the I/O rate the target
+    appears to sustain from the outside world's point of view. *)
+val effective_rate_mbps : t -> native_rate_mbps:float -> float
+
+type properties = {
+  name : string;
+  stable_under_os_crash : bool;
+  needs_device_model_per_device : bool;
+  io_efficiency : float;  (** fraction of native I/O rate achievable *)
+}
+
+(** [properties t] for the simulator environment. *)
+val properties : t -> properties
+
+(** The comparison rows for the other environments, used by the
+    customizability/stability experiment printouts. *)
+val comparison_rows : lwvmm_io_efficiency:float -> fullvmm_io_efficiency:float -> properties list

@@ -1,0 +1,1 @@
+lib/core/breakpoints.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Buffer Bytes Char Hashtbl List Option Printf Shadow String Stub Vm_layout Vmm_hw Vmm_sim Watchpoints

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Shadow Stub Vm_layout Vmm_hw Watchpoints

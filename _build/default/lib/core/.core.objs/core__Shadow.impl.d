@@ -1,0 +1,1 @@
+lib/core/shadow.ml: Vm_layout Vmm_hw

@@ -1,0 +1,1 @@
+lib/core/shadow.mli: Vm_layout Vmm_hw

@@ -1,0 +1,1 @@
+lib/core/stub.ml: Breakpoints Bytes Char List Printf String Vmm_hw Vmm_proto

@@ -1,0 +1,1 @@
+lib/core/watchpoints.ml: List Vmm_hw

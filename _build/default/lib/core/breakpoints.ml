@@ -1,0 +1,29 @@
+type t = { table : (int, string) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 16 }
+
+let add t ~addr ~saved =
+  if Hashtbl.mem t.table addr then false
+  else begin
+    Hashtbl.add t.table addr saved;
+    true
+  end
+
+let remove t ~addr =
+  match Hashtbl.find_opt t.table addr with
+  | Some saved ->
+    Hashtbl.remove t.table addr;
+    Some saved
+  | None -> None
+
+let saved_at t ~addr = Hashtbl.find_opt t.table addr
+let mem t ~addr = Hashtbl.mem t.table addr
+let count t = Hashtbl.length t.table
+
+let addresses t =
+  List.sort compare (Hashtbl.fold (fun addr _ acc -> addr :: acc) t.table [])
+
+let clear t =
+  let entries = Hashtbl.fold (fun addr saved acc -> (addr, saved) :: acc) t.table [] in
+  Hashtbl.reset t.table;
+  entries

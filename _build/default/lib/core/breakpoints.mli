@@ -1,0 +1,28 @@
+(** Breakpoint table for the debug stub.
+
+    Each entry remembers the original instruction bytes that the BRK patch
+    replaced, so continue/step-over can restore and re-insert them. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t ~addr ~saved] registers a breakpoint; [false] when one already
+    exists at [addr] (the caller must not double-patch). *)
+val add : t -> addr:int -> saved:string -> bool
+
+(** [remove t ~addr] unregisters and returns the saved bytes. *)
+val remove : t -> addr:int -> string option
+
+(** [saved_at t ~addr] — saved bytes without removing. *)
+val saved_at : t -> addr:int -> string option
+
+val mem : t -> addr:int -> bool
+val count : t -> int
+
+(** [addresses t] — sorted list of breakpoint addresses. *)
+val addresses : t -> int list
+
+(** [clear t] forgets everything (detach); returns the entries that were
+    present so the caller can unpatch them. *)
+val clear : t -> (int * string) list

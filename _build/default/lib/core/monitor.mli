@@ -1,0 +1,101 @@
+(** The lightweight virtual machine monitor (the paper's contribution).
+
+    The monitor installs itself as the CPU's hypervisor hook and runs the
+    guest OS deprivileged: guest "ring 0" executes in real ring 1, guest
+    applications in real ring 3.  It emulates {e only} the hardware that
+    the remote-debugging function depends on — the interrupt controller,
+    the timer, the communication device and the privileged CPU resources
+    (interrupt-handling table, page tables, interrupt flag) — while
+    high-throughput devices (SCSI, NIC) are accessed {e directly} by the
+    guest through the I/O permission bitmap.  Guest memory is virtualized
+    with lazily-filled shadow page tables that never map monitor frames,
+    yielding the application / guest-OS / monitor three-level protection
+    the paper describes on two-level hardware.
+
+    The embedded {!Stub} services the host debugger; the monitor routes
+    UART interrupts to it and escalates unrecoverable guest faults (e.g. a
+    corrupted interrupt table) to it instead of dying — the stability
+    property. *)
+
+type t
+
+(** Pass-through port ranges: these ports are opened in the I/O permission
+    bitmap so the guest reaches the devices without monitor involvement. *)
+type passthrough = { base : int; count : int }
+
+(** The default pass-through set: the SCSI controller and the NIC. *)
+val default_passthrough : passthrough list
+
+(** Cumulative event counts, exposed for tests and the benchmarks. *)
+type stats = {
+  world_switches : int;
+  pic_emulations : int;
+  pit_emulations : int;
+  cpu_emulations : int;
+  io_emulations : int;
+  shadow_fills : int;
+  reflected_irqs : int;
+  reflected_faults : int;
+  hypercalls : int;
+  escalations : int;
+}
+
+(** [install ?passthrough machine] takes ownership of the machine:
+    registers the hypervisor hook, opens pass-through ports, unmasks the
+    physical interrupt controller, enables the debug UART's receive
+    interrupt and prepares empty shadow tables. *)
+val install : ?passthrough:passthrough list -> Vmm_hw.Machine.t -> t
+
+(** [uninstall t] removes the hook (the machine reverts to bare metal). *)
+val uninstall : t -> unit
+
+(** [boot_guest t program ~entry] loads a guest image into guest-owned
+    memory and starts it at guest ring 0 with interrupts disabled and
+    paging off (behind the identity shadow).
+    @raise Invalid_argument if the image overlaps monitor memory. *)
+val boot_guest : t -> Vmm_hw.Asm.program -> entry:int -> unit
+
+(** {2 Guest-visible state} *)
+
+val guest_interrupts_enabled : t -> bool
+val guest_cpl : t -> int
+val guest_iht : t -> int
+val guest_ptb : t -> int
+val guest_halted : t -> bool
+
+(** [guest_flags_word t] — the flags word the guest believes it has. *)
+val guest_flags_word : t -> int
+
+(** [guest_read t ~addr ~len] reads guest-virtual memory through the
+    guest's own page tables; [None] when any page is unmapped. *)
+val guest_read : t -> addr:int -> len:int -> string option
+
+(** [guest_write t ~addr ~data] writes guest-virtual memory (debugger
+    privilege: ignores guest write protection). *)
+val guest_write : t -> addr:int -> data:string -> bool
+
+(** {2 Components} *)
+
+val stub : t -> Stub.t
+val machine : t -> Vmm_hw.Machine.t
+val layout : t -> Vm_layout.t
+val shadow : t -> Shadow.t
+val virtual_pic : t -> Vmm_hw.Pic.t
+val watchpoints : t -> Watchpoints.t
+
+(** [profile t] — the pc-sampling profile (pc, hits), hottest first.  The
+    monitor samples the interrupted guest pc at every reflected timer
+    interrupt, so the histogram approximates where guest time goes —
+    including its halt loop, which shows up as idle time. *)
+val profile : t -> (int * int) list
+
+val clear_profile : t -> unit
+val virtual_pit : t -> Vmm_hw.Pit.t
+val stats : t -> stats
+
+(** [console t] — text the guest wrote via the console hypercall or its
+    (virtualized) serial port. *)
+val console : t -> string
+
+(** [shutdown_requested t] — the guest invoked the shutdown hypercall. *)
+val shutdown_requested : t -> bool

@@ -1,0 +1,78 @@
+module Phys_mem = Vmm_hw.Phys_mem
+module Mmu = Vmm_hw.Mmu
+
+exception Out_of_shadow_memory
+
+type t = {
+  mem : Phys_mem.t;
+  arena_base : int;
+  arena_size : int;
+  mutable next_page : int; (* bump pointer, page units from arena base *)
+  mutable pd : int;
+  mutable live : int;
+  mutable fills : int;
+}
+
+let page = Mmu.page_size
+
+let alloc_page t =
+  let offset = t.next_page * page in
+  if offset + page > t.arena_size then raise Out_of_shadow_memory;
+  t.next_page <- t.next_page + 1;
+  let addr = t.arena_base + offset in
+  Phys_mem.fill t.mem ~addr ~len:page 0;
+  addr
+
+let create ~mem ~layout () =
+  let t =
+    {
+      mem;
+      arena_base = layout.Vm_layout.shadow_base;
+      arena_size = layout.Vm_layout.shadow_size;
+      next_page = 0;
+      pd = 0;
+      live = 0;
+      fills = 0;
+    }
+  in
+  t.pd <- alloc_page t;
+  t
+
+let root t = t.pd
+
+let clear t =
+  t.next_page <- 0;
+  t.live <- 0;
+  t.pd <- alloc_page t
+
+let map t ~vaddr ~frame ~writable ~user =
+  let pde_addr = t.pd + (4 * Mmu.dir_index vaddr) in
+  let pde = Phys_mem.read_u32 t.mem pde_addr in
+  let pt =
+    if Mmu.is_present pde then Mmu.frame_of pde
+    else begin
+      let pt = alloc_page t in
+      (* Directory entries stay maximally permissive; the leaf enforces. *)
+      Phys_mem.write_u32 t.mem pde_addr (Mmu.make_pte ~frame:pt ~writable:true ~user:true);
+      pt
+    end
+  in
+  let pte_addr = pt + (4 * Mmu.table_index vaddr) in
+  let old = Phys_mem.read_u32 t.mem pte_addr in
+  if not (Mmu.is_present old) then t.live <- t.live + 1;
+  Phys_mem.write_u32 t.mem pte_addr (Mmu.make_pte ~frame ~writable ~user);
+  t.fills <- t.fills + 1
+
+let unmap t ~vaddr =
+  let pde_addr = t.pd + (4 * Mmu.dir_index vaddr) in
+  let pde = Phys_mem.read_u32 t.mem pde_addr in
+  if Mmu.is_present pde then begin
+    let pte_addr = Mmu.frame_of pde + (4 * Mmu.table_index vaddr) in
+    if Mmu.is_present (Phys_mem.read_u32 t.mem pte_addr) then begin
+      Phys_mem.write_u32 t.mem pte_addr 0;
+      t.live <- t.live - 1
+    end
+  end
+
+let mappings t = t.live
+let fills t = t.fills

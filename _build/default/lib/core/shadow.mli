@@ -1,0 +1,41 @@
+(** Shadow page tables.
+
+    The CPU's real page-table base always points here while the guest runs;
+    guest-visible translations are copied in lazily (on real page faults)
+    from the guest's own tables, after the monitor has verified that the
+    target frame belongs to the guest.  Monitor frames are never mapped, so
+    no guest ring can touch them — the three-level protection of the
+    paper.
+
+    Tables are carved from the monitor's physical arena by a bump
+    allocator; [clear] recycles everything (used when the guest reloads its
+    page-table base or flushes its TLB). *)
+
+type t
+
+exception Out_of_shadow_memory
+
+(** [create ~mem ~layout ()] initializes an empty page directory. *)
+val create : mem:Vmm_hw.Phys_mem.t -> layout:Vm_layout.t -> unit -> t
+
+(** [root t] — physical address of the shadow page directory (what the
+    real PTB holds while the guest runs). *)
+val root : t -> int
+
+(** [clear t] drops every shadow mapping (cheap: resets the arena). *)
+val clear : t -> unit
+
+(** [map t ~vaddr ~frame ~writable ~user] installs a 4 KiB translation.
+    The caller has already validated frame ownership.
+    @raise Out_of_shadow_memory when the arena is exhausted. *)
+val map : t -> vaddr:int -> frame:int -> writable:bool -> user:bool -> unit
+
+(** [unmap t ~vaddr] clears one shadow entry if present (used when the
+    guest invalidates a single page). *)
+val unmap : t -> vaddr:int -> unit
+
+(** [mappings t] — number of live leaf entries (for tests/benches). *)
+val mappings : t -> int
+
+(** [fills t] — total leaf installs since creation. *)
+val fills : t -> int

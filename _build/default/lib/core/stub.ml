@@ -1,0 +1,290 @@
+module Packet = Vmm_proto.Packet
+module Command = Vmm_proto.Command
+module Isa = Vmm_hw.Isa
+
+type target = {
+  read_registers : unit -> int array;
+  write_register : int -> int -> bool;
+  read_memory : addr:int -> len:int -> string option;
+  write_memory : addr:int -> data:string -> bool;
+  current_pc : unit -> int;
+  stop : unit -> unit;
+  resume : unit -> unit;
+  set_step : bool -> unit;
+  set_watch : addr:int -> len:int -> bool;
+  clear_watch : addr:int -> len:int -> bool;
+  read_console : unit -> string;
+  read_profile : unit -> (int * int) list;
+  send_byte : int -> unit;
+  charge : int -> unit;
+}
+
+type run_state =
+  | Running
+  | Stopped of Command.stop_reason
+  | Step_over of int  (** stepping off a breakpoint, then keep running *)
+  | Client_step of int option  (** host-requested step; re-patch addr after *)
+
+type t = {
+  target : target;
+  dispatch_cost : int;
+  decoder : Packet.decoder;
+  breakpoints : Breakpoints.t;
+  mutable state : run_state;
+  mutable commands : int;
+  mutable notifications : int;
+  mutable last_tx : string option;  (** last framed packet, for NAK *)
+  mutable retransmissions : int;
+}
+
+let brk_bytes = Bytes.to_string (Isa.encode Isa.Brk)
+
+let create ~target ~dispatch_cost () =
+  {
+    target;
+    dispatch_cost;
+    decoder = Packet.decoder ();
+    breakpoints = Breakpoints.create ();
+    state = Running;
+    commands = 0;
+    notifications = 0;
+    last_tx = None;
+    retransmissions = 0;
+  }
+
+let send_raw t s = String.iter (fun c -> t.target.send_byte (Char.code c)) s
+
+let send_reply t reply =
+  let framed = Packet.frame (Command.reply_to_wire reply) in
+  t.last_tx <- Some framed;
+  send_raw t framed
+
+let notify t reason =
+  t.notifications <- t.notifications + 1;
+  send_reply t (Command.Stopped reason)
+
+let stop_with t reason =
+  t.target.stop ();
+  t.state <- Stopped reason
+
+(* Breakpoint patching. *)
+
+let patch_brk t addr =
+  match t.target.read_memory ~addr ~len:Isa.width with
+  | None -> false
+  | Some saved ->
+    if Breakpoints.add t.breakpoints ~addr ~saved then
+      t.target.write_memory ~addr ~data:brk_bytes
+    else true (* already present: idempotent *)
+
+let unpatch_brk t addr =
+  match Breakpoints.remove t.breakpoints ~addr with
+  | Some saved -> ignore (t.target.write_memory ~addr ~data:saved)
+  | None -> ()
+
+(* Make patches invisible: splice saved bytes into data read from memory. *)
+let splice_saved t ~addr ~len data =
+  let buf = Bytes.of_string data in
+  List.iter
+    (fun bp_addr ->
+      match Breakpoints.saved_at t.breakpoints ~addr:bp_addr with
+      | None -> ()
+      | Some saved ->
+        for i = 0 to String.length saved - 1 do
+          let pos = bp_addr + i - addr in
+          if pos >= 0 && pos < len then Bytes.set buf pos saved.[i]
+        done)
+    (Breakpoints.addresses t.breakpoints);
+  Bytes.to_string buf
+
+(* Writes that overlap a patch update the saved copy, not the BRK bytes. *)
+let write_memory_spliced t ~addr ~data =
+  let len = String.length data in
+  let bps = Breakpoints.addresses t.breakpoints in
+  let overlapping =
+    List.filter
+      (fun a -> a + Isa.width > addr && a < addr + len)
+      bps
+  in
+  if overlapping = [] then t.target.write_memory ~addr ~data
+  else begin
+    (* Write through, then restore the BRKs with refreshed saved bytes. *)
+    let ok = ref (t.target.write_memory ~addr ~data) in
+    List.iter
+      (fun bp_addr ->
+        match Breakpoints.remove t.breakpoints ~addr:bp_addr with
+        | None -> ()
+        | Some old_saved ->
+          let saved = Bytes.of_string old_saved in
+          for i = 0 to Bytes.length saved - 1 do
+            let pos = bp_addr + i - addr in
+            if pos >= 0 && pos < len then Bytes.set saved pos data.[pos]
+          done;
+          ignore
+            (Breakpoints.add t.breakpoints ~addr:bp_addr
+               ~saved:(Bytes.to_string saved));
+          if not (t.target.write_memory ~addr:bp_addr ~data:brk_bytes) then
+            ok := false)
+      overlapping;
+    !ok
+  end
+
+(* Resuming. *)
+
+let continue_guest t =
+  let pc = t.target.current_pc () in
+  if Breakpoints.mem t.breakpoints ~addr:pc then begin
+    (* Step across the patched instruction, then re-insert it. *)
+    unpatch_brk t pc;
+    t.target.set_step true;
+    t.state <- Step_over pc
+  end
+  else t.state <- Running;
+  t.target.resume ()
+
+let step_guest t =
+  let pc = t.target.current_pc () in
+  let repatch =
+    if Breakpoints.mem t.breakpoints ~addr:pc then begin
+      unpatch_brk t pc;
+      Some pc
+    end
+    else None
+  in
+  t.target.set_step true;
+  t.state <- Client_step repatch;
+  t.target.resume ()
+
+(* Command dispatch. *)
+
+let handle_command t command =
+  t.commands <- t.commands + 1;
+  t.target.charge t.dispatch_cost;
+  match command with
+  | Command.Read_registers ->
+    send_reply t (Command.Registers (t.target.read_registers ()))
+  | Command.Write_register (idx, v) ->
+    if t.target.write_register idx v then send_reply t Command.Ok_reply
+    else send_reply t (Command.Error 0x01)
+  | Command.Read_memory { addr; len } ->
+    (match t.target.read_memory ~addr ~len with
+     | Some data ->
+       send_reply t (Command.Memory (splice_saved t ~addr ~len data))
+     | None -> send_reply t (Command.Error 0x0E))
+  | Command.Write_memory { addr; data } ->
+    if write_memory_spliced t ~addr ~data then send_reply t Command.Ok_reply
+    else send_reply t (Command.Error 0x0E)
+  | Command.Insert_breakpoint addr ->
+    if patch_brk t addr then send_reply t Command.Ok_reply
+    else send_reply t (Command.Error 0x0E)
+  | Command.Remove_breakpoint addr ->
+    unpatch_brk t addr;
+    send_reply t Command.Ok_reply
+  | Command.Insert_watchpoint { addr; len } ->
+    if t.target.set_watch ~addr ~len then send_reply t Command.Ok_reply
+    else send_reply t (Command.Error 0x0E)
+  | Command.Remove_watchpoint { addr; len } ->
+    if t.target.clear_watch ~addr ~len then send_reply t Command.Ok_reply
+    else send_reply t (Command.Error 0x0E)
+  | Command.Continue ->
+    (match t.state with
+     | Stopped _ -> continue_guest t
+     | Running | Step_over _ | Client_step _ -> ())
+  | Command.Step ->
+    (match t.state with
+     | Stopped _ -> step_guest t
+     | Running | Step_over _ | Client_step _ ->
+       send_reply t (Command.Error 0x02))
+  | Command.Halt ->
+    (match t.state with
+     | Stopped reason -> notify t reason
+     | Running | Step_over _ | Client_step _ ->
+       let pc = t.target.current_pc () in
+       t.target.set_step false;
+       stop_with t (Command.Halt_requested pc);
+       notify t (Command.Halt_requested pc))
+  | Command.Read_console ->
+    send_reply t (Command.Memory (t.target.read_console ()))
+  | Command.Read_profile ->
+    (* textual payload: "pc,count;pc,count;..." in hex *)
+    let text =
+      String.concat ";"
+        (List.map
+           (fun (pc, count) -> Printf.sprintf "%x,%x" pc count)
+           (t.target.read_profile ()))
+    in
+    send_reply t (Command.Memory text)
+  | Command.Query_stop ->
+    (match t.state with
+     | Stopped reason -> send_reply t (Command.Stopped reason)
+     | Running | Step_over _ | Client_step _ -> send_reply t Command.Running)
+  | Command.Detach ->
+    List.iter
+      (fun (addr, saved) -> ignore (t.target.write_memory ~addr ~data:saved))
+      (Breakpoints.clear t.breakpoints);
+    (match t.state with
+     | Stopped _ ->
+       t.state <- Running;
+       t.target.resume ()
+     | Running | Step_over _ | Client_step _ -> ());
+    send_reply t Command.Ok_reply
+
+let on_rx_byte t byte =
+  match Packet.feed t.decoder byte with
+  | None -> ()
+  | Some Packet.Ack -> ()
+  | Some Packet.Nak ->
+    (* the host saw a corrupted reply: retransmit the last packet *)
+    (match t.last_tx with
+     | Some framed ->
+       t.retransmissions <- t.retransmissions + 1;
+       send_raw t framed
+     | None -> ())
+  | Some Packet.Bad_checksum -> t.target.send_byte (Char.code Packet.nak)
+  | Some (Packet.Packet payload) ->
+    t.target.send_byte (Char.code Packet.ack);
+    (match Command.command_of_wire payload with
+     | Some command -> handle_command t command
+     | None -> send_reply t Command.Unsupported)
+
+(* Events from the guest side. *)
+
+let on_breakpoint t ~pc =
+  t.target.set_step false;
+  stop_with t (Command.Break pc);
+  notify t (Command.Break pc)
+
+let on_step_trap t ~pc =
+  match t.state with
+  | Step_over bp_addr ->
+    ignore (patch_brk t bp_addr);
+    t.target.set_step false;
+    t.state <- Running
+  | Client_step repatch ->
+    (match repatch with
+     | Some addr -> ignore (patch_brk t addr)
+     | None -> ());
+    t.target.set_step false;
+    stop_with t (Command.Step_done pc);
+    notify t (Command.Step_done pc)
+  | Running | Stopped _ ->
+    (* The guest set its own trap flag; surface it like a breakpoint. *)
+    t.target.set_step false;
+    stop_with t (Command.Step_done pc);
+    notify t (Command.Step_done pc)
+
+let on_watchpoint t ~pc ~addr =
+  t.target.set_step false;
+  stop_with t (Command.Watch_hit { pc; addr });
+  notify t (Command.Watch_hit { pc; addr })
+
+let on_guest_fault t ~vector ~pc =
+  t.target.set_step false;
+  stop_with t (Command.Faulted { vector; pc });
+  notify t (Command.Faulted { vector; pc })
+
+let stopped t = match t.state with Stopped _ -> true | Running | Step_over _ | Client_step _ -> false
+let retransmissions t = t.retransmissions
+let breakpoints t = t.breakpoints
+let commands_handled t = t.commands
+let notifications_sent t = t.notifications

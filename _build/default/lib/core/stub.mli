@@ -1,0 +1,69 @@
+(** The monitor's remote-debugging function ("stub").
+
+    Lives inside the monitor, owns the communication device, speaks the
+    {!Vmm_proto} protocol with the host debugger, and controls the guest
+    through a narrow {!target} interface: registers, memory, stop/resume
+    and the single-step flag.  Breakpoints are implemented by patching the
+    guest's instruction with BRK and remembering the original bytes; the
+    stub makes the patch invisible to memory reads and steps across it on
+    continue. *)
+
+(** What the stub needs from the monitor/machine. *)
+type target = {
+  read_registers : unit -> int array;
+      (** 18 guest-visible words: r0-r15, pc, flags *)
+  write_register : int -> int -> bool;
+  read_memory : addr:int -> len:int -> string option;
+      (** guest-virtual addressing; [None] when unmapped *)
+  write_memory : addr:int -> data:string -> bool;
+  current_pc : unit -> int;
+  stop : unit -> unit;  (** freeze guest execution *)
+  resume : unit -> unit;
+  set_step : bool -> unit;  (** guest trap flag *)
+  set_watch : addr:int -> len:int -> bool;
+      (** install a write watchpoint (shadow-page protection) *)
+  clear_watch : addr:int -> len:int -> bool;
+  read_console : unit -> string;
+      (** drain the guest's console output captured by the monitor *)
+  read_profile : unit -> (int * int) list;
+      (** the monitor's pc-sampling histogram, hottest first *)
+  send_byte : int -> unit;  (** transmit on the debug link *)
+  charge : int -> unit;  (** book monitor cycles *)
+}
+
+type t
+
+(** [create ~target ~dispatch_cost ()] — [dispatch_cost] cycles are charged
+    per decoded command. *)
+val create : target:target -> dispatch_cost:int -> unit -> t
+
+(** {2 Events from the monitor} *)
+
+(** [on_rx_byte t byte] — a byte arrived on the debug link. *)
+val on_rx_byte : t -> int -> unit
+
+(** [on_breakpoint t ~pc] — the guest executed BRK. *)
+val on_breakpoint : t -> pc:int -> unit
+
+(** [on_step_trap t ~pc] — the guest retired a single-stepped
+    instruction. *)
+val on_step_trap : t -> pc:int -> unit
+
+(** [on_watchpoint t ~pc ~addr] — a guest store hit a watched range;
+    the guest is already frozen by the monitor's page protection. *)
+val on_watchpoint : t -> pc:int -> addr:int -> unit
+
+(** [on_guest_fault t ~vector ~pc] — the monitor gave up on a guest fault
+    (e.g. triple fault); the guest is stopped and the host notified — the
+    paper's stability property in action. *)
+val on_guest_fault : t -> vector:int -> pc:int -> unit
+
+(** {2 State} *)
+
+val stopped : t -> bool
+val breakpoints : t -> Breakpoints.t
+val commands_handled : t -> int
+val notifications_sent : t -> int
+
+(** [retransmissions t] — replies resent after a host NAK (noisy wire). *)
+val retransmissions : t -> int

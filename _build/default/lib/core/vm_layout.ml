@@ -1,0 +1,22 @@
+type t = {
+  mem_size : int;
+  monitor_base : int;
+  shadow_base : int;
+  shadow_size : int;
+}
+
+let mib = 1024 * 1024
+
+let default ~mem_size =
+  if mem_size < 8 * mib then invalid_arg "Vm_layout.default: memory < 8 MiB";
+  let reserve = max (2 * mib) (mem_size / 4) in
+  let monitor_base = (mem_size - reserve) land lnot 0xFFF in
+  (* The first 64 KiB of the monitor region is private (monitor code and
+     data in a real deployment); the shadow arena follows it. *)
+  let shadow_base = monitor_base + 0x10000 in
+  { mem_size; monitor_base; shadow_base; shadow_size = mem_size - shadow_base }
+
+let guest_owns t paddr = paddr >= 0 && paddr < t.monitor_base
+
+let guest_range_ok t ~addr ~len =
+  len >= 0 && guest_owns t addr && (len = 0 || guest_owns t (addr + len - 1))

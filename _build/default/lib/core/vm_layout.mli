@@ -1,0 +1,26 @@
+(** Physical-memory layout under the lightweight monitor.
+
+    The monitor reserves the top of physical memory for itself (shadow page
+    tables and bookkeeping); everything below is the guest's.  Protection
+    comes from the shadow tables simply never mapping monitor frames — the
+    paper's "lightweight mechanism protecting memory regions": the guest OS
+    and its applications cannot name monitor memory at all. *)
+
+type t = {
+  mem_size : int;
+  monitor_base : int;  (** first byte owned by the monitor *)
+  shadow_base : int;  (** shadow page-table arena *)
+  shadow_size : int;
+}
+
+(** [default ~mem_size] reserves the top quarter (at least 2 MiB) for the
+    monitor: 64 KiB of private monitor memory followed by the shadow
+    arena.
+    @raise Invalid_argument when memory is too small (< 8 MiB). *)
+val default : mem_size:int -> t
+
+(** [guest_owns t paddr] — may the guest map/touch this physical address? *)
+val guest_owns : t -> int -> bool
+
+(** [guest_range_ok t ~addr ~len] checks a whole physical range. *)
+val guest_range_ok : t -> addr:int -> len:int -> bool

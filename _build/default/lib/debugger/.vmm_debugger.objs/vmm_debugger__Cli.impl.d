@@ -1,0 +1,1 @@
+lib/debugger/cli.ml: Array Buffer Bytes Char List Option Printf Session String Symbols Vmm_hw Vmm_proto

@@ -1,0 +1,1 @@
+lib/debugger/cli.mli: Session Symbols

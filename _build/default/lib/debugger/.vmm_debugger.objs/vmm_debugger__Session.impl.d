@@ -1,0 +1,1 @@
+lib/debugger/session.ml: Char Int64 List Queue String Vmm_hw Vmm_proto

@@ -1,0 +1,1 @@
+lib/debugger/session.mli: Vmm_hw Vmm_proto

@@ -1,0 +1,1 @@
+lib/debugger/symbols.ml: Array Hashtbl List Printf Vmm_hw

@@ -1,0 +1,1 @@
+lib/debugger/symbols.mli: Vmm_hw

@@ -1,0 +1,26 @@
+(** Debugger command language — the user-facing layer of the host
+    debugger.
+
+    Commands accept symbolic or hex addresses:
+    - [regs] — dump registers
+    - [reg <n> <value>] — set a register
+    - [x <addr> <len>] — hex dump of target memory
+    - [w <addr> <hexbytes>] — write target memory
+    - [disas <addr> <count>] — disassemble
+    - [break <addr>] / [delete <addr>] — breakpoints
+    - [continue] / [step] / [halt] / [status] / [wait] — execution control
+    - [symbols] — list known labels
+    - [help] *)
+
+type t
+
+val create : session:Session.t -> symbols:Symbols.t -> t
+
+(** [execute t line] runs one command and returns its output text
+    (possibly multi-line, no trailing newline). Unknown commands return a
+    usage hint. *)
+val execute : t -> string -> string
+
+(** [parse_address t token] resolves a symbol name, [label+off] or
+    0x-hex/decimal literal. *)
+val parse_address : t -> string -> int option

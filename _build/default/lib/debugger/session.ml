@@ -1,0 +1,199 @@
+module Machine = Vmm_hw.Machine
+module Uart = Vmm_hw.Uart
+module Costs = Vmm_hw.Costs
+module Packet = Vmm_proto.Packet
+module Command = Vmm_proto.Command
+
+type t = {
+  machine : Machine.t;
+  decoder : Packet.decoder;
+  replies : string Queue.t;  (** raw non-stop payloads *)
+  stops : Command.stop_reason Queue.t;
+  mutable sent : int;
+  mutable received : int;
+  mutable last_latency_s : float;
+  mutable last_tx : string option;  (** last framed command, for NAK *)
+  mutable retransmissions : int;
+}
+
+let default_timeout_s = 5.0
+
+let is_stop_payload payload = String.length payload >= 3 && payload.[0] = 'T'
+
+let attach machine =
+  let t =
+    {
+      machine;
+      decoder = Packet.decoder ();
+      replies = Queue.create ();
+      stops = Queue.create ();
+      sent = 0;
+      received = 0;
+      last_latency_s = 0.0;
+      last_tx = None;
+      retransmissions = 0;
+    }
+  in
+  Uart.set_on_tx (Machine.uart machine) (fun byte ->
+      match Packet.feed t.decoder byte with
+      | Some (Packet.Packet payload) ->
+        t.received <- t.received + 1;
+        if is_stop_payload payload then begin
+          match Command.reply_of_wire payload with
+          | Some (Command.Stopped reason) -> Queue.add reason t.stops
+          | Some _ | None -> Queue.add payload t.replies
+        end
+        else Queue.add payload t.replies
+      | Some Packet.Bad_checksum ->
+        (* corrupted reply: ask the stub to retransmit *)
+        Uart.inject_rx (Machine.uart machine) (Char.code Packet.nak)
+      | Some Packet.Nak ->
+        (* the stub saw a corrupted command: resend it *)
+        (match t.last_tx with
+         | Some framed ->
+           t.retransmissions <- t.retransmissions + 1;
+           String.iter
+             (fun c -> Uart.inject_rx (Machine.uart machine) (Char.code c))
+             framed
+         | None -> ())
+      | Some Packet.Ack | None -> ());
+  t
+
+let send t command =
+  t.sent <- t.sent + 1;
+  let wire = Packet.frame (Command.command_to_wire command) in
+  t.last_tx <- Some wire;
+  String.iter
+    (fun c -> Uart.inject_rx (Machine.uart t.machine) (Char.code c))
+    wire
+
+(* Pump the shared simulation in slices until [ready] or timeout.  The
+   slice bounds the latency-measurement quantization, not correctness. *)
+let pump_until t ~timeout_s ready =
+  let slice = 0.0005 in
+  let rec go budget =
+    if ready () then true
+    else if budget <= 0.0 then false
+    else begin
+      Machine.run_seconds t.machine slice;
+      go (budget -. slice)
+    end
+  in
+  go timeout_s
+
+let transact ?(timeout_s = default_timeout_s) t command =
+  let start = Machine.now t.machine in
+  send t command;
+  let got = pump_until t ~timeout_s (fun () -> not (Queue.is_empty t.replies)) in
+  let costs = Machine.costs t.machine in
+  t.last_latency_s <-
+    Costs.seconds_of_cycles costs (Int64.sub (Machine.now t.machine) start);
+  if got then Some (Queue.pop t.replies) else None
+
+let read_registers ?timeout_s t =
+  match transact ?timeout_s t Command.Read_registers with
+  | Some payload ->
+    (match Command.reply_of_wire payload with
+     | Some (Command.Registers regs) -> Some regs
+     | Some _ | None -> None)
+  | None -> None
+
+let expect_ok ?timeout_s t command =
+  match transact ?timeout_s t command with
+  | Some "OK" -> true
+  | Some _ | None -> false
+
+let write_register ?timeout_s t idx v =
+  expect_ok ?timeout_s t (Command.Write_register (idx, v))
+
+let read_memory ?timeout_s t ~addr ~len =
+  match transact ?timeout_s t (Command.Read_memory { addr; len }) with
+  | Some payload ->
+    if String.length payload = 3 && payload.[0] = 'E' then None
+    else Packet.of_hex payload
+  | None -> None
+
+let write_memory ?timeout_s t ~addr ~data =
+  expect_ok ?timeout_s t (Command.Write_memory { addr; data })
+
+let insert_breakpoint ?timeout_s t addr =
+  expect_ok ?timeout_s t (Command.Insert_breakpoint addr)
+
+let remove_breakpoint ?timeout_s t addr =
+  expect_ok ?timeout_s t (Command.Remove_breakpoint addr)
+
+let read_console ?timeout_s t =
+  match transact ?timeout_s t Command.Read_console with
+  | Some payload -> Packet.of_hex payload
+  | None -> None
+
+let read_profile ?timeout_s t =
+  match transact ?timeout_s t Command.Read_profile with
+  | Some payload ->
+    (match Packet.of_hex payload with
+     | Some text ->
+       let parse_pair pair =
+         match String.split_on_char ',' pair with
+         | [ pc; count ] ->
+           (match (Packet.int_of_hex pc, Packet.int_of_hex count) with
+            | Some pc, Some count -> Some (pc, count)
+            | _ -> None)
+         | _ -> None
+       in
+       if text = "" then Some []
+       else
+         Some (List.filter_map parse_pair (String.split_on_char ';' text))
+     | None -> None)
+  | None -> None
+
+let insert_watchpoint ?timeout_s t ~addr ~len =
+  expect_ok ?timeout_s t (Command.Insert_watchpoint { addr; len })
+
+let remove_watchpoint ?timeout_s t ~addr ~len =
+  expect_ok ?timeout_s t (Command.Remove_watchpoint { addr; len })
+
+(* Stop replies to '?' land in the stop queue like asynchronous
+   notifications; a query therefore waits for either queue. *)
+let query_raw ?(timeout_s = default_timeout_s) t =
+  send t Command.Query_stop;
+  let ready () =
+    (not (Queue.is_empty t.replies)) || not (Queue.is_empty t.stops)
+  in
+  if pump_until t ~timeout_s ready then
+    match Queue.take_opt t.stops with
+    | Some reason -> Some (Error reason)
+    | None -> Some (Ok (Queue.pop t.replies))
+  else None
+
+let query ?timeout_s t =
+  match query_raw ?timeout_s t with
+  | Some (Error reason) -> Some reason
+  | Some (Ok _) | None -> None
+
+let is_running ?timeout_s t =
+  match query_raw ?timeout_s t with
+  | Some (Ok "R") -> Some true
+  | Some (Error _) -> Some false
+  | Some (Ok _) | None -> None
+
+let wait_stop ?(timeout_s = default_timeout_s) t =
+  let got = pump_until t ~timeout_s (fun () -> not (Queue.is_empty t.stops)) in
+  if got then Some (Queue.pop t.stops) else None
+
+let continue_ t = send t Command.Continue
+
+let step ?timeout_s t =
+  send t Command.Step;
+  wait_stop ?timeout_s t
+
+let halt ?timeout_s t =
+  send t Command.Halt;
+  wait_stop ?timeout_s t
+
+let detach ?timeout_s t = expect_ok ?timeout_s t Command.Detach
+
+let pending_stop t = Queue.take_opt t.stops
+let retransmissions t = t.retransmissions
+let packets_sent t = t.sent
+let packets_received t = t.received
+let last_latency_s t = t.last_latency_s

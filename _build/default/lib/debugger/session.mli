@@ -1,0 +1,80 @@
+(** The host-side remote debugger session.
+
+    Runs on the "host machine" of Fig 2.1: it owns the host end of the
+    serial wire and exchanges protocol packets with the target's debug
+    stub.  Because host and target share one simulation clock, every
+    blocking call pumps the target machine forward in small slices until
+    the reply (or a stop notification) arrives — the measured command
+    latencies therefore include real wire serialization time. *)
+
+type t
+
+(** [attach machine] wires the session to the machine's UART (host side).
+    Only one session (or host harness) can own the UART at a time. *)
+val attach : Vmm_hw.Machine.t -> t
+
+(** Simulated seconds a blocking call will pump before giving up. *)
+val default_timeout_s : float
+
+(** {2 Synchronous commands} *)
+
+val read_registers : ?timeout_s:float -> t -> int array option
+val write_register : ?timeout_s:float -> t -> int -> int -> bool
+val read_memory : ?timeout_s:float -> t -> addr:int -> len:int -> string option
+val write_memory : ?timeout_s:float -> t -> addr:int -> data:string -> bool
+val insert_breakpoint : ?timeout_s:float -> t -> int -> bool
+val remove_breakpoint : ?timeout_s:float -> t -> int -> bool
+
+(** [read_console t] drains the guest's console output (text written via
+    the console hypercall or the virtualized serial port). *)
+val read_console : ?timeout_s:float -> t -> string option
+
+(** [read_profile t] — the monitor's pc-sampling profile as (pc, hits),
+    hottest first. *)
+val read_profile : ?timeout_s:float -> t -> (int * int) list option
+
+(** Write watchpoints: the target stops when the guest stores into
+    [addr, addr+len). *)
+val insert_watchpoint : ?timeout_s:float -> t -> addr:int -> len:int -> bool
+
+val remove_watchpoint : ?timeout_s:float -> t -> addr:int -> len:int -> bool
+
+(** [query ?timeout_s t] — [Some reason] when stopped, [None] when the
+    target reports running (or no answer arrived). *)
+val query : ?timeout_s:float -> t -> Vmm_proto.Command.stop_reason option
+
+(** [is_running ?timeout_s t] — explicit three-way wrapper over [?]. *)
+val is_running : ?timeout_s:float -> t -> bool option
+
+(** {2 Execution control} *)
+
+(** [continue_ t] resumes the target; returns immediately. *)
+val continue_ : t -> unit
+
+(** [step ?timeout_s t] single-steps and waits for the stop report. *)
+val step : ?timeout_s:float -> t -> Vmm_proto.Command.stop_reason option
+
+(** [halt ?timeout_s t] stops the target and waits for the report. *)
+val halt : ?timeout_s:float -> t -> Vmm_proto.Command.stop_reason option
+
+(** [wait_stop ?timeout_s t] pumps until the target reports a stop
+    (breakpoint hit, fault, ...). *)
+val wait_stop : ?timeout_s:float -> t -> Vmm_proto.Command.stop_reason option
+
+(** [detach ?timeout_s t] removes target breakpoints and resumes. *)
+val detach : ?timeout_s:float -> t -> bool
+
+(** {2 Introspection} *)
+
+(** [pending_stop t] — a stop notification that arrived unsolicited. *)
+val pending_stop : t -> Vmm_proto.Command.stop_reason option
+
+val packets_sent : t -> int
+val packets_received : t -> int
+
+(** [retransmissions t] — commands resent after a target NAK. *)
+val retransmissions : t -> int
+
+(** [last_latency_s t] — simulated seconds between the last command's
+    transmission and its reply (E5 measures this under load). *)
+val last_latency_s : t -> float

@@ -1,0 +1,29 @@
+type t = { by_name : (string, int) Hashtbl.t; sorted : (string * int) array }
+
+let of_program (p : Vmm_hw.Asm.program) =
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun (name, addr) -> Hashtbl.replace by_name name addr) p.Vmm_hw.Asm.symbols;
+  let sorted = Array.of_list p.Vmm_hw.Asm.symbols in
+  Array.sort (fun (_, a) (_, b) -> compare a b) sorted;
+  { by_name; sorted }
+
+let address t name = Hashtbl.find_opt t.by_name name
+
+let nearest t addr =
+  let rec search lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      let _, a = t.sorted.(mid) in
+      if a <= addr then search (mid + 1) hi (Some t.sorted.(mid))
+      else search lo (mid - 1) best
+  in
+  search 0 (Array.length t.sorted - 1) None
+
+let format_addr t addr =
+  match nearest t addr with
+  | Some (name, base) when addr = base -> Printf.sprintf "%s (0x%x)" name addr
+  | Some (name, base) -> Printf.sprintf "%s+0x%x (0x%x)" name (addr - base) addr
+  | None -> Printf.sprintf "0x%x" addr
+
+let all t = Array.to_list t.sorted

@@ -1,0 +1,18 @@
+(** Symbol table for the host debugger, built from an assembled guest
+    image. *)
+
+type t
+
+val of_program : Vmm_hw.Asm.program -> t
+
+(** [address t name] — the label's absolute address. *)
+val address : t -> string -> int option
+
+(** [nearest t addr] — the closest label at or below [addr], with the
+    offset from it; [None] below the first symbol. *)
+val nearest : t -> int -> (string * int) option
+
+(** [format_addr t addr] — ["label+0x10 (0x1234)"] style rendering. *)
+val format_addr : t -> int -> string
+
+val all : t -> (string * int) list

@@ -1,0 +1,1 @@
+lib/guest/kernel.ml: Bytes List Netfmt Printf Vmm_hw

@@ -1,0 +1,1 @@
+lib/guest/kernel.mli: Vmm_hw

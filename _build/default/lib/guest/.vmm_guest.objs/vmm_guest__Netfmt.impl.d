@@ -1,0 +1,1 @@
+lib/guest/netfmt.ml: Bytes Char String

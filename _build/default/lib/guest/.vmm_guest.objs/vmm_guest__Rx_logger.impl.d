@@ -1,0 +1,1 @@
+lib/guest/rx_logger.ml: List Netfmt Vmm_hw

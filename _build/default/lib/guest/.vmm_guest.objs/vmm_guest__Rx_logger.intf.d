@@ -1,0 +1,1 @@
+lib/guest/rx_logger.mli: Vmm_hw

@@ -1,0 +1,56 @@
+(** The HiTactix-like guest RTOS.
+
+    A small interrupt-driven kernel, written in LWM-32 assembly through the
+    {!Vmm_hw.Asm} eDSL, that implements the paper's evaluation workload:
+    read segments from the SCSI disks at a constant rate (timer-paced,
+    round-robin across targets), split each segment into MTU-sized UDP
+    packets and transmit them on the gigabit NIC.  The {e same binary} runs
+    on bare hardware (ring 0, real devices), under the lightweight monitor
+    (deprivileged, PIC/PIT emulated, SCSI/NIC direct) and under the hosted
+    full VMM (everything emulated) — exactly the comparison of Fig 3.1.
+
+    The kernel keeps its statistics in a fixed counter block that the host
+    harness reads from guest memory. *)
+
+type config = {
+  rate_mbps : float;  (** aggregate target transfer rate; 0 = idle *)
+  segment_bytes : int;  (** per-disk read size, <= 512 KiB *)
+  payload_bytes : int;  (** UDP payload per frame, <= 1458 *)
+  disks : int;  (** SCSI targets used, 1-3 *)
+  user_mode : bool;
+      (** run the streaming application at ring 3: the kernel builds
+          identity page tables with per-region user bits, enables paging,
+          and the app packetizes in user space, crossing into the kernel
+          through wait-segment and send system calls — the full
+          application / OS / monitor protection stack of the paper *)
+}
+
+(** The paper's setup: three disks, 64 KiB segments, full-MTU packets. *)
+val default_config : rate_mbps:float -> config
+
+(** Entry point address of the built image. *)
+val entry : int
+
+(** [build config] assembles the kernel.
+    @raise Invalid_argument on out-of-range config values. *)
+val build : config -> Vmm_hw.Asm.program
+
+(** {2 Counters} *)
+
+type counters = {
+  ticks : int;  (** timer interrupts serviced *)
+  segments_issued : int;
+  segments_done : int;
+  frames_sent : int;
+  bytes_sent : int;  (** payload bytes handed to the NIC *)
+  reads_skipped : int;  (** pacing ticks that found the disk still busy *)
+  nic_full_spins : int;  (** transmit-ring backpressure iterations *)
+  tx_acked : int;
+}
+
+(** [read_counters mem program] snapshots the guest's counter block. *)
+val read_counters : Vmm_hw.Phys_mem.t -> Vmm_hw.Asm.program -> counters
+
+(** [interesting_symbols] — labels a debugger user would set breakpoints
+    on, with a short description. *)
+val interesting_symbols : (string * string) list

@@ -1,0 +1,114 @@
+let header_bytes = 42
+let off_ethertype = 12
+let off_ip_total_len = 16
+let off_ip_id = 18
+let off_ip_proto = 23
+let off_udp_len = 38
+let off_udp_checksum = 40
+let off_payload = 42
+
+type endpoint = {
+  mac : string;
+  ip : string;
+  port : int;
+}
+
+let default_source =
+  { mac = "\x02\x00\x00\x0A\x00\x01"; ip = "\x0A\x00\x00\x01"; port = 9000 }
+
+let default_destination =
+  { mac = "\x02\x00\x00\x0A\x00\x02"; ip = "\x0A\x00\x00\x02"; port = 9001 }
+
+let be16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let get_be16 b off =
+  (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let header_template ~src ~dst =
+  if String.length src.mac <> 6 || String.length dst.mac <> 6 then
+    invalid_arg "Netfmt.header_template: mac must be 6 bytes";
+  if String.length src.ip <> 4 || String.length dst.ip <> 4 then
+    invalid_arg "Netfmt.header_template: ip must be 4 bytes";
+  let buf = Bytes.make header_bytes '\000' in
+  Bytes.blit_string dst.mac 0 buf 0 6;
+  Bytes.blit_string src.mac 0 buf 6 6;
+  be16 buf off_ethertype 0x0800;
+  (* IPv4: version 4, header length 5 words *)
+  Bytes.set buf 14 '\x45';
+  Bytes.set buf 22 '\x40' (* ttl 64 *);
+  Bytes.set buf off_ip_proto '\x11' (* UDP *);
+  Bytes.blit_string src.ip 0 buf 26 4;
+  Bytes.blit_string dst.ip 0 buf 30 4;
+  be16 buf 34 src.port;
+  be16 buf 36 dst.port;
+  Bytes.to_string buf
+
+(* Internet checksum with the same little-endian byte pairing the CSUM
+   instruction uses. *)
+let payload_checksum payload =
+  let sum = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i land 1 = 0 then sum := !sum + Char.code c
+      else sum := !sum + (Char.code c lsl 8))
+    payload;
+  let s = ref !sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+let build ~payload ~ip_id =
+  let header = header_template ~src:default_source ~dst:default_destination in
+  let buf = Bytes.of_string (header ^ payload) in
+  be16 buf off_ip_total_len (String.length payload + 28);
+  be16 buf off_ip_id ip_id;
+  be16 buf off_udp_len (String.length payload + 8);
+  be16 buf off_udp_checksum (payload_checksum payload);
+  buf
+
+type frame = {
+  src : endpoint;
+  dst : endpoint;
+  ip_id : int;
+  payload : string;
+  udp_checksum : int;
+}
+
+let parse b =
+  if Bytes.length b < header_bytes then None
+  else if get_be16 b off_ethertype <> 0x0800 then None
+  else if Char.code (Bytes.get b 14) <> 0x45 then None
+  else if Char.code (Bytes.get b off_ip_proto) <> 0x11 then None
+  else begin
+    let total_len = get_be16 b off_ip_total_len in
+    let udp_len = get_be16 b off_udp_len in
+    if total_len <> Bytes.length b - 14 then None
+    else if udp_len <> total_len - 20 then None
+    else begin
+      let payload_len = udp_len - 8 in
+      let src =
+        {
+          mac = Bytes.sub_string b 6 6;
+          ip = Bytes.sub_string b 26 4;
+          port = get_be16 b 34;
+        }
+      and dst =
+        {
+          mac = Bytes.sub_string b 0 6;
+          ip = Bytes.sub_string b 30 4;
+          port = get_be16 b 36;
+        }
+      in
+      Some
+        {
+          src;
+          dst;
+          ip_id = get_be16 b off_ip_id;
+          payload = Bytes.sub_string b off_payload payload_len;
+          udp_checksum = get_be16 b off_udp_checksum;
+        }
+    end
+  end

@@ -1,0 +1,58 @@
+(** Ethernet/IPv4/UDP frame layout shared between the guest's transmit
+    path and the host-side validation code.
+
+    The guest builds each frame by copying a 42-byte header template and
+    patching the length, identification and checksum fields; this module
+    generates the template and parses frames coming off the simulated
+    wire.
+
+    Simplification (documented in DESIGN.md): the UDP checksum field
+    carries the Internet checksum of the payload only (no pseudo-header),
+    big-endian.  The IP header checksum is left zero. *)
+
+val header_bytes : int
+
+(** Field offsets within the frame. *)
+val off_ethertype : int
+
+val off_ip_total_len : int
+val off_ip_id : int
+val off_ip_proto : int
+val off_udp_len : int
+val off_udp_checksum : int
+val off_payload : int
+
+type endpoint = {
+  mac : string;  (** 6 bytes *)
+  ip : string;  (** 4 bytes *)
+  port : int;
+}
+
+val default_source : endpoint
+val default_destination : endpoint
+
+(** [header_template ~src ~dst] is the 42-byte header with zero
+    length/id/checksum fields.
+    @raise Invalid_argument on malformed endpoint field sizes. *)
+val header_template : src:endpoint -> dst:endpoint -> string
+
+(** [build ~payload ~ip_id] constructs a complete wire frame (the inverse
+    of {!parse}); used by harnesses that inject traffic toward the
+    guest's receive path. *)
+val build : payload:string -> ip_id:int -> bytes
+
+type frame = {
+  src : endpoint;
+  dst : endpoint;
+  ip_id : int;
+  payload : string;
+  udp_checksum : int;
+}
+
+(** [parse b] decodes a frame from the wire; [None] when too short, not
+    IPv4/UDP, or the length fields disagree with the frame size. *)
+val parse : bytes -> frame option
+
+(** [payload_checksum payload] — the checksum value the guest should have
+    placed in the UDP checksum field. *)
+val payload_checksum : string -> int

@@ -1,0 +1,186 @@
+module Asm = Vmm_hw.Asm
+module Isa = Vmm_hw.Isa
+module Machine = Vmm_hw.Machine
+module Phys_mem = Vmm_hw.Phys_mem
+
+type config = { log_to_disk : bool }
+
+let default_config = { log_to_disk = true }
+
+let entry = 0x1000
+let stack_top = 0x80000
+let rx_buffer = 0x300000
+let log_stride_sectors = 4 (* 2 KiB per slot > any MTU payload *)
+let log_first_lba = 0
+
+(* Counter offsets. *)
+let off_rx_frames = 0
+let off_rx_valid = 4
+let off_rx_invalid = 8
+let off_rx_bytes = 12
+let off_logged = 16
+let off_log_dropped = 20
+let off_lba_cursor = 24
+
+let pic = Machine.Ports.pic
+let scsi = Machine.Ports.scsi
+let nic = Machine.Ports.nic
+
+let build config =
+  let a = Asm.create ~origin:entry () in
+
+  (* ---- boot ---- *)
+  Asm.label a "boot";
+  Asm.movi a Isa.sp (Asm.imm stack_top);
+  Asm.movi a 1 (Asm.lbl "iht");
+  Asm.liht a 1;
+  Asm.sti a;
+  Asm.label a "idle";
+  Asm.hlt a;
+  Asm.jmp a (Asm.lbl "idle");
+
+  (* ---- NIC interrupt: drain and validate received frames ---- *)
+  Asm.label a "nic_handler";
+  List.iter (Asm.push a) [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+  Asm.movi a 8 (Asm.lbl "counters");
+  Asm.label a "rx_check";
+  Asm.ini a 1 (Asm.imm (nic + 3));
+  Asm.movi a 2 (Asm.imm 8);
+  Asm.and_ a 2 1 2;
+  Asm.jz a (Asm.lbl "rx_done");
+  Asm.ini a 3 (Asm.imm (nic + 7)) (* waiting frame length *);
+  Asm.cmpi a 3 (Asm.imm 0);
+  Asm.jz a (Asm.lbl "rx_done");
+  (* DMA the frame into the staging buffer *)
+  Asm.movi a 4 (Asm.imm rx_buffer);
+  Asm.outi a (Asm.imm (nic + 6)) 4;
+  Asm.movi a 5 (Asm.imm 2);
+  Asm.outi a (Asm.imm (nic + 2)) 5;
+  (* rx_frames++, rx_bytes += length *)
+  Asm.ld a 9 8 off_rx_frames;
+  Asm.addi a 9 9 (Asm.imm 1);
+  Asm.st a 8 off_rx_frames 9;
+  Asm.ld a 9 8 off_rx_bytes;
+  Asm.add a 9 9 3;
+  Asm.st a 8 off_rx_bytes 9;
+  (* validate: need a full header, then payload checksum must match *)
+  Asm.cmpi a 3 (Asm.imm Netfmt.header_bytes);
+  Asm.jb a (Asm.lbl "rx_invalid");
+  Asm.movi a 6 (Asm.imm Netfmt.header_bytes);
+  Asm.sub a 6 3 6 (* payload length *);
+  Asm.movi a 5 (Asm.imm (rx_buffer + Netfmt.off_payload));
+  Asm.csum a 7 5 6;
+  Asm.movi a 4 (Asm.imm rx_buffer);
+  Asm.ldb a 5 4 Netfmt.off_udp_checksum;
+  Asm.movi a 9 (Asm.imm 8);
+  Asm.shl a 5 5 9;
+  Asm.ldb a 9 4 (Netfmt.off_udp_checksum + 1);
+  Asm.or_ a 5 5 9;
+  Asm.cmp a 5 7;
+  Asm.jnz a (Asm.lbl "rx_invalid");
+  Asm.ld a 9 8 off_rx_valid;
+  Asm.addi a 9 9 (Asm.imm 1);
+  Asm.st a 8 off_rx_valid 9;
+  if config.log_to_disk then begin
+    Asm.cmpi a 6 (Asm.imm 0);
+    Asm.jz a (Asm.lbl "rx_check") (* empty payload: nothing to log *);
+    (* disk 0 still busy with the previous write? *)
+    Asm.ini a 5 (Asm.imm (scsi + 5));
+    Asm.movi a 9 (Asm.imm 0x10000);
+    Asm.and_ a 5 5 9;
+    Asm.jnz a (Asm.lbl "rx_drop");
+    Asm.movi a 5 (Asm.imm 0);
+    Asm.outi a (Asm.imm scsi) 5 (* target 0 *);
+    Asm.ld a 5 8 off_lba_cursor;
+    Asm.outi a (Asm.imm (scsi + 1)) 5;
+    Asm.addi a 5 5 (Asm.imm log_stride_sectors);
+    Asm.st a 8 off_lba_cursor 5;
+    Asm.outi a (Asm.imm (scsi + 2)) 6 (* byte count = payload length *);
+    Asm.movi a 5 (Asm.imm (rx_buffer + Netfmt.off_payload));
+    Asm.outi a (Asm.imm (scsi + 3)) 5;
+    Asm.movi a 5 (Asm.imm 2);
+    Asm.outi a (Asm.imm (scsi + 4)) 5 (* write *);
+    Asm.ld a 9 8 off_logged;
+    Asm.addi a 9 9 (Asm.imm 1);
+    Asm.st a 8 off_logged 9;
+    Asm.jmp a (Asm.lbl "rx_check");
+    Asm.label a "rx_drop";
+    Asm.ld a 9 8 off_log_dropped;
+    Asm.addi a 9 9 (Asm.imm 1);
+    Asm.st a 8 off_log_dropped 9
+  end;
+  Asm.jmp a (Asm.lbl "rx_check");
+  Asm.label a "rx_invalid";
+  Asm.ld a 9 8 off_rx_invalid;
+  Asm.addi a 9 9 (Asm.imm 1);
+  Asm.st a 8 off_rx_invalid 9;
+  Asm.jmp a (Asm.lbl "rx_check");
+  Asm.label a "rx_done";
+  Asm.movi a 1 (Asm.imm 0x20);
+  Asm.outi a (Asm.imm pic) 1;
+  List.iter (Asm.pop a) [ 9; 8; 7; 6; 5; 4; 3; 2; 1 ];
+  Asm.iret a;
+
+  (* ---- SCSI completion: retire finished log writes ---- *)
+  Asm.label a "scsi_handler";
+  List.iter (Asm.push a) [ 1; 2; 3; 4 ];
+  Asm.ini a 1 (Asm.imm (scsi + 5));
+  Asm.movi a 2 (Asm.imm 0);
+  Asm.label a "scsi_ack_loop";
+  Asm.movi a 3 (Asm.imm 1);
+  Asm.shl a 3 3 2;
+  Asm.and_ a 4 1 3;
+  Asm.jz a (Asm.lbl "scsi_ack_next");
+  Asm.outi a (Asm.imm (scsi + 6)) 2;
+  Asm.label a "scsi_ack_next";
+  Asm.addi a 2 2 (Asm.imm 1);
+  Asm.cmpi a 2 (Asm.imm 3);
+  Asm.jb a (Asm.lbl "scsi_ack_loop");
+  Asm.movi a 1 (Asm.imm 0x20);
+  Asm.outi a (Asm.imm pic) 1;
+  List.iter (Asm.pop a) [ 4; 3; 2; 1 ];
+  Asm.iret a;
+
+  (* ---- data ---- *)
+  Asm.align a 8;
+  Asm.label a "counters";
+  Asm.space a 32;
+  Asm.align a 8;
+  Asm.label a "iht";
+  for v = 0 to 63 do
+    let gate =
+      if v = Isa.vec_irq_base_default + Machine.Irq.nic then Some "nic_handler"
+      else if v = Isa.vec_irq_base_default + Machine.Irq.scsi then
+        Some "scsi_handler"
+      else None
+    in
+    match gate with
+    | Some target ->
+      Asm.word a (Asm.lbl target);
+      Asm.word a (Asm.imm 1)
+    | None ->
+      Asm.word a (Asm.imm 0);
+      Asm.word a (Asm.imm 0)
+  done;
+  Asm.assemble a
+
+type counters = {
+  rx_frames : int;
+  rx_valid : int;
+  rx_invalid : int;
+  rx_bytes : int;
+  logged : int;
+  log_dropped : int;
+}
+
+let read_counters mem program =
+  let base = Asm.symbol program "counters" in
+  let word off = Phys_mem.read_u32 mem (base + off) in
+  {
+    rx_frames = word off_rx_frames;
+    rx_valid = word off_rx_valid;
+    rx_invalid = word off_rx_invalid;
+    rx_bytes = word off_rx_bytes;
+    logged = word off_logged;
+    log_dropped = word off_log_dropped;
+  }

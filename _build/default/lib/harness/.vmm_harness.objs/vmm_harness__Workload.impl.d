@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Core Int64 Vmm_baseline Vmm_guest Vmm_hw Vmm_sim

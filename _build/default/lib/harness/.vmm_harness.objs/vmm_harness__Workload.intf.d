@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Core Vmm_baseline Vmm_guest Vmm_hw

@@ -1,0 +1,1 @@
+lib/hw/asm.ml: Bytes Char Hashtbl Isa List Phys_mem Printf String

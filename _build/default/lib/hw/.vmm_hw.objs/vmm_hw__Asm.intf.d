@@ -1,0 +1,1 @@
+lib/hw/asm.mli: Isa Phys_mem

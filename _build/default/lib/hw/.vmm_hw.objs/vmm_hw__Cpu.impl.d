@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Array Bytes Char Costs Format Int64 Io_bus Isa Mmu Phys_mem Printf Vmm_sim Word

@@ -1,0 +1,1 @@
+lib/hw/cpu.mli: Costs Format Io_bus Isa Mmu Phys_mem Vmm_sim Word

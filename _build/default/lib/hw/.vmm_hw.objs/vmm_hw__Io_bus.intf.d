@@ -1,0 +1,1 @@
+lib/hw/io_bus.mli:

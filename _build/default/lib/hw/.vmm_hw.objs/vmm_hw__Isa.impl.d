@@ -1,0 +1,1 @@
+lib/hw/isa.ml: Bytes Char Costs Phys_mem Printf Word

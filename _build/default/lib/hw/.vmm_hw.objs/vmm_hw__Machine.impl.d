@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Asm Costs Cpu Int64 Io_bus Nic Phys_mem Pic Pit Scsi Uart Vmm_sim

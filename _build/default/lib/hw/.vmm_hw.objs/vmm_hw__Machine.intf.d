@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Asm Costs Cpu Io_bus Nic Phys_mem Pic Pit Scsi Uart Vmm_sim

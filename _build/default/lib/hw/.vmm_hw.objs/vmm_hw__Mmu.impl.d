@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Array Costs Int64 Phys_mem

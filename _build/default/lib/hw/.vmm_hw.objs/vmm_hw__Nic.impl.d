@@ -1,0 +1,1 @@
+lib/hw/nic.ml: Bytes Costs Int64 Io_bus Phys_mem Queue Vmm_sim

@@ -1,0 +1,1 @@
+lib/hw/nic.mli: Costs Io_bus Phys_mem Vmm_sim

@@ -1,0 +1,1 @@
+lib/hw/pic.ml: Io_bus Isa

@@ -1,0 +1,1 @@
+lib/hw/pic.mli: Io_bus

@@ -1,0 +1,1 @@
+lib/hw/pit.ml: Costs Int64 Io_bus Vmm_sim

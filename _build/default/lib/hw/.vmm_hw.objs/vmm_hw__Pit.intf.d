@@ -1,0 +1,1 @@
+lib/hw/pit.mli: Costs Io_bus Vmm_sim

@@ -1,0 +1,1 @@
+lib/hw/scsi.ml: Array Bytes Char Costs Hashtbl Int64 Io_bus Phys_mem Vmm_sim

@@ -1,0 +1,1 @@
+lib/hw/scsi.mli: Costs Io_bus Phys_mem Vmm_sim

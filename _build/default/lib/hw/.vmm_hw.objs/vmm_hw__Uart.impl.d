@@ -1,0 +1,1 @@
+lib/hw/uart.ml: Costs Int64 Io_bus Queue Vmm_sim

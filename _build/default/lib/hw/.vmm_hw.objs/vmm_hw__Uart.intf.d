@@ -1,0 +1,1 @@
+lib/hw/uart.mli: Costs Io_bus Vmm_sim

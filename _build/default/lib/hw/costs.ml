@@ -1,0 +1,69 @@
+type t = {
+  cpu_hz : float;
+  base_instr : int;
+  mem_access : int;
+  mul_extra : int;
+  tlb_miss : int;
+  copy_per_byte : float;
+  csum_per_byte : float;
+  port_io : int;
+  interrupt_delivery : int;
+  iret_cost : int;
+  world_switch : int;
+  emulate_pic : int;
+  emulate_pit : int;
+  emulate_cpu : int;
+  shadow_pt_sync : int;
+  stub_dispatch : int;
+  host_switch : int;
+  host_syscall : int;
+  host_io_per_byte : float;
+  host_packet_overhead : int;
+  uart_cycles_per_byte : int;
+  disk_rate_mbps : float;
+  disk_setup_cycles : int;
+  nic_gbps : float;
+  nic_setup_cycles : int;
+}
+
+(* Calibration notes: a 1500-byte frame at the native saturation point of
+   ~700 Mbps leaves a budget of ~21.5k cycles per frame on a 1.26 GHz part,
+   which the per-byte copy/checksum costs below roughly consume (the 2002-era
+   stack copies each payload twice and checksums it once).  The monitor adds
+   a handful of world switches per interrupt; the hosted VMM adds host
+   context switches, system calls and an extra copy per packet. *)
+let default =
+  {
+    cpu_hz = 1.26e9;
+    base_instr = 1;
+    mem_access = 2;
+    mul_extra = 3;
+    tlb_miss = 40;
+    copy_per_byte = 7.5;
+    csum_per_byte = 5.0;
+    port_io = 200;
+    interrupt_delivery = 300;
+    iret_cost = 150;
+    world_switch = 19000;
+    emulate_pic = 900;
+    emulate_pit = 900;
+    emulate_cpu = 700;
+    shadow_pt_sync = 1200;
+    stub_dispatch = 800;
+    host_switch = 46500;
+    host_syscall = 10000;
+    host_io_per_byte = 7.0;
+    host_packet_overhead = 30000;
+    uart_cycles_per_byte = 109_375; (* 115200 baud, 8N1 at 1.26 GHz *)
+    disk_rate_mbps = 320.0;
+    disk_setup_cycles = 2500;
+    nic_gbps = 1.0;
+    nic_setup_cycles = 600;
+  }
+
+let cycles_of_seconds t s = Int64.of_float (s *. t.cpu_hz)
+
+let seconds_of_cycles t c = Int64.to_float c /. t.cpu_hz
+
+let cycles_for_bytes ~per_byte n =
+  int_of_float (ceil (float_of_int n *. per_byte))

@@ -1,0 +1,49 @@
+(** Cycle-cost model for the simulated 1.26 GHz machine.
+
+    Every latency in the simulator comes from this record so experiments can
+    sweep individual constants (ablations E6/E7 in DESIGN.md).  The defaults
+    are calibrated once against the shape of the paper's Fig 3.1; the
+    calibration is documented in EXPERIMENTS.md. *)
+
+type t = {
+  cpu_hz : float;  (** processor frequency, cycles per second *)
+  base_instr : int;  (** cycles for a simple ALU/branch instruction *)
+  mem_access : int;  (** additional cycles for a load/store *)
+  mul_extra : int;  (** additional cycles for MUL *)
+  tlb_miss : int;  (** two-level page-walk penalty *)
+  copy_per_byte : float;  (** COPY instruction, cycles per byte *)
+  csum_per_byte : float;  (** CSUM instruction, cycles per byte *)
+  port_io : int;  (** IN/OUT when access is permitted *)
+  interrupt_delivery : int;  (** hardware vectoring, stack switch *)
+  iret_cost : int;  (** return-from-interrupt *)
+  world_switch : int;
+      (** guest to/from monitor transition, including the TLB and cache
+          refill the paper's monitor pays on every trap *)
+  emulate_pic : int;  (** per emulated interrupt-controller operation *)
+  emulate_pit : int;  (** per emulated timer operation *)
+  emulate_cpu : int;  (** per emulated privileged CPU operation *)
+  shadow_pt_sync : int;  (** per shadow page-table entry fill *)
+  stub_dispatch : int;  (** debug-stub command decode/dispatch *)
+  host_switch : int;  (** hosted VMM: guest to host-OS world switch *)
+  host_syscall : int;  (** hosted VMM: host-OS system-call path *)
+  host_io_per_byte : float;  (** hosted VMM: extra copy through the host *)
+  host_packet_overhead : int;  (** hosted VMM: per-packet host processing *)
+  uart_cycles_per_byte : int;  (** serial-line serialization time *)
+  disk_rate_mbps : float;  (** per-disk sustained media rate, megabits/s *)
+  disk_setup_cycles : int;  (** controller command turnaround *)
+  nic_gbps : float;  (** wire rate of the gigabit NIC *)
+  nic_setup_cycles : int;  (** NIC command turnaround *)
+}
+
+(** Calibrated default model (see EXPERIMENTS.md, "Calibration"). *)
+val default : t
+
+(** [cycles_of_seconds t s] converts wall time to cycles at [t.cpu_hz]. *)
+val cycles_of_seconds : t -> float -> int64
+
+(** [seconds_of_cycles t c] converts cycles to seconds. *)
+val seconds_of_cycles : t -> int64 -> float
+
+(** [cycles_for_bytes ~per_byte n] rounds [n * per_byte] up to whole
+    cycles. *)
+val cycles_for_bytes : per_byte:float -> int -> int

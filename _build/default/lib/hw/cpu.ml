@@ -1,0 +1,658 @@
+module Engine = Vmm_sim.Engine
+module Stats = Vmm_sim.Stats
+
+type gp_reason =
+  | Privileged_instruction of Isa.instr
+  | Io_denied of int
+  | Bad_iret
+  | Bad_int_gate of int
+  | Bad_vector of int
+  | Bad_ring of int
+
+type fault_kind =
+  | Page of Mmu.fault
+  | Gp of gp_reason
+  | Undefined of int
+  | Breakpoint_trap
+  | Step_trap
+  | Machine_check of int
+
+type event =
+  | Fault of fault_kind * int
+  | Irq of int
+  | Soft_int of int * int
+  | Hypercall of int * int
+
+type hook_result = Handled | Deliver
+
+exception Panic of string
+
+exception Fault_exn of fault_kind
+
+type t = {
+  mem : Phys_mem.t;
+  bus : Io_bus.t;
+  engine : Engine.t;
+  costs : Costs.t;
+  load : Stats.load;
+  mmu : Mmu.t;
+  regs : int array;
+  mutable pc : int;
+  mutable z : bool;
+  mutable n : bool;
+  mutable c : bool;
+  mutable tf : bool;
+  mutable if_ : bool;
+  mutable cpl : int;
+  mutable iht : int;
+  mutable ptb : int;
+  stacks : int array;
+  io_bitmap : Bytes.t;
+  mutable halted : bool;
+  mutable stopped : bool;
+  mutable pic_ack : unit -> int option;
+  mutable pic_pending : unit -> bool;
+  mutable hypervisor : (t -> event -> hook_result) option;
+  mutable retired : int64;
+  mutable irqs_taken : int64;
+  mutable faults : int64;
+  fetch_buf : Bytes.t;
+}
+
+let table_entries = 64
+
+let create ~mem ~bus ~engine ~costs ~load () =
+  {
+    mem;
+    bus;
+    engine;
+    costs;
+    load;
+    mmu = Mmu.create costs;
+    regs = Array.make Isa.num_regs 0;
+    pc = 0;
+    z = false;
+    n = false;
+    c = false;
+    tf = false;
+    if_ = false;
+    cpl = 0;
+    iht = 0;
+    ptb = 0;
+    stacks = Array.make 4 0;
+    io_bitmap = Bytes.make 8192 '\000';
+    halted = false;
+    stopped = false;
+    pic_ack = (fun () -> None);
+    pic_pending = (fun () -> false);
+    hypervisor = None;
+    retired = 0L;
+    irqs_taken = 0L;
+    faults = 0L;
+    fetch_buf = Bytes.make Isa.width '\000';
+  }
+
+let set_pic t ~ack ~pending =
+  t.pic_ack <- ack;
+  t.pic_pending <- pending
+
+let set_hypervisor t hook = t.hypervisor <- hook
+let has_hypervisor t = t.hypervisor <> None
+
+(* -- Architectural state -- *)
+
+let read_reg t r = t.regs.(r)
+let write_reg t r v = t.regs.(r) <- Word.mask v
+let pc t = t.pc
+let set_pc t v = t.pc <- Word.mask v
+let cpl t = t.cpl
+let set_cpl t v = t.cpl <- v land 3
+
+let flags_word t =
+  (if t.z then 1 else 0)
+  lor (if t.n then 2 else 0)
+  lor (if t.c then 4 else 0)
+  lor (if t.tf then 0x100 else 0)
+  lor (if t.if_ then 0x200 else 0)
+  lor (t.cpl lsl 12)
+
+let set_flags_word t w =
+  t.z <- w land 1 <> 0;
+  t.n <- w land 2 <> 0;
+  t.c <- w land 4 <> 0;
+  t.tf <- w land 0x100 <> 0;
+  t.if_ <- w land 0x200 <> 0;
+  t.cpl <- (w lsr 12) land 3
+
+let interrupts_enabled t = t.if_
+let set_interrupts_enabled t v = t.if_ <- v
+let trap_flag t = t.tf
+let set_trap_flag t v = t.tf <- v
+let iht_base t = t.iht
+let set_iht_base t v = t.iht <- Word.mask v
+let ptb t = t.ptb
+
+let flush_tlb t = Mmu.flush t.mmu
+
+let set_ptb t v =
+  t.ptb <- Word.mask v;
+  flush_tlb t
+
+let ring_stack t ring = t.stacks.(ring land 3)
+let set_ring_stack t ring v = t.stacks.(ring land 3) <- Word.mask v
+let halted t = t.halted
+let set_halted t v = t.halted <- v
+let stopped t = t.stopped
+let set_stopped t v = t.stopped <- v
+
+(* -- I/O permission bitmap -- *)
+
+let allow_port t port allowed =
+  if port < 0 || port >= Io_bus.port_space then invalid_arg "Cpu.allow_port";
+  let byte = Char.code (Bytes.get t.io_bitmap (port lsr 3)) in
+  let bit = 1 lsl (port land 7) in
+  let byte = if allowed then byte lor bit else byte land lnot bit in
+  Bytes.set t.io_bitmap (port lsr 3) (Char.chr byte)
+
+let port_allowed t port =
+  port >= 0
+  && port < Io_bus.port_space
+  && Char.code (Bytes.get t.io_bitmap (port lsr 3)) land (1 lsl (port land 7)) <> 0
+
+(* -- Cycle accounting -- *)
+
+let charge t cycles =
+  if cycles > 0 then begin
+    let c = Int64.of_int cycles in
+    Engine.advance t.engine c;
+    Stats.note_busy t.load c
+  end
+
+(* -- Translated memory access -- *)
+
+let translate t ~access ~cpl vaddr =
+  let paddr, extra =
+    Mmu.translate t.mmu t.mem ~ptb:t.ptb ~cpl access (Word.mask vaddr)
+  in
+  charge t extra;
+  paddr
+
+(* Multi-byte accesses that straddle a page fall back to byte-at-a-time so
+   each byte is translated in its own page. *)
+let load_u32 t ~cpl vaddr =
+  let vaddr = Word.mask vaddr in
+  if vaddr land 0xFFF <= Mmu.page_size - 4 then
+    Phys_mem.read_u32 t.mem (translate t ~access:Mmu.Read ~cpl vaddr)
+  else begin
+    let b0 = Phys_mem.read_u8 t.mem (translate t ~access:Mmu.Read ~cpl vaddr) in
+    let b1 =
+      Phys_mem.read_u8 t.mem
+        (translate t ~access:Mmu.Read ~cpl (Word.add vaddr 1))
+    in
+    let b2 =
+      Phys_mem.read_u8 t.mem
+        (translate t ~access:Mmu.Read ~cpl (Word.add vaddr 2))
+    in
+    let b3 =
+      Phys_mem.read_u8 t.mem
+        (translate t ~access:Mmu.Read ~cpl (Word.add vaddr 3))
+    in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  end
+
+let store_u32 t ~cpl vaddr v =
+  let vaddr = Word.mask vaddr in
+  if vaddr land 0xFFF <= Mmu.page_size - 4 then
+    Phys_mem.write_u32 t.mem (translate t ~access:Mmu.Write ~cpl vaddr) v
+  else
+    for i = 0 to 3 do
+      Phys_mem.write_u8 t.mem
+        (translate t ~access:Mmu.Write ~cpl (Word.add vaddr i))
+        ((v lsr (8 * i)) land 0xFF)
+    done
+
+let load_u8 t ~cpl vaddr =
+  Phys_mem.read_u8 t.mem (translate t ~access:Mmu.Read ~cpl (Word.mask vaddr))
+
+let store_u8 t ~cpl vaddr v =
+  Phys_mem.write_u8 t.mem
+    (translate t ~access:Mmu.Write ~cpl (Word.mask vaddr))
+    v
+
+(* -- Interrupt table -- *)
+
+type gate = { handler : int; present : bool; ring : int; dpl : int }
+
+let read_gate t ~table ~vector =
+  if vector < 0 || vector >= table_entries then
+    raise (Fault_exn (Gp (Bad_vector vector)));
+  let base = Word.add table (8 * vector) in
+  let handler = load_u32 t ~cpl:0 base in
+  let info = load_u32 t ~cpl:0 (Word.add base 4) in
+  {
+    handler;
+    present = info land 1 <> 0;
+    ring = (info lsr 1) land 3;
+    dpl = (info lsr 3) land 3;
+  }
+
+let push_frame t ~ring ~sp ~value =
+  let sp = Word.sub sp 4 in
+  store_u32 t ~cpl:ring sp value;
+  sp
+
+let deliver t ~table ~vector ~error ~return_pc =
+  let gate = read_gate t ~table ~vector in
+  if not gate.present then
+    raise (Panic (Printf.sprintf "no handler for vector %d" vector));
+  let old_sp = t.regs.(Isa.sp) in
+  let old_flags = flags_word t in
+  let ring = gate.ring in
+  let sp0 = if ring < t.cpl then t.stacks.(ring) else old_sp in
+  let sp1 = push_frame t ~ring ~sp:sp0 ~value:old_sp in
+  let sp2 = push_frame t ~ring ~sp:sp1 ~value:old_flags in
+  let sp3 = push_frame t ~ring ~sp:sp2 ~value:(Word.mask return_pc) in
+  let sp4 = push_frame t ~ring ~sp:sp3 ~value:(Word.mask error) in
+  t.regs.(Isa.sp) <- sp4;
+  t.cpl <- ring;
+  t.if_ <- false;
+  t.tf <- false;
+  t.pc <- gate.handler;
+  charge t t.costs.interrupt_delivery
+
+let do_iret t =
+  let sp = t.regs.(Isa.sp) in
+  let _error = load_u32 t ~cpl:0 sp in
+  let return_pc = load_u32 t ~cpl:0 (Word.add sp 4) in
+  let flags = load_u32 t ~cpl:0 (Word.add sp 8) in
+  let old_sp = load_u32 t ~cpl:0 (Word.add sp 12) in
+  set_flags_word t flags;
+  t.regs.(Isa.sp) <- old_sp;
+  t.pc <- return_pc;
+  charge t t.costs.iret_cost
+
+(* -- Fault dispatch -- *)
+
+let vector_and_error = function
+  | Page f -> (Isa.vec_page_fault, Word.mask f.Mmu.vaddr)
+  | Gp (Io_denied port) -> (Isa.vec_protection, port)
+  | Gp (Bad_int_gate v) -> (Isa.vec_protection, v)
+  | Gp (Bad_vector v) -> (Isa.vec_protection, v)
+  | Gp (Privileged_instruction _) | Gp Bad_iret | Gp (Bad_ring _) ->
+    (Isa.vec_protection, 0)
+  | Undefined opcode -> (Isa.vec_undefined, opcode)
+  | Breakpoint_trap -> (Isa.vec_breakpoint, 0)
+  | Step_trap -> (Isa.vec_debug_step, 0)
+  | Machine_check addr -> (Isa.vec_machine_check, Word.mask addr)
+
+let hw_deliver_fault t kind ~return_pc =
+  let vector, error = vector_and_error kind in
+  try deliver t ~table:t.iht ~vector ~error ~return_pc with
+  | Fault_exn _ | Mmu.Page_fault _ | Phys_mem.Bus_error _ ->
+    raise (Panic (Printf.sprintf "double fault delivering vector %d" vector))
+
+let dispatch_fault t kind ~return_pc =
+  t.faults <- Int64.add t.faults 1L;
+  match t.hypervisor with
+  | Some hook ->
+    (match hook t (Fault (kind, return_pc)) with
+     | Handled -> ()
+     | Deliver -> hw_deliver_fault t kind ~return_pc)
+  | None -> hw_deliver_fault t kind ~return_pc
+
+let poll_interrupts t =
+  let bare_metal = match t.hypervisor with None -> true | Some _ -> false in
+  if t.if_ && t.pic_pending () && not (t.stopped && bare_metal) then
+    match t.pic_ack () with
+    | None -> ()
+    | Some vector ->
+      t.halted <- false;
+      t.irqs_taken <- Int64.add t.irqs_taken 1L;
+      (match t.hypervisor with
+       | Some hook ->
+         (match hook t (Irq vector) with
+          | Handled -> ()
+          | Deliver ->
+            deliver t ~table:t.iht ~vector ~error:0 ~return_pc:t.pc)
+       | None -> deliver t ~table:t.iht ~vector ~error:0 ~return_pc:t.pc)
+
+let dispatch_soft t ~vector ~next_pc =
+  match t.hypervisor with
+  | Some hook ->
+    (match hook t (Soft_int (vector, next_pc)) with
+     | Handled -> ()
+     | Deliver ->
+       let gate = read_gate t ~table:t.iht ~vector in
+       if (not gate.present) || gate.dpl < t.cpl then
+         raise (Fault_exn (Gp (Bad_int_gate vector)))
+       else deliver t ~table:t.iht ~vector ~error:0 ~return_pc:next_pc)
+  | None ->
+    let gate = read_gate t ~table:t.iht ~vector in
+    if (not gate.present) || gate.dpl < t.cpl then
+      raise (Fault_exn (Gp (Bad_int_gate vector)))
+    else deliver t ~table:t.iht ~vector ~error:0 ~return_pc:next_pc
+
+(* -- Fetch -- *)
+
+let fetch t =
+  let pc = t.pc in
+  if pc land 0xFFF <= Mmu.page_size - Isa.width then begin
+    let paddr = translate t ~access:Mmu.Exec ~cpl:t.cpl pc in
+    Isa.read t.mem paddr
+  end
+  else begin
+    for i = 0 to Isa.width - 1 do
+      let paddr = translate t ~access:Mmu.Exec ~cpl:t.cpl (Word.add pc i) in
+      Bytes.set t.fetch_buf i (Char.chr (Phys_mem.read_u8 t.mem paddr))
+    done;
+    Isa.decode ~addr:pc t.fetch_buf ~off:0
+  end
+
+(* -- Port I/O -- *)
+
+let check_port t port =
+  if t.cpl <> 0 && not (port_allowed t port) then
+    raise (Fault_exn (Gp (Io_denied port)))
+
+let port_in t port =
+  let port = port land 0xFFFF in
+  check_port t port;
+  charge t t.costs.port_io;
+  Io_bus.read t.bus port
+
+let port_out t port v =
+  let port = port land 0xFFFF in
+  check_port t port;
+  charge t t.costs.port_io;
+  Io_bus.write t.bus port v
+
+(* -- Block operations -- *)
+
+let copy_block t ~dst ~src ~len =
+  charge t (Costs.cycles_for_bytes ~per_byte:t.costs.copy_per_byte len);
+  let rec go dst src len =
+    if len > 0 then begin
+      let src_room = Mmu.page_size - (src land 0xFFF) in
+      let dst_room = Mmu.page_size - (dst land 0xFFF) in
+      let chunk = min len (min src_room dst_room) in
+      let psrc = translate t ~access:Mmu.Read ~cpl:t.cpl src in
+      let pdst = translate t ~access:Mmu.Write ~cpl:t.cpl dst in
+      Phys_mem.blit t.mem ~src:psrc ~dst:pdst ~len:chunk;
+      go (Word.add dst chunk) (Word.add src chunk) (len - chunk)
+    end
+  in
+  go (Word.mask dst) (Word.mask src) len
+
+let checksum_block t ~addr ~len =
+  charge t (Costs.cycles_for_bytes ~per_byte:t.costs.csum_per_byte len);
+  (* Internet checksum with little-endian 16-bit pairing, accumulated chunk
+     by chunk so page boundaries keep global byte parity. *)
+  let sum = ref 0 in
+  let index = ref 0 in
+  let rec go addr len =
+    if len > 0 then begin
+      let room = Mmu.page_size - (addr land 0xFFF) in
+      let chunk = min len room in
+      let paddr = translate t ~access:Mmu.Read ~cpl:t.cpl addr in
+      for i = 0 to chunk - 1 do
+        let b = Phys_mem.read_u8 t.mem (paddr + i) in
+        if (!index + i) land 1 = 0 then sum := !sum + b
+        else sum := !sum + (b lsl 8)
+      done;
+      index := !index + chunk;
+      go (Word.add addr chunk) (len - chunk)
+    end
+  in
+  go (Word.mask addr) len;
+  let s = ref !sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+(* -- Execution -- *)
+
+let require_ring0 t i =
+  if t.cpl <> 0 then raise (Fault_exn (Gp (Privileged_instruction i)))
+
+let set_zn t v =
+  t.z <- v = 0;
+  t.n <- v land 0x80000000 <> 0
+
+let exec t instr =
+  let next = Word.add t.pc Isa.width in
+  let r = t.regs in
+  let goto a = t.pc <- Word.mask a in
+  charge t (Isa.base_cycles t.costs instr);
+  match instr with
+  | Isa.Nop -> goto next
+  | Isa.Hlt ->
+    require_ring0 t instr;
+    t.halted <- true;
+    goto next
+  | Isa.Movi (rd, imm) ->
+    r.(rd) <- imm;
+    goto next
+  | Isa.Mov (rd, rs) ->
+    r.(rd) <- r.(rs);
+    goto next
+  | Isa.Add (rd, a, b) ->
+    r.(rd) <- Word.add r.(a) r.(b);
+    set_zn t r.(rd);
+    goto next
+  | Isa.Addi (rd, a, imm) ->
+    r.(rd) <- Word.add r.(a) imm;
+    set_zn t r.(rd);
+    goto next
+  | Isa.Sub (rd, a, b) ->
+    r.(rd) <- Word.sub r.(a) r.(b);
+    set_zn t r.(rd);
+    goto next
+  | Isa.And_ (rd, a, b) ->
+    r.(rd) <- Word.logand r.(a) r.(b);
+    set_zn t r.(rd);
+    goto next
+  | Isa.Or_ (rd, a, b) ->
+    r.(rd) <- Word.logor r.(a) r.(b);
+    set_zn t r.(rd);
+    goto next
+  | Isa.Xor_ (rd, a, b) ->
+    r.(rd) <- Word.logxor r.(a) r.(b);
+    set_zn t r.(rd);
+    goto next
+  | Isa.Shl (rd, a, b) ->
+    r.(rd) <- Word.shift_left r.(a) r.(b);
+    set_zn t r.(rd);
+    goto next
+  | Isa.Shr (rd, a, b) ->
+    r.(rd) <- Word.shift_right r.(a) r.(b);
+    set_zn t r.(rd);
+    goto next
+  | Isa.Mul (rd, a, b) ->
+    r.(rd) <- Word.mul r.(a) r.(b);
+    set_zn t r.(rd);
+    goto next
+  | Isa.Cmp (a, b) ->
+    t.z <- Word.equal r.(a) r.(b);
+    t.n <- Word.signed_lt r.(a) r.(b);
+    t.c <- Word.unsigned_lt r.(a) r.(b);
+    goto next
+  | Isa.Cmpi (a, imm) ->
+    t.z <- Word.equal r.(a) imm;
+    t.n <- Word.signed_lt r.(a) imm;
+    t.c <- Word.unsigned_lt r.(a) imm;
+    goto next
+  | Isa.Ld (rd, base, imm) ->
+    r.(rd) <- load_u32 t ~cpl:t.cpl (Word.add r.(base) imm);
+    goto next
+  | Isa.St (base, imm, src) ->
+    store_u32 t ~cpl:t.cpl (Word.add r.(base) imm) r.(src);
+    goto next
+  | Isa.Ldb (rd, base, imm) ->
+    r.(rd) <- load_u8 t ~cpl:t.cpl (Word.add r.(base) imm);
+    goto next
+  | Isa.Stb (base, imm, src) ->
+    store_u8 t ~cpl:t.cpl (Word.add r.(base) imm) (r.(src) land 0xFF);
+    goto next
+  | Isa.Jmp target -> goto target
+  | Isa.Jz target -> goto (if t.z then target else next)
+  | Isa.Jnz target -> goto (if not t.z then target else next)
+  | Isa.Jlt target -> goto (if t.n then target else next)
+  | Isa.Jge target -> goto (if not t.n then target else next)
+  | Isa.Jb target -> goto (if t.c then target else next)
+  | Isa.Jae target -> goto (if not t.c then target else next)
+  | Isa.Jr rs -> goto r.(rs)
+  | Isa.Call target ->
+    let sp = Word.sub r.(Isa.sp) 4 in
+    store_u32 t ~cpl:t.cpl sp next;
+    r.(Isa.sp) <- sp;
+    goto target
+  | Isa.Ret ->
+    let sp = r.(Isa.sp) in
+    let target = load_u32 t ~cpl:t.cpl sp in
+    r.(Isa.sp) <- Word.add sp 4;
+    goto target
+  | Isa.Push rs ->
+    let sp = Word.sub r.(Isa.sp) 4 in
+    store_u32 t ~cpl:t.cpl sp r.(rs);
+    r.(Isa.sp) <- sp;
+    goto next
+  | Isa.Pop rd ->
+    let sp = r.(Isa.sp) in
+    let v = load_u32 t ~cpl:t.cpl sp in
+    r.(Isa.sp) <- Word.add sp 4;
+    r.(rd) <- v;
+    goto next
+  | Isa.In_ (rd, rs) ->
+    r.(rd) <- Word.mask (port_in t r.(rs));
+    goto next
+  | Isa.Ini (rd, imm) ->
+    r.(rd) <- Word.mask (port_in t imm);
+    goto next
+  | Isa.Out (p, v) ->
+    port_out t r.(p) r.(v);
+    goto next
+  | Isa.Outi (imm, v) ->
+    port_out t imm r.(v);
+    goto next
+  | Isa.Int_ vector -> dispatch_soft t ~vector ~next_pc:next
+  | Isa.Iret ->
+    require_ring0 t instr;
+    do_iret t
+  | Isa.Sti ->
+    require_ring0 t instr;
+    t.if_ <- true;
+    goto next
+  | Isa.Cli ->
+    require_ring0 t instr;
+    t.if_ <- false;
+    goto next
+  | Isa.Liht rs ->
+    require_ring0 t instr;
+    t.iht <- r.(rs);
+    goto next
+  | Isa.Lptb rs ->
+    require_ring0 t instr;
+    set_ptb t r.(rs);
+    goto next
+  | Isa.Lstk (ring, rs) ->
+    require_ring0 t instr;
+    t.stacks.(ring land 3) <- r.(rs);
+    goto next
+  | Isa.Tlbflush ->
+    require_ring0 t instr;
+    flush_tlb t;
+    goto next
+  | Isa.Copy (d, s, n) ->
+    copy_block t ~dst:r.(d) ~src:r.(s) ~len:r.(n);
+    goto next
+  | Isa.Csum (rd, a, n) ->
+    r.(rd) <- checksum_block t ~addr:r.(a) ~len:r.(n);
+    goto next
+  | Isa.Rdtsc rd ->
+    r.(rd) <- Word.mask (Int64.to_int (Engine.now t.engine));
+    goto next
+  | Isa.Vmcall imm ->
+    (match t.hypervisor with
+     | Some hook ->
+       goto next;
+       ignore (hook t (Hypercall (imm, next)))
+     | None -> raise (Fault_exn (Undefined 0x2E)))
+  | Isa.Brk -> raise (Fault_exn Breakpoint_trap)
+
+let read_instr t vaddr =
+  if vaddr land 0xFFF <= Mmu.page_size - Isa.width then
+    Isa.read t.mem (translate t ~access:Mmu.Read ~cpl:0 vaddr)
+  else begin
+    let buf = Bytes.create Isa.width in
+    for i = 0 to Isa.width - 1 do
+      let paddr = translate t ~access:Mmu.Read ~cpl:0 (Word.add vaddr i) in
+      Bytes.set buf i (Char.chr (Phys_mem.read_u8 t.mem paddr))
+    done;
+    Isa.decode ~addr:vaddr buf ~off:0
+  end
+
+let step t =
+  let start_pc = t.pc in
+  let tf0 = t.tf in
+  try
+    let instr = fetch t in
+    exec t instr;
+    t.retired <- Int64.add t.retired 1L;
+    if tf0 && t.tf then begin
+      (* Trap after the stepped instruction; handlers run with TF clear. *)
+      t.faults <- Int64.add t.faults 1L;
+      match t.hypervisor with
+      | Some hook ->
+        (match hook t (Fault (Step_trap, t.pc)) with
+         | Handled -> ()
+         | Deliver -> hw_deliver_fault t Step_trap ~return_pc:t.pc)
+      | None -> hw_deliver_fault t Step_trap ~return_pc:t.pc
+    end
+  with
+  | Fault_exn kind -> dispatch_fault t kind ~return_pc:start_pc
+  | Mmu.Page_fault f -> dispatch_fault t (Page f) ~return_pc:start_pc
+  | Phys_mem.Bus_error addr ->
+    dispatch_fault t (Machine_check addr) ~return_pc:start_pc
+  | Isa.Decode_error { opcode; _ } ->
+    dispatch_fault t (Undefined opcode) ~return_pc:start_pc
+
+(* -- Introspection -- *)
+
+let instructions_retired t = t.retired
+let interrupts_taken t = t.irqs_taken
+let faults_taken t = t.faults
+let mmu t = t.mmu
+let mem t = t.mem
+let bus t = t.bus
+let engine t = t.engine
+let costs t = t.costs
+
+let pp_gp_reason fmt = function
+  | Privileged_instruction i ->
+    Format.fprintf fmt "privileged instruction (%s)" (Isa.to_string i)
+  | Io_denied port -> Format.fprintf fmt "i/o denied on port 0x%x" port
+  | Bad_iret -> Format.fprintf fmt "malformed iret"
+  | Bad_int_gate v -> Format.fprintf fmt "gate %d not callable" v
+  | Bad_vector v -> Format.fprintf fmt "bad vector %d" v
+  | Bad_ring r -> Format.fprintf fmt "bad ring %d" r
+
+let pp_fault fmt = function
+  | Page f ->
+    Format.fprintf fmt "page fault at 0x%x (%s, %s)" f.Mmu.vaddr
+      (match f.Mmu.access with
+       | Mmu.Read -> "read"
+       | Mmu.Write -> "write"
+       | Mmu.Exec -> "exec")
+      (if f.Mmu.not_present then "not present" else "protection")
+  | Gp reason -> Format.fprintf fmt "protection fault: %a" pp_gp_reason reason
+  | Undefined opcode -> Format.fprintf fmt "undefined opcode 0x%x" opcode
+  | Breakpoint_trap -> Format.fprintf fmt "breakpoint"
+  | Step_trap -> Format.fprintf fmt "single-step"
+  | Machine_check addr -> Format.fprintf fmt "machine check at 0x%x" addr
+
+let pp_event fmt = function
+  | Fault (kind, pc) -> Format.fprintf fmt "fault@0x%x: %a" pc pp_fault kind
+  | Irq vector -> Format.fprintf fmt "irq vector %d" vector
+  | Soft_int (v, _) -> Format.fprintf fmt "int %d" v
+  | Hypercall (imm, _) -> Format.fprintf fmt "vmcall 0x%x" imm

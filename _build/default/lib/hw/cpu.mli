@@ -1,0 +1,178 @@
+(** The LWM-32 processor.
+
+    Executes instructions against physical memory through the {!Mmu},
+    dispatches port I/O through the {!Io_bus}, takes external interrupts
+    from the interrupt controller and — crucially for this reproduction —
+    exposes a {e hypervisor hook}: when installed, every fault, external
+    interrupt, software interrupt and hypercall is presented to the hook
+    before (instead of) hardware interrupt-table delivery.  The lightweight
+    monitor of the paper is that hook; without a hook the CPU behaves like
+    bare hardware and delivers through the guest's own table.
+
+    Interrupt frames are uniform: the CPU pushes [old_sp], [old_flags],
+    [return_pc], [error] (so the handler sees [error] at [sp+0]); IRET pops
+    them in reverse.  Entering a more-privileged ring switches to that
+    ring's entry stack (LSTK). *)
+
+(** {2 Faults and events} *)
+
+type gp_reason =
+  | Privileged_instruction of Isa.instr
+  | Io_denied of int  (** port *)
+  | Bad_iret
+  | Bad_int_gate of int  (** vector *)
+  | Bad_vector of int  (** missing/not-present table entry *)
+  | Bad_ring of int
+
+type fault_kind =
+  | Page of Mmu.fault
+  | Gp of gp_reason
+  | Undefined of int  (** opcode *)
+  | Breakpoint_trap
+  | Step_trap
+  | Machine_check of int  (** physical address behind a bus error *)
+
+(** What the hypervisor hook observes. *)
+type event =
+  | Fault of fault_kind * int  (** fault and the faulting instruction's pc *)
+  | Irq of int  (** interrupt vector, already acknowledged at the PIC *)
+  | Soft_int of int * int  (** INT vector, pc after the instruction *)
+  | Hypercall of int * int  (** VMCALL immediate, pc after the instruction *)
+
+type hook_result =
+  | Handled  (** hook updated CPU state itself *)
+  | Deliver  (** fall through to hardware table delivery *)
+
+(** Raised when delivery is impossible (double fault, missing handler) and
+    no hook is installed. *)
+exception Panic of string
+
+type t
+
+(** {2 Construction} *)
+
+(** [create ~mem ~bus ~engine ~costs ~load ()] — [load] accumulates busy
+    cycles for utilization measurements. *)
+val create :
+  mem:Phys_mem.t ->
+  bus:Io_bus.t ->
+  engine:Vmm_sim.Engine.t ->
+  costs:Costs.t ->
+  load:Vmm_sim.Stats.load ->
+  unit ->
+  t
+
+(** [set_pic t ~ack ~pending] wires the interrupt controller's acknowledge
+    and level callbacks. *)
+val set_pic : t -> ack:(unit -> int option) -> pending:(unit -> bool) -> unit
+
+(** [set_hypervisor t hook] installs/removes the monitor. *)
+val set_hypervisor : t -> (t -> event -> hook_result) option -> unit
+
+val has_hypervisor : t -> bool
+
+(** {2 Architectural state} *)
+
+val read_reg : t -> Isa.reg -> Word.t
+val write_reg : t -> Isa.reg -> Word.t -> unit
+val pc : t -> int
+val set_pc : t -> int -> unit
+val cpl : t -> int
+val set_cpl : t -> int -> unit
+
+(** Flags word layout: bit 0 Z, 1 N, 2 C, 8 TF, 9 IF, 12-13 CPL. *)
+val flags_word : t -> int
+
+val set_flags_word : t -> int -> unit
+val interrupts_enabled : t -> bool
+val set_interrupts_enabled : t -> bool -> unit
+val trap_flag : t -> bool
+val set_trap_flag : t -> bool -> unit
+val iht_base : t -> int
+val set_iht_base : t -> int -> unit
+val ptb : t -> int
+
+(** [set_ptb t v] loads the page-table base and flushes the TLB. *)
+val set_ptb : t -> int -> unit
+
+val ring_stack : t -> int -> int
+val set_ring_stack : t -> int -> int -> unit
+val halted : t -> bool
+val set_halted : t -> bool -> unit
+
+(** Debug stop: freezes instruction execution without affecting the halted
+    flag; only the monitor/stub toggles it. *)
+val stopped : t -> bool
+
+val set_stopped : t -> bool -> unit
+
+(** {2 I/O permission bitmap} *)
+
+(** [allow_port t port allowed] grants/revokes direct port access for
+    rings above 0 (the paper's pass-through mechanism). *)
+val allow_port : t -> int -> bool -> unit
+
+val port_allowed : t -> int -> bool
+
+(** {2 Memory access (respecting current translation)} *)
+
+(** [load_u32 t ~cpl vaddr] translates and reads; faults propagate as
+    [Mmu.Page_fault]. *)
+val load_u32 : t -> cpl:int -> int -> Word.t
+
+val store_u32 : t -> cpl:int -> int -> Word.t -> unit
+val load_u8 : t -> cpl:int -> int -> int
+val store_u8 : t -> cpl:int -> int -> int -> unit
+
+(** [translate t ~access ~cpl vaddr] is the physical address (charges TLB
+    costs). *)
+val translate : t -> access:Mmu.access -> cpl:int -> int -> int
+
+val flush_tlb : t -> unit
+
+(** {2 Execution} *)
+
+(** [charge t cycles] advances simulated time and books the cycles as busy
+    (used by instruction execution and by the monitor for emulation work). *)
+val charge : t -> int -> unit
+
+(** [poll_interrupts t] accepts one pending external interrupt when IF is
+    set: acknowledges the PIC, clears halt, and dispatches to the hook or
+    the hardware table.  Call between instructions and while halted. *)
+val poll_interrupts : t -> unit
+
+(** [step t] executes exactly one instruction (the caller checks
+    [halted]/[stopped] first).  Faults dispatch internally; the function
+    returns normally unless the machine panics. *)
+val step : t -> unit
+
+(** [deliver t ~table ~vector ~error ~return_pc] runs the interrupt-frame
+    protocol against an arbitrary table base — the hardware path uses the
+    CPU's own table; the monitor uses it to reflect events into the guest's
+    {e virtual} table.
+    @raise Panic when the entry is missing and no hook can take over. *)
+val deliver : t -> table:int -> vector:int -> error:int -> return_pc:int -> unit
+
+(** [do_iret t] performs the IRET state restore (the monitor uses it to
+    emulate a guest IRET).  @raise Panic on a malformed frame request. *)
+val do_iret : t -> unit
+
+(** [read_instr t vaddr] fetches and decodes the instruction at a virtual
+    address with supervisor rights (used by the monitor to inspect the
+    guest instruction behind a trap). *)
+val read_instr : t -> int -> Isa.instr
+
+(** {2 Introspection} *)
+
+val instructions_retired : t -> int64
+val interrupts_taken : t -> int64
+val faults_taken : t -> int64
+val mmu : t -> Mmu.t
+val mem : t -> Phys_mem.t
+val bus : t -> Io_bus.t
+val engine : t -> Vmm_sim.Engine.t
+val costs : t -> Costs.t
+
+val pp_gp_reason : Format.formatter -> gp_reason -> unit
+val pp_fault : Format.formatter -> fault_kind -> unit
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,150 @@
+module Engine = Vmm_sim.Engine
+module Stats = Vmm_sim.Stats
+module Trace = Vmm_sim.Trace
+
+module Ports = struct
+  let pic = 0x20
+  let pit = 0x40
+  let uart = 0x3F8
+  let scsi = 0x1C0
+  let nic = 0x2C0
+end
+
+module Irq = struct
+  let timer = 0
+  let uart = 4
+  let nic = 5
+  let scsi = 6
+end
+
+type t = {
+  engine : Engine.t;
+  mem : Phys_mem.t;
+  bus : Io_bus.t;
+  cpu : Cpu.t;
+  pic : Pic.t;
+  pit : Pit.t;
+  uart : Uart.t;
+  scsi : Scsi.t;
+  nic : Nic.t;
+  costs : Costs.t;
+  trace : Trace.t;
+  load : Stats.load;
+}
+
+let default_mem_size = 16 * 1024 * 1024
+
+let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
+  let engine = Engine.create () in
+  let mem = Phys_mem.create ~size:mem_size in
+  let bus = Io_bus.create () in
+  let load = Stats.load () in
+  let cpu = Cpu.create ~mem ~bus ~engine ~costs ~load () in
+  let pic = Pic.create () in
+  Pic.attach pic bus ~base:Ports.pic;
+  Cpu.set_pic cpu ~ack:(fun () -> Pic.ack pic) ~pending:(fun () -> Pic.pending pic);
+  let pit =
+    Pit.create ~engine ~costs ~raise_irq:(fun () -> Pic.raise_irq pic Irq.timer) ()
+  in
+  Pit.attach pit bus ~base:Ports.pit;
+  let uart = Uart.create ~engine ~costs () in
+  Uart.set_irq uart (fun () -> Pic.raise_irq pic Irq.uart);
+  Uart.attach uart bus ~base:Ports.uart;
+  let scsi = Scsi.create ~engine ~costs ~mem ~targets:3 () in
+  Scsi.set_irq scsi (fun () -> Pic.raise_irq pic Irq.scsi);
+  Scsi.attach scsi bus ~base:Ports.scsi;
+  let nic = Nic.create ~engine ~costs ~mem () in
+  Nic.set_irq nic (fun () -> Pic.raise_irq pic Irq.nic);
+  Nic.attach nic bus ~base:Ports.nic;
+  let trace = Trace.create ~capacity:4096 () in
+  { engine; mem; bus; cpu; pic; pit; uart; scsi; nic; costs; trace; load }
+
+let cpu t = t.cpu
+let mem t = t.mem
+let bus t = t.bus
+let engine t = t.engine
+let costs t = t.costs
+let pic t = t.pic
+let pit t = t.pit
+let uart t = t.uart
+let scsi t = t.scsi
+let nic t = t.nic
+let trace t = t.trace
+let load t = t.load
+
+let now t = Engine.now t.engine
+
+let utilization t ~since ~since_busy =
+  let elapsed = Int64.sub (now t) since in
+  let busy = Int64.sub (Stats.busy_cycles t.load) since_busy in
+  if Int64.compare elapsed 0L <= 0 then 0.0
+  else
+    let u = Int64.to_float busy /. Int64.to_float elapsed in
+    if u < 0.0 then 0.0 else if u > 1.0 then 1.0 else u
+
+let idle t = Cpu.halted t.cpu || Cpu.stopped t.cpu
+
+let run_until t ~time =
+  while Int64.compare (Engine.now t.engine) time < 0 do
+    ignore (Engine.dispatch_due t.engine);
+    Cpu.poll_interrupts t.cpu;
+    if idle t then begin
+      (* Skip idle time to the next device event (or the horizon). *)
+      match Engine.next_event_time t.engine with
+      | Some te ->
+        let target = if Int64.compare te time > 0 then time else te in
+        Engine.run_until t.engine ~time:target
+      | None -> Engine.run_until t.engine ~time
+    end
+    else Cpu.step t.cpu
+  done
+
+let run_for t ~cycles = run_until t ~time:(Int64.add (now t) cycles)
+
+let run_seconds t s = run_for t ~cycles:(Costs.cycles_of_seconds t.costs s)
+
+let run_steps t n =
+  let retired = ref 0 in
+  let stuck = ref false in
+  while !retired < n && not !stuck do
+    ignore (Engine.dispatch_due t.engine);
+    Cpu.poll_interrupts t.cpu;
+    if idle t then begin
+      match Engine.next_event_time t.engine with
+      | Some te -> Engine.run_until t.engine ~time:te
+      | None -> stuck := true
+    end
+    else begin
+      Cpu.step t.cpu;
+      incr retired
+    end
+  done;
+  !retired
+
+let run_until_halted ?(limit = 1_000_000) t =
+  let steps = ref 0 in
+  let halted = ref (Cpu.halted t.cpu) in
+  while (not !halted) && !steps < limit do
+    ignore (Engine.dispatch_due t.engine);
+    Cpu.poll_interrupts t.cpu;
+    if Cpu.halted t.cpu then halted := true
+    else if Cpu.stopped t.cpu then begin
+      match Engine.next_event_time t.engine with
+      | Some te -> Engine.run_until t.engine ~time:te
+      | None -> steps := limit
+    end
+    else begin
+      Cpu.step t.cpu;
+      incr steps;
+      if Cpu.halted t.cpu then halted := true
+    end
+  done;
+  !halted
+
+let load_program t program = Asm.load program t.mem
+
+let boot t program ~entry =
+  load_program t program;
+  Cpu.set_pc t.cpu entry;
+  Cpu.set_halted t.cpu false;
+  Cpu.set_stopped t.cpu false

@@ -1,0 +1,80 @@
+(** A complete PC/AT-like target machine: CPU, memory, interrupt
+    controller, timer, serial port, a three-target SCSI controller and a
+    gigabit NIC, all sharing one simulation engine.
+
+    The run loop interleaves instruction execution with device events and
+    keeps the busy/idle accounting the CPU-load experiments rely on:
+    instruction and emulation cycles are busy; time skipped while the CPU
+    is halted (or stopped by the debugger) is idle. *)
+
+(** Fixed port assignments, mirroring a PC/AT layout. *)
+module Ports : sig
+  val pic : int
+  val pit : int
+  val uart : int
+  val scsi : int
+  val nic : int
+end
+
+(** IRQ line assignments. *)
+module Irq : sig
+  val timer : int
+  val uart : int
+  val nic : int
+  val scsi : int
+end
+
+type t
+
+(** [create ?mem_size ?costs ()] builds and wires a machine.  Default
+    memory is 16 MiB; the CPU starts at pc 0, ring 0, paging off,
+    interrupts off. *)
+val create : ?mem_size:int -> ?costs:Costs.t -> unit -> t
+
+val cpu : t -> Cpu.t
+val mem : t -> Phys_mem.t
+val bus : t -> Io_bus.t
+val engine : t -> Vmm_sim.Engine.t
+val costs : t -> Costs.t
+val pic : t -> Pic.t
+val pit : t -> Pit.t
+val uart : t -> Uart.t
+val scsi : t -> Scsi.t
+val nic : t -> Nic.t
+val trace : t -> Vmm_sim.Trace.t
+val load : t -> Vmm_sim.Stats.load
+
+(** [now t] — current simulation time in cycles. *)
+val now : t -> int64
+
+(** [utilization t ~since] — busy fraction over [\[since, now\]] given the
+    busy-cycle snapshot [since_busy] taken at [since]. *)
+val utilization : t -> since:int64 -> since_busy:int64 -> float
+
+(** [run_until t ~time] advances the simulation to an absolute cycle
+    count. *)
+val run_until : t -> time:int64 -> unit
+
+(** [run_for t ~cycles] advances by a relative amount. *)
+val run_for : t -> cycles:int64 -> unit
+
+(** [run_seconds t s] advances by wall time at the machine's clock rate. *)
+val run_seconds : t -> float -> unit
+
+(** [run_steps t n] retires up to [n] instructions (skipping over idle
+    gaps); stops early when the machine is idle with no pending events.
+    Returns instructions actually retired. *)
+val run_steps : t -> int -> int
+
+(** [run_until_halted ?limit t] runs until the CPU halts (useful for batch
+    test programs that end in HLT with interrupts off); [limit] bounds the
+    instruction count (default 1_000_000).  Returns [true] when the halt
+    was reached. *)
+val run_until_halted : ?limit:int -> t -> bool
+
+(** [load_program t program] copies an assembled image into memory. *)
+val load_program : t -> Asm.program -> unit
+
+(** [boot t program ~entry] loads the image, points pc at [entry] and
+    clears halt state. *)
+val boot : t -> Asm.program -> entry:int -> unit

@@ -1,0 +1,138 @@
+type access = Read | Write | Exec
+
+type fault = {
+  vaddr : int;
+  access : access;
+  not_present : bool;
+}
+
+exception Page_fault of fault
+
+let page_size = 4096
+let entries_per_table = 1024
+
+let pte_present = 0x1
+let pte_writable = 0x2
+let pte_user = 0x4
+let pte_accessed = 0x20
+let pte_dirty = 0x40
+
+let make_pte ~frame ~writable ~user =
+  (frame land 0xFFFFF000) lor pte_present
+  lor (if writable then pte_writable else 0)
+  lor (if user then pte_user else 0)
+
+let frame_of pte = pte land 0xFFFFF000
+let is_present pte = pte land pte_present <> 0
+let is_writable pte = pte land pte_writable <> 0
+let is_user pte = pte land pte_user <> 0
+let dir_index vaddr = (vaddr lsr 22) land 0x3FF
+let table_index vaddr = (vaddr lsr 12) land 0x3FF
+
+(* Direct-mapped TLB keyed by virtual page number.  Each entry caches the
+   physical frame, the effective permissions and the PTE's physical address
+   so the dirty bit can be set on write hits. *)
+type tlb_entry = {
+  mutable vpn : int; (* -1 = invalid *)
+  mutable frame : int;
+  mutable writable : bool;
+  mutable user : bool;
+  mutable pte_addr : int;
+}
+
+type t = {
+  tlb : tlb_entry array;
+  tlb_mask : int;
+  costs : Costs.t;
+  mutable hits : int64;
+  mutable misses : int64;
+}
+
+let tlb_slots = 256
+
+let create costs =
+  {
+    tlb =
+      Array.init tlb_slots (fun _ ->
+          { vpn = -1; frame = 0; writable = false; user = false; pte_addr = 0 });
+    tlb_mask = tlb_slots - 1;
+    costs;
+    hits = 0L;
+    misses = 0L;
+  }
+
+let flush t =
+  Array.iter (fun e -> e.vpn <- -1) t.tlb
+
+let check_perms ~cpl ~access ~writable ~user ~vaddr =
+  if cpl = 3 && not user then
+    raise (Page_fault { vaddr; access; not_present = false });
+  match access with
+  | Write when not writable ->
+    raise (Page_fault { vaddr; access; not_present = false })
+  | Write | Read | Exec -> ()
+
+let walk mem ~ptb ~vaddr ~access =
+  let pde_addr = (ptb land 0xFFFFF000) + (4 * dir_index vaddr) in
+  let pde = Phys_mem.read_u32 mem pde_addr in
+  if not (is_present pde) then
+    raise (Page_fault { vaddr; access; not_present = true });
+  let pte_addr = frame_of pde + (4 * table_index vaddr) in
+  let pte = Phys_mem.read_u32 mem pte_addr in
+  if not (is_present pte) then
+    raise (Page_fault { vaddr; access; not_present = true });
+  (pde, pde_addr, pte, pte_addr)
+
+let translate t mem ~ptb ~cpl access vaddr =
+  if ptb = 0 then (vaddr, 0)
+  else begin
+    let vpn = vaddr lsr 12 in
+    let entry = t.tlb.(vpn land t.tlb_mask) in
+    if entry.vpn = vpn then begin
+      t.hits <- Int64.add t.hits 1L;
+      check_perms ~cpl ~access ~writable:entry.writable ~user:entry.user ~vaddr;
+      if access = Write then begin
+        let pte = Phys_mem.read_u32 mem entry.pte_addr in
+        Phys_mem.write_u32 mem entry.pte_addr (pte lor pte_dirty)
+      end;
+      (entry.frame lor (vaddr land 0xFFF), 0)
+    end
+    else begin
+      t.misses <- Int64.add t.misses 1L;
+      let pde, pde_addr, pte, pte_addr = walk mem ~ptb ~vaddr ~access in
+      (* Effective permissions combine both levels, like x86. *)
+      let writable = is_writable pde && is_writable pte in
+      let user = is_user pde && is_user pte in
+      check_perms ~cpl ~access ~writable ~user ~vaddr;
+      Phys_mem.write_u32 mem pde_addr (pde lor pte_accessed);
+      let dirty = if access = Write then pte_dirty else 0 in
+      Phys_mem.write_u32 mem pte_addr (pte lor pte_accessed lor dirty);
+      entry.vpn <- vpn;
+      entry.frame <- frame_of pte;
+      entry.writable <- writable;
+      entry.user <- user;
+      entry.pte_addr <- pte_addr;
+      (frame_of pte lor (vaddr land 0xFFF), t.costs.tlb_miss)
+    end
+  end
+
+let probe mem ~ptb vaddr =
+  if ptb = 0 then Some (make_pte ~frame:(vaddr land 0xFFFFF000) ~writable:true ~user:true)
+  else
+    let pde_addr = (ptb land 0xFFFFF000) + (4 * dir_index vaddr) in
+    let pde = Phys_mem.read_u32 mem pde_addr in
+    if not (is_present pde) then None
+    else
+      let pte_addr = frame_of pde + (4 * table_index vaddr) in
+      let pte = Phys_mem.read_u32 mem pte_addr in
+      if not (is_present pte) then None
+      else
+        (* Report effective permissions so callers need not re-combine. *)
+        let combined =
+          pte land lnot (pte_writable lor pte_user)
+          lor (pde land pte land (pte_writable lor pte_user))
+        in
+        Some combined
+
+let tlb_hits t = t.hits
+let tlb_misses t = t.misses

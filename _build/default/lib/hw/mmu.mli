@@ -1,0 +1,73 @@
+(** Two-level paging MMU with a small TLB, modelled on IA-32.
+
+    A page-table base (PTB) of 0 disables paging (identity mapping, no
+    checks) — the state the machine boots in.  Otherwise PTB points at a
+    4 KiB page directory of 1024 entries, each optionally pointing at a page
+    table of 1024 page-table entries mapping 4 KiB pages.
+
+    PTE/PDE format (like x86 without PAE):
+    bit 0 present, bit 1 writable, bit 2 user-accessible, bit 5 accessed,
+    bit 6 dirty, bits 12-31 frame number.  The supervisor/user split is the
+    two-level hardware protection the paper works around: rings 0-2 are
+    supervisor, ring 3 is user. *)
+
+type access = Read | Write | Exec
+
+type fault = {
+  vaddr : int;
+  access : access;
+  not_present : bool;  (** true: missing PDE/PTE; false: permission *)
+}
+
+exception Page_fault of fault
+
+val page_size : int
+val entries_per_table : int
+
+(** {2 Entry construction/inspection} *)
+
+val pte_present : int
+val pte_writable : int
+val pte_user : int
+val pte_accessed : int
+val pte_dirty : int
+
+(** [make_pte ~frame ~writable ~user] is a present entry mapping physical
+    [frame] (byte address, low 12 bits ignored). *)
+val make_pte : frame:int -> writable:bool -> user:bool -> int
+
+val frame_of : int -> int
+val is_present : int -> bool
+val is_writable : int -> bool
+val is_user : int -> bool
+
+(** [dir_index vaddr] and [table_index vaddr] split a virtual address. *)
+val dir_index : int -> int
+
+val table_index : int -> int
+
+(** {2 Translation} *)
+
+type t
+
+val create : Costs.t -> t
+
+(** [flush t] drops every TLB entry (LPTB and TLBFLUSH do this). *)
+val flush : t -> unit
+
+(** [translate t mem ~ptb ~cpl access vaddr] is [(paddr, extra_cycles)].
+    Sets accessed/dirty bits on the walked entries.  [extra_cycles] is the
+    TLB-miss penalty when a walk was needed, 0 on a hit or with paging off.
+    @raise Page_fault on a missing or forbidden mapping. *)
+val translate :
+  t -> Phys_mem.t -> ptb:int -> cpl:int -> access -> int -> int * int
+
+(** [probe mem ~ptb vaddr] walks the tables without touching accessed/dirty
+    bits or the TLB; [None] when unmapped at either level.  Used by the
+    monitor's shadow-paging code to read the guest's tables. *)
+val probe : Phys_mem.t -> ptb:int -> int -> int option
+
+(** [tlb_hits t] / [tlb_misses t] expose counters for tests and benches. *)
+val tlb_hits : t -> int64
+
+val tlb_misses : t -> int64

@@ -1,0 +1,124 @@
+module Engine = Vmm_sim.Engine
+
+let tx_ring_slots = 64
+let mtu = 1500
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  mem : Phys_mem.t;
+  mutable tx_addr : int;
+  mutable tx_len : int;
+  mutable queued : int; (* frames in the ring, not yet on the wire *)
+  mutable wire_busy_until : int64;
+  mutable completions : int;
+  mutable overflow : bool;
+  mutable overflow_count : int;
+  mutable frames_sent : int;
+  mutable bytes_sent : int64;
+  mutable irq : unit -> unit;
+  mutable on_frame : bytes -> unit;
+  rx : bytes Queue.t;
+  mutable rx_addr : int;
+}
+
+let create ~engine ~costs ~mem () =
+  {
+    engine;
+    costs;
+    mem;
+    tx_addr = 0;
+    tx_len = 0;
+    queued = 0;
+    wire_busy_until = 0L;
+    completions = 0;
+    overflow = false;
+    overflow_count = 0;
+    frames_sent = 0;
+    bytes_sent = 0L;
+    irq = (fun () -> ());
+    on_frame = (fun _ -> ());
+    rx = Queue.create ();
+    rx_addr = 0;
+  }
+
+let set_irq t f = t.irq <- f
+let set_on_frame t f = t.on_frame <- f
+
+let serialization_cycles t len =
+  let seconds = float_of_int (8 * len) /. (t.costs.Costs.nic_gbps *. 1e9) in
+  Int64.add
+    (Int64.of_int t.costs.Costs.nic_setup_cycles)
+    (Costs.cycles_of_seconds t.costs seconds)
+
+let send t =
+  if t.tx_len <= 0 || t.tx_len > mtu then t.overflow <- true
+  else if t.queued >= tx_ring_slots then begin
+    t.overflow <- true;
+    t.overflow_count <- t.overflow_count + 1
+  end
+  else begin
+    (* DMA the frame out immediately; serialization happens on the wire. *)
+    let frame = Phys_mem.read_bytes t.mem ~addr:t.tx_addr ~len:t.tx_len in
+    t.queued <- t.queued + 1;
+    let now = Engine.now t.engine in
+    let start =
+      if Int64.compare t.wire_busy_until now > 0 then t.wire_busy_until else now
+    in
+    let done_at = Int64.add start (serialization_cycles t (Bytes.length frame)) in
+    t.wire_busy_until <- done_at;
+    ignore
+      (Engine.at t.engine ~time:done_at (fun () ->
+           t.queued <- t.queued - 1;
+           t.completions <- t.completions + 1;
+           t.frames_sent <- t.frames_sent + 1;
+           t.bytes_sent <- Int64.add t.bytes_sent (Int64.of_int (Bytes.length frame));
+           t.on_frame frame;
+           t.irq ()))
+  end
+
+let receive_into_buffer t =
+  match Queue.take_opt t.rx with
+  | None -> ()
+  | Some frame -> Phys_mem.load_bytes t.mem ~addr:t.rx_addr frame
+
+let inject_rx t frame =
+  Queue.add (Bytes.copy frame) t.rx;
+  t.irq ()
+
+let io_read t offset =
+  match offset with
+  | 3 ->
+    (if t.queued >= tx_ring_slots then 1 else 0)
+    lor (if t.completions > 0 then 2 else 0)
+    lor (if t.overflow then 4 else 0)
+    lor (if Queue.is_empty t.rx then 0 else 8)
+  | 5 -> t.frames_sent
+  | 7 -> (match Queue.peek_opt t.rx with None -> 0 | Some f -> Bytes.length f)
+  | 0 -> t.tx_addr
+  | 1 -> t.tx_len
+  | _ -> 0xFFFFFFFF
+
+let io_write t offset v =
+  match offset with
+  | 0 -> t.tx_addr <- v
+  | 1 -> t.tx_len <- v
+  | 2 ->
+    (match v land 3 with
+     | 1 -> send t
+     | 2 -> receive_into_buffer t
+     | _ -> ())
+  | 4 ->
+    if v land 1 <> 0 && t.completions > 0 then
+      t.completions <- t.completions - 1;
+    if v land 2 <> 0 then t.overflow <- false
+  | 6 -> t.rx_addr <- v
+  | _ -> ()
+
+let attach t bus ~base =
+  Io_bus.register bus ~name:"nic" ~base ~count:8 ~read:(io_read t)
+    ~write:(io_write t)
+
+let frames_sent t = t.frames_sent
+let bytes_sent t = t.bytes_sent
+let overflows t = t.overflow_count

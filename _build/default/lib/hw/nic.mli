@@ -1,0 +1,49 @@
+(** Gigabit Ethernet controller.
+
+    Transmit-side model: the driver points the NIC at a frame in physical
+    memory and issues a send; the NIC DMAs the frame, serializes it at the
+    wire rate ({!Costs.t.nic_gbps}) and raises a completion interrupt (PIC
+    line 5).  Up to {!tx_ring_slots} frames may be queued; a send into a
+    full ring sets the overflow flag and is dropped (like a driver bug
+    would on real hardware).  Transmitted frames are handed to the host
+    harness via {!set_on_frame} for validation and rate measurement.
+
+    A minimal receive path exists for completeness: the harness calls
+    {!inject_rx}; the driver reads RX_LEN, points RX_ADDR at a buffer and
+    issues command 2 to DMA the frame in.
+
+    Port map (offsets):
+    - +0 TX frame physical address (write)
+    - +1 TX frame length in bytes (write)
+    - +2 command (write): 1 = send, 2 = receive-into-buffer
+    - +3 status (read): bit 0 ring full, bit 1 completions pending,
+      bit 2 overflow happened, bit 3 rx frame waiting
+    - +4 acknowledge (write): 1 = consume one tx completion, 2 = clear
+      overflow
+    - +5 frames transmitted, total (read)
+    - +6 RX buffer physical address (write)
+    - +7 length of the waiting rx frame (read; 0 = none) *)
+
+type t
+
+val tx_ring_slots : int
+val mtu : int
+
+val create :
+  engine:Vmm_sim.Engine.t -> costs:Costs.t -> mem:Phys_mem.t -> unit -> t
+
+val set_irq : t -> (unit -> unit) -> unit
+
+(** [set_on_frame t f] — [f frame] runs when a frame finishes on the wire. *)
+val set_on_frame : t -> (bytes -> unit) -> unit
+
+(** [inject_rx t frame] queues an inbound frame and raises the IRQ. *)
+val inject_rx : t -> bytes -> unit
+
+val io_read : t -> int -> int
+val io_write : t -> int -> int -> unit
+val attach : t -> Io_bus.t -> base:int -> unit
+
+val frames_sent : t -> int
+val bytes_sent : t -> int64
+val overflows : t -> int

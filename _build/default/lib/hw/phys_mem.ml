@@ -1,0 +1,80 @@
+type t = { data : Bytes.t }
+
+exception Bus_error of int
+
+let create ~size =
+  if size <= 0 then invalid_arg "Phys_mem.create: size <= 0";
+  { data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+
+let check t addr len =
+  if addr < 0 || addr + len > Bytes.length t.data then raise (Bus_error addr)
+
+let read_u8 t addr =
+  check t addr 1;
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let write_u8 t addr v =
+  check t addr 1;
+  Bytes.unsafe_set t.data addr (Char.chr (v land 0xFF))
+
+let read_u16 t addr =
+  check t addr 2;
+  Char.code (Bytes.unsafe_get t.data addr)
+  lor (Char.code (Bytes.unsafe_get t.data (addr + 1)) lsl 8)
+
+let write_u16 t addr v =
+  check t addr 2;
+  Bytes.unsafe_set t.data addr (Char.chr (v land 0xFF));
+  Bytes.unsafe_set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let read_u32 t addr =
+  check t addr 4;
+  Char.code (Bytes.unsafe_get t.data addr)
+  lor (Char.code (Bytes.unsafe_get t.data (addr + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get t.data (addr + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get t.data (addr + 3)) lsl 24)
+
+let write_u32 t addr v =
+  check t addr 4;
+  Bytes.unsafe_set t.data addr (Char.chr (v land 0xFF));
+  Bytes.unsafe_set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set t.data (addr + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set t.data (addr + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+let load_bytes t ~addr bytes =
+  check t addr (Bytes.length bytes);
+  Bytes.blit bytes 0 t.data addr (Bytes.length bytes)
+
+let read_bytes t ~addr ~len =
+  check t addr len;
+  Bytes.sub t.data addr len
+
+let blit t ~src ~dst ~len =
+  check t src len;
+  check t dst len;
+  Bytes.blit t.data src t.data dst len
+
+let checksum t ~addr ~len =
+  check t addr len;
+  (* Standard Internet checksum: 16-bit ones'-complement sum, odd trailing
+     byte padded with zero. *)
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum := !sum + Char.code (Bytes.unsafe_get t.data (addr + !i))
+           + (Char.code (Bytes.unsafe_get t.data (addr + !i + 1)) lsl 8);
+    i := !i + 2
+  done;
+  if len land 1 = 1 then
+    sum := !sum + Char.code (Bytes.unsafe_get t.data (addr + len - 1));
+  let s = ref !sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+let fill t ~addr ~len v =
+  check t addr len;
+  Bytes.fill t.data addr len (Char.chr (v land 0xFF))

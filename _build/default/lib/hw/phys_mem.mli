@@ -1,0 +1,46 @@
+(** Physical memory: a flat, byte-addressable array with little-endian
+    multi-byte access.
+
+    Addresses are physical; translation lives in {!Mmu}.  Out-of-range
+    accesses raise {!Bus_error}, which the CPU turns into a machine check. *)
+
+type t
+
+exception Bus_error of int
+
+(** [create ~size] is zero-filled memory of [size] bytes. *)
+val create : size:int -> t
+
+val size : t -> int
+
+(** 8-bit access; value in [0, 255]. *)
+val read_u8 : t -> int -> int
+
+val write_u8 : t -> int -> int -> unit
+
+(** 16-bit little-endian access. *)
+val read_u16 : t -> int -> int
+
+val write_u16 : t -> int -> int -> unit
+
+(** 32-bit little-endian access. *)
+val read_u32 : t -> int -> Word.t
+
+val write_u32 : t -> int -> Word.t -> unit
+
+(** [load_bytes t ~addr bytes] copies [bytes] into memory at [addr]. *)
+val load_bytes : t -> addr:int -> bytes -> unit
+
+(** [read_bytes t ~addr ~len] copies a region out. *)
+val read_bytes : t -> addr:int -> len:int -> bytes
+
+(** [blit t ~src ~dst ~len] copies within physical memory (used by the DMA
+    engine and the COPY instruction); handles overlap like [Bytes.blit]. *)
+val blit : t -> src:int -> dst:int -> len:int -> unit
+
+(** [checksum t ~addr ~len] is the ones'-complement 16-bit sum used by the
+    guest's UDP stack (and by tests to validate transmitted frames). *)
+val checksum : t -> addr:int -> len:int -> int
+
+(** [fill t ~addr ~len v] sets a region to byte [v]. *)
+val fill : t -> addr:int -> len:int -> int -> unit

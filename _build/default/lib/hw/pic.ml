@@ -1,0 +1,95 @@
+type t = {
+  mutable vector_base : int;
+  mutable request : int;
+  mutable service : int;
+  mutable mask : int;
+  mutable intr : bool -> unit;
+  mutable intr_level : bool;
+}
+
+let lines = 8
+
+let create ?(vector_base = Isa.vec_irq_base_default) () =
+  {
+    vector_base;
+    request = 0;
+    service = 0;
+    mask = 0;
+    intr = (fun _ -> ());
+    intr_level = false;
+  }
+
+let lowest_bit v =
+  let rec scan i = if i >= lines then None else if v land (1 lsl i) <> 0 then Some i else scan (i + 1) in
+  scan 0
+
+(* A request is deliverable when unmasked and of strictly higher priority
+   (lower line number) than everything currently in service. *)
+let deliverable t =
+  match lowest_bit (t.request land lnot t.mask) with
+  | None -> None
+  | Some line ->
+    (match lowest_bit t.service with
+     | Some s when s <= line -> None
+     | Some _ | None -> Some line)
+
+let update_intr t =
+  let level = deliverable t <> None in
+  if level <> t.intr_level then begin
+    t.intr_level <- level;
+    t.intr level
+  end
+
+let set_intr t f =
+  t.intr <- f;
+  t.intr_level <- deliverable t <> None;
+  f t.intr_level
+
+let raise_irq t line =
+  if line < 0 || line >= lines then invalid_arg "Pic.raise_irq";
+  t.request <- t.request lor (1 lsl line);
+  update_intr t
+
+let pending t = deliverable t <> None
+
+let ack t =
+  match deliverable t with
+  | None -> None
+  | Some line ->
+    t.request <- t.request land lnot (1 lsl line);
+    t.service <- t.service lor (1 lsl line);
+    update_intr t;
+    Some (t.vector_base + line)
+
+let vector_base t = t.vector_base
+
+let eoi t =
+  match lowest_bit t.service with
+  | Some line ->
+    t.service <- t.service land lnot (1 lsl line);
+    update_intr t
+  | None -> ()
+
+let io_read t offset =
+  match offset with
+  | 0 -> t.service
+  | 1 -> t.mask
+  | 2 -> t.vector_base
+  | _ -> 0xFFFFFFFF
+
+let io_write t offset v =
+  match offset with
+  | 0 -> if v land 0xFF = 0x20 then eoi t
+  | 1 ->
+    t.mask <- v land 0xFF;
+    update_intr t
+  | 2 -> t.vector_base <- v land 0x3F
+  | _ -> ()
+
+let attach t bus ~base =
+  Io_bus.register bus ~name:"pic" ~base ~count:3 ~read:(io_read t)
+    ~write:(io_write t)
+
+let requested t = t.request
+let in_service t = t.service
+let mask t = t.mask

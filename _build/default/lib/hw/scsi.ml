@@ -1,0 +1,149 @@
+module Engine = Vmm_sim.Engine
+
+let sector_size = 512
+
+type target_state = {
+  mutable busy : bool;
+  mutable done_ : bool;
+  written : (int, int) Hashtbl.t; (* byte offset -> value *)
+}
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  mem : Phys_mem.t;
+  target_states : target_state array;
+  mutable sel_target : int;
+  mutable sel_lba : int;
+  mutable sel_count : int;
+  mutable sel_dma : int;
+  mutable error : bool;
+  mutable irq : unit -> unit;
+  mutable reads_completed : int;
+  mutable bytes_read : int64;
+}
+
+let create ~engine ~costs ~mem ~targets () =
+  if targets < 1 || targets > 8 then invalid_arg "Scsi.create: targets";
+  {
+    engine;
+    costs;
+    mem;
+    target_states =
+      Array.init targets (fun _ ->
+          { busy = false; done_ = false; written = Hashtbl.create 64 });
+    sel_target = 0;
+    sel_lba = 0;
+    sel_count = 0;
+    sel_dma = 0;
+    error = false;
+    irq = (fun () -> ());
+    reads_completed = 0;
+    bytes_read = 0L;
+  }
+
+let targets t = Array.length t.target_states
+
+let set_irq t f = t.irq <- f
+
+let pattern_byte ~target ~offset = (offset + (7 * target) + 13) mod 251
+
+let transfer_cycles t bytes =
+  let seconds =
+    float_of_int (8 * bytes) /. (t.costs.Costs.disk_rate_mbps *. 1e6)
+  in
+  Int64.add
+    (Int64.of_int t.costs.Costs.disk_setup_cycles)
+    (Costs.cycles_of_seconds t.costs seconds)
+
+let complete_read t target lba count dma =
+  let ts = t.target_states.(target) in
+  let base = lba * sector_size in
+  for i = 0 to count - 1 do
+    let v =
+      match Hashtbl.find_opt ts.written (base + i) with
+      | Some v -> v
+      | None -> pattern_byte ~target ~offset:(base + i)
+    in
+    Phys_mem.write_u8 t.mem (dma + i) v
+  done;
+  ts.busy <- false;
+  ts.done_ <- true;
+  t.reads_completed <- t.reads_completed + 1;
+  t.bytes_read <- Int64.add t.bytes_read (Int64.of_int count);
+  t.irq ()
+
+(* Write data is latched when the command is issued (the controller DMAs
+   it out immediately); completion only signals that the medium has it.
+   This keeps a single staging buffer in the guest race-free. *)
+let complete_write t target lba data =
+  let ts = t.target_states.(target) in
+  let base = lba * sector_size in
+  Bytes.iteri
+    (fun i byte -> Hashtbl.replace ts.written (base + i) (Char.code byte))
+    data;
+  ts.busy <- false;
+  ts.done_ <- true;
+  t.irq ()
+
+let start_command t cmd =
+  let target = t.sel_target in
+  if target < 0 || target >= targets t then t.error <- true
+  else begin
+    let ts = t.target_states.(target) in
+    if ts.busy || t.sel_count <= 0 then t.error <- true
+    else begin
+      let lba = t.sel_lba and count = t.sel_count and dma = t.sel_dma in
+      ts.busy <- true;
+      let finish =
+        match cmd with
+        | 1 -> fun () -> complete_read t target lba count dma
+        | _ ->
+          let data = Phys_mem.read_bytes t.mem ~addr:dma ~len:count in
+          fun () -> complete_write t target lba data
+      in
+      ignore (Engine.after t.engine ~delay:(transfer_cycles t count) finish)
+    end
+  end
+
+let status t =
+  let acc = ref (if t.error then 1 lsl 31 else 0) in
+  Array.iteri
+    (fun i ts ->
+      if ts.done_ then acc := !acc lor (1 lsl i);
+      if ts.busy then acc := !acc lor (1 lsl (16 + i)))
+    t.target_states;
+  !acc
+
+let io_read t offset =
+  match offset with
+  | 5 -> status t
+  | 0 -> t.sel_target
+  | 1 -> t.sel_lba
+  | 2 -> t.sel_count
+  | 3 -> t.sel_dma
+  | _ -> 0xFFFFFFFF
+
+let io_write t offset v =
+  match offset with
+  | 0 -> t.sel_target <- v
+  | 1 -> t.sel_lba <- v
+  | 2 -> t.sel_count <- v
+  | 3 -> t.sel_dma <- v
+  | 4 ->
+    (match v land 3 with
+     | 1 | 2 -> start_command t (v land 3)
+     | _ -> t.error <- true)
+  | 6 ->
+    if v >= 0 && v < targets t then begin
+      t.target_states.(v).done_ <- false;
+      t.error <- false
+    end
+  | _ -> ()
+
+let attach t bus ~base =
+  Io_bus.register bus ~name:"scsi" ~base ~count:7 ~read:(io_read t)
+    ~write:(io_write t)
+
+let reads_completed t = t.reads_completed
+let bytes_read t = t.bytes_read

@@ -1,0 +1,48 @@
+(** Streaming SCSI controller with several disk targets (the paper's three
+    Ultra160 drives hang off one of these).
+
+    Reads stream at the per-disk media rate ({!Costs.t.disk_rate_mbps}) and
+    complete with a DMA transfer into physical memory followed by an
+    interrupt (PIC line 6).  Disk contents are synthetic but stable: a
+    deterministic byte pattern per (target, byte offset), overridden by any
+    data previously written — so data integrity is checkable end-to-end.
+
+    Port map (offsets):
+    - +0 target select (write)
+    - +1 logical block address, 512-byte sectors (write)
+    - +2 transfer length in bytes (write)
+    - +3 DMA physical address (write)
+    - +4 command (write): 1 = read, 2 = write
+    - +5 status (read): bits 0..targets-1 completion flags,
+      bits 16..16+targets-1 busy flags, bit 31 command error
+    - +6 completion acknowledge (write): value = target number *)
+
+type t
+
+val sector_size : int
+
+val create :
+  engine:Vmm_sim.Engine.t ->
+  costs:Costs.t ->
+  mem:Phys_mem.t ->
+  targets:int ->
+  unit ->
+  t
+
+val targets : t -> int
+
+(** [set_irq t f] wires the completion interrupt. *)
+val set_irq : t -> (unit -> unit) -> unit
+
+(** [pattern_byte ~target ~offset] is the synthetic content of an
+    unwritten byte (exposed so tests and the guest can validate data). *)
+val pattern_byte : target:int -> offset:int -> int
+
+val io_read : t -> int -> int
+val io_write : t -> int -> int -> unit
+val attach : t -> Io_bus.t -> base:int -> unit
+
+(** Counters for tests/benches. *)
+val reads_completed : t -> int
+
+val bytes_read : t -> int64

@@ -1,0 +1,1 @@
+lib/proto/command.ml: Array Format Option Packet Printf String

@@ -1,0 +1,1 @@
+lib/proto/command.mli: Format

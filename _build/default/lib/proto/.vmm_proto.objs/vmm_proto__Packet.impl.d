@@ -1,0 +1,1 @@
+lib/proto/packet.ml: Buffer Bytes Char List Printf String

@@ -1,0 +1,231 @@
+let register_count = 18
+
+type command =
+  | Read_registers
+  | Write_register of int * int
+  | Read_memory of { addr : int; len : int }
+  | Write_memory of { addr : int; data : string }
+  | Insert_breakpoint of int
+  | Remove_breakpoint of int
+  | Insert_watchpoint of { addr : int; len : int }
+  | Remove_watchpoint of { addr : int; len : int }
+  | Continue
+  | Step
+  | Halt
+  | Query_stop
+  | Read_console
+  | Read_profile
+  | Detach
+
+type stop_reason =
+  | Break of int
+  | Step_done of int
+  | Faulted of { vector : int; pc : int }
+  | Halt_requested of int
+  | Watch_hit of { pc : int; addr : int }
+
+type reply =
+  | Ok_reply
+  | Error of int
+  | Registers of int array
+  | Memory of string
+  | Stopped of stop_reason
+  | Running
+  | Unsupported
+
+let hex = Packet.hex_of_int
+
+let command_to_wire = function
+  | Read_registers -> "g"
+  | Write_register (idx, v) ->
+    Printf.sprintf "P%s=%s" (hex idx ~width:2) (hex v ~width:8)
+  | Read_memory { addr; len } ->
+    Printf.sprintf "m%s,%s" (hex addr ~width:8) (hex len ~width:8)
+  | Write_memory { addr; data } ->
+    Printf.sprintf "M%s,%s:%s" (hex addr ~width:8)
+      (hex (String.length data) ~width:8)
+      (Packet.to_hex data)
+  | Insert_breakpoint addr -> Printf.sprintf "Z0,%s" (hex addr ~width:8)
+  | Remove_breakpoint addr -> Printf.sprintf "z0,%s" (hex addr ~width:8)
+  | Insert_watchpoint { addr; len } ->
+    Printf.sprintf "Z2,%s,%s" (hex addr ~width:8) (hex len ~width:4)
+  | Remove_watchpoint { addr; len } ->
+    Printf.sprintf "z2,%s,%s" (hex addr ~width:8) (hex len ~width:4)
+  | Continue -> "c"
+  | Step -> "s"
+  | Halt -> "H"
+  | Query_stop -> "?"
+  | Read_console -> "qC"
+  | Read_profile -> "qP"
+  | Detach -> "D"
+
+let split_once s ~on =
+  match String.index_opt s on with
+  | Some i ->
+    Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> None
+
+let tail s = String.sub s 1 (String.length s - 1)
+
+let ( let* ) = Option.bind
+
+let command_of_wire s =
+  if String.length s = 0 then None
+  else
+    match s.[0] with
+    | 'g' -> Some Read_registers
+    | 'c' -> Some Continue
+    | 's' -> Some Step
+    | 'H' -> Some Halt
+    | '?' -> Some Query_stop
+    | 'q' ->
+      if s = "qC" then Some Read_console
+      else if s = "qP" then Some Read_profile
+      else None
+    | 'D' -> Some Detach
+    | 'P' ->
+      let* idx_s, val_s = split_once (tail s) ~on:'=' in
+      let* idx = Packet.int_of_hex idx_s in
+      let* v = Packet.int_of_hex val_s in
+      Some (Write_register (idx, v))
+    | 'm' ->
+      let* addr_s, len_s = split_once (tail s) ~on:',' in
+      let* addr = Packet.int_of_hex addr_s in
+      let* len = Packet.int_of_hex len_s in
+      Some (Read_memory { addr; len })
+    | 'M' ->
+      let* addr_s, rest = split_once (tail s) ~on:',' in
+      let* len_s, hex_s = split_once rest ~on:':' in
+      let* addr = Packet.int_of_hex addr_s in
+      let* len = Packet.int_of_hex len_s in
+      let* data = Packet.of_hex hex_s in
+      if String.length data = len then Some (Write_memory { addr; data })
+      else None
+    | 'Z' ->
+      let* kind, rest = split_once (tail s) ~on:',' in
+      (match kind with
+       | "0" ->
+         let* addr = Packet.int_of_hex rest in
+         Some (Insert_breakpoint addr)
+       | "2" ->
+         let* addr_s, len_s = split_once rest ~on:',' in
+         let* addr = Packet.int_of_hex addr_s in
+         let* len = Packet.int_of_hex len_s in
+         Some (Insert_watchpoint { addr; len })
+       | _ -> None)
+    | 'z' ->
+      let* kind, rest = split_once (tail s) ~on:',' in
+      (match kind with
+       | "0" ->
+         let* addr = Packet.int_of_hex rest in
+         Some (Remove_breakpoint addr)
+       | "2" ->
+         let* addr_s, len_s = split_once rest ~on:',' in
+         let* addr = Packet.int_of_hex addr_s in
+         let* len = Packet.int_of_hex len_s in
+         Some (Remove_watchpoint { addr; len })
+       | _ -> None)
+    | _ -> None
+
+(* Stop-reply codes (mirroring Unix signal numbers where GDB does). *)
+let code_break = 0x05
+let code_step = 0x01
+let code_fault = 0x0B
+let code_halt = 0x02
+let code_watch = 0x06
+
+let stop_to_wire = function
+  | Break addr -> Printf.sprintf "T%s;%s" (hex code_break ~width:2) (hex addr ~width:8)
+  | Step_done addr ->
+    Printf.sprintf "T%s;%s" (hex code_step ~width:2) (hex addr ~width:8)
+  | Faulted { vector; pc } ->
+    Printf.sprintf "T%s;%s;%s" (hex code_fault ~width:2) (hex pc ~width:8)
+      (hex vector ~width:2)
+  | Halt_requested addr ->
+    Printf.sprintf "T%s;%s" (hex code_halt ~width:2) (hex addr ~width:8)
+  | Watch_hit { pc; addr } ->
+    Printf.sprintf "T%s;%s;%s" (hex code_watch ~width:2) (hex pc ~width:8)
+      (hex addr ~width:8)
+
+let reply_to_wire = function
+  | Ok_reply -> "OK"
+  | Error code -> Printf.sprintf "E%s" (hex code ~width:2)
+  | Registers regs ->
+    String.concat "" (Array.to_list (Array.map (fun v -> hex v ~width:8) regs))
+  | Memory data -> Packet.to_hex data
+  | Stopped reason -> stop_to_wire reason
+  | Running -> "R"
+  | Unsupported -> ""
+
+let parse_stop s =
+  let* code = Packet.int_of_hex (String.sub s 1 2) in
+  let rest = String.sub s 3 (String.length s - 3) in
+  let fields =
+    if String.length rest = 0 then []
+    else String.split_on_char ';' (tail rest)
+  in
+  match (code, fields) with
+  | c, [ a ] when c = code_break ->
+    let* addr = Packet.int_of_hex a in
+    Some (Break addr)
+  | c, [ a ] when c = code_step ->
+    let* addr = Packet.int_of_hex a in
+    Some (Step_done addr)
+  | c, [ a ] when c = code_halt ->
+    let* addr = Packet.int_of_hex a in
+    Some (Halt_requested addr)
+  | c, [ a; v ] when c = code_fault ->
+    let* pc = Packet.int_of_hex a in
+    let* vector = Packet.int_of_hex v in
+    Some (Faulted { vector; pc })
+  | c, [ a; w ] when c = code_watch ->
+    let* pc = Packet.int_of_hex a in
+    let* addr = Packet.int_of_hex w in
+    Some (Watch_hit { pc; addr })
+  | _ -> None
+
+let reply_of_wire s =
+  if s = "" then Some Unsupported
+  else if s = "OK" then Some Ok_reply
+  else if s = "R" then Some Running
+  else if s.[0] = 'E' && String.length s = 3 then
+    let* code = Packet.int_of_hex (tail s) in
+    Some (Error code)
+  else if s.[0] = 'T' && String.length s >= 3 then
+    let* reason = parse_stop s in
+    Some (Stopped reason)
+  else if String.length s mod 8 = 0 && String.length s / 8 = register_count
+  then begin
+    (* Exactly 18 words: a register dump. *)
+    let regs = Array.make register_count 0 in
+    let ok = ref true in
+    for i = 0 to register_count - 1 do
+      match Packet.int_of_hex (String.sub s (8 * i) 8) with
+      | Some v -> regs.(i) <- v
+      | None -> ok := false
+    done;
+    if !ok then Some (Registers regs) else None
+  end
+  else
+    let* data = Packet.of_hex s in
+    Some (Memory data)
+
+let pp_command fmt c = Format.pp_print_string fmt (command_to_wire c)
+
+let pp_stop_reason fmt = function
+  | Break addr -> Format.fprintf fmt "breakpoint at 0x%x" addr
+  | Step_done addr -> Format.fprintf fmt "stepped to 0x%x" addr
+  | Faulted { vector; pc } ->
+    Format.fprintf fmt "fault vector %d at 0x%x" vector pc
+  | Halt_requested addr -> Format.fprintf fmt "halted at 0x%x" addr
+  | Watch_hit { pc; addr } ->
+    Format.fprintf fmt "watchpoint on 0x%x hit at 0x%x" addr pc
+
+let pp_reply fmt = function
+  | Ok_reply -> Format.pp_print_string fmt "OK"
+  | Error code -> Format.fprintf fmt "error %d" code
+  | Registers _ -> Format.pp_print_string fmt "<registers>"
+  | Memory data -> Format.fprintf fmt "<%d bytes>" (String.length data)
+  | Stopped reason -> pp_stop_reason fmt reason
+  | Running -> Format.pp_print_string fmt "running"
+  | Unsupported -> Format.pp_print_string fmt "<unsupported>"

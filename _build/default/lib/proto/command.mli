@@ -1,0 +1,53 @@
+(** Typed grammar of debugger commands and stub replies, with the textual
+    wire encoding used inside packets.
+
+    The encoding follows the GDB remote serial protocol where a natural
+    counterpart exists ([g], [m], [M], [P], [Z0]/[z0], [c], [s], [?]) and
+    adds a stop/halt request.  Registers travel as 18 words: r0-r15, pc,
+    flags. *)
+
+val register_count : int
+
+type command =
+  | Read_registers  (** [g] *)
+  | Write_register of int * int  (** [P<idx>=<val>] *)
+  | Read_memory of { addr : int; len : int }  (** [m<addr>,<len>] *)
+  | Write_memory of { addr : int; data : string }
+      (** [M<addr>,<len>:<hex>] *)
+  | Insert_breakpoint of int  (** [Z0,<addr>] *)
+  | Remove_breakpoint of int  (** [z0,<addr>] *)
+  | Insert_watchpoint of { addr : int; len : int }  (** [Z2,<addr>,<len>] *)
+  | Remove_watchpoint of { addr : int; len : int }  (** [z2,<addr>,<len>] *)
+  | Continue  (** [c] *)
+  | Step  (** [s] *)
+  | Halt  (** [H] — stop a running target *)
+  | Query_stop  (** [?] *)
+  | Read_console  (** [qC] — drain the target-side console buffer *)
+  | Read_profile  (** [qP] — fetch the monitor's pc-sampling profile *)
+  | Detach  (** [D] *)
+
+(** Why the target is (now) stopped. *)
+type stop_reason =
+  | Break of int  (** breakpoint hit, at address *)
+  | Step_done of int  (** single step retired, now at address *)
+  | Faulted of { vector : int; pc : int }  (** unhandled guest fault *)
+  | Halt_requested of int  (** host asked; stopped at address *)
+  | Watch_hit of { pc : int; addr : int }
+      (** a watched location was written *)
+
+type reply =
+  | Ok_reply  (** [OK] *)
+  | Error of int  (** [E<nn>] *)
+  | Registers of int array  (** hex-encoded words *)
+  | Memory of string  (** raw bytes, hex on the wire *)
+  | Stopped of stop_reason  (** [T<code>;<pc>] *)
+  | Running  (** [R] — reply to [?] while not stopped *)
+  | Unsupported  (** empty reply *)
+
+val command_to_wire : command -> string
+val command_of_wire : string -> command option
+val reply_to_wire : reply -> string
+val reply_of_wire : string -> reply option
+val pp_command : Format.formatter -> command -> unit
+val pp_reply : Format.formatter -> reply -> unit
+val pp_stop_reason : Format.formatter -> stop_reason -> unit

@@ -1,0 +1,33 @@
+type endpoint = {
+  send : int -> unit;
+  set_receive : (int -> unit) -> unit;
+}
+
+type side = {
+  mutable receive : (int -> unit) option;
+  backlog : int Queue.t;
+}
+
+let deliver side byte =
+  match side.receive with
+  | Some f -> f byte
+  | None -> Queue.add byte side.backlog
+
+let make_side () = { receive = None; backlog = Queue.create () }
+
+let endpoint_of ~peer ~own =
+  {
+    send = (fun byte -> deliver peer (byte land 0xFF));
+    set_receive =
+      (fun f ->
+        own.receive <- Some f;
+        while not (Queue.is_empty own.backlog) do
+          f (Queue.pop own.backlog)
+        done);
+  }
+
+let loopback () =
+  let a = make_side () and b = make_side () in
+  (endpoint_of ~peer:b ~own:a, endpoint_of ~peer:a ~own:b)
+
+let send_string e s = String.iter (fun c -> e.send (Char.code c)) s

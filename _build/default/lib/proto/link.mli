@@ -1,0 +1,19 @@
+(** Byte-stream endpoints connecting a debugger to a target.
+
+    An endpoint sends bytes one way and surfaces received bytes through a
+    registered callback.  The production link wraps the simulated UART (see
+    [Vmm_debugger.Session.over_uart]); [loopback] provides a zero-latency
+    in-memory pair for protocol tests. *)
+
+type endpoint = {
+  send : int -> unit;  (** transmit one byte *)
+  set_receive : (int -> unit) -> unit;  (** register the receive callback *)
+}
+
+(** [loopback ()] is a connected pair: bytes sent on one side arrive
+    synchronously at the other.  Bytes sent before a receiver is registered
+    are buffered. *)
+val loopback : unit -> endpoint * endpoint
+
+(** [send_string e s] sends every byte of [s]. *)
+val send_string : endpoint -> string -> unit

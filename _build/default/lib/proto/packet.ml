@@ -1,0 +1,161 @@
+let ack = '+'
+let nak = '-'
+
+let needs_escape c = c = '$' || c = '#' || c = '}'
+
+let escape payload =
+  let buf = Buffer.create (String.length payload + 8) in
+  String.iter
+    (fun c ->
+      if needs_escape c then begin
+        Buffer.add_char buf '}';
+        Buffer.add_char buf (Char.chr (Char.code c lxor 0x20))
+      end
+      else Buffer.add_char buf c)
+    payload;
+  Buffer.contents buf
+
+let checksum payload =
+  let sum = ref 0 in
+  String.iter (fun c -> sum := (!sum + Char.code c) land 0xFF) payload;
+  !sum
+
+let hex_digit v = "0123456789abcdef".[v land 0xF]
+
+let hex_of_int v ~width =
+  if v < 0 then invalid_arg "Packet.hex_of_int: negative";
+  String.init width (fun i -> hex_digit (v lsr (4 * (width - 1 - i))))
+
+let digit_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let int_of_hex s =
+  if String.length s = 0 then None
+  else
+    let rec go i acc =
+      if i = String.length s then Some acc
+      else
+        match digit_value s.[i] with
+        | Some d -> go (i + 1) ((acc lsl 4) lor d)
+        | None -> None
+    in
+    go 0 0
+
+let to_hex s =
+  String.concat ""
+    (List.map (fun c -> hex_of_int (Char.code c) ~width:2)
+       (List.init (String.length s) (String.get s)))
+
+let of_hex s =
+  let n = String.length s in
+  if n land 1 = 1 then None
+  else
+    let buf = Bytes.create (n / 2) in
+    let rec go i =
+      if i = n / 2 then Some (Bytes.to_string buf)
+      else
+        match (digit_value s.[2 * i], digit_value s.[(2 * i) + 1]) with
+        | Some hi, Some lo ->
+          Bytes.set buf i (Char.chr ((hi lsl 4) lor lo));
+          go (i + 1)
+        | _ -> None
+    in
+    go 0
+
+let frame payload =
+  let escaped = escape payload in
+  Printf.sprintf "$%s#%s" escaped (hex_of_int (checksum escaped) ~width:2)
+
+(* Incremental decoder: a small state machine over wire bytes. *)
+
+type state =
+  | Idle
+  | Body  (** inside $...# *)
+  | Body_escaped
+  | Check1
+  | Check2 of int  (** first checksum nibble *)
+
+type decoder = {
+  mutable state : state;
+  body : Buffer.t;  (** unescaped payload *)
+  mutable raw_sum : int;  (** checksum over escaped bytes *)
+}
+
+type event =
+  | Packet of string
+  | Bad_checksum
+  | Ack
+  | Nak
+
+let decoder () = { state = Idle; body = Buffer.create 64; raw_sum = 0 }
+
+let reset d =
+  d.state <- Idle;
+  Buffer.clear d.body;
+  d.raw_sum <- 0
+
+let start d =
+  Buffer.clear d.body;
+  d.raw_sum <- 0;
+  d.state <- Body
+
+let feed d byte =
+  let c = Char.chr (byte land 0xFF) in
+  match d.state with
+  | Idle ->
+    (match c with
+     | '+' -> Some Ack
+     | '-' -> Some Nak
+     | '$' ->
+       start d;
+       None
+     | _ -> None)
+  | Body ->
+    (match c with
+     | '#' ->
+       d.state <- Check1;
+       None
+     | '$' ->
+       (* Lost synchronization: restart on the fresh packet. *)
+       start d;
+       None
+     | '}' ->
+       d.raw_sum <- (d.raw_sum + Char.code c) land 0xFF;
+       d.state <- Body_escaped;
+       None
+     | _ ->
+       d.raw_sum <- (d.raw_sum + Char.code c) land 0xFF;
+       Buffer.add_char d.body c;
+       None)
+  | Body_escaped ->
+    d.raw_sum <- (d.raw_sum + Char.code c) land 0xFF;
+    Buffer.add_char d.body (Char.chr (Char.code c lxor 0x20));
+    d.state <- Body;
+    None
+  | Check1 ->
+    (match digit_value c with
+     | Some hi ->
+       d.state <- Check2 hi;
+       None
+     | None ->
+       reset d;
+       Some Bad_checksum)
+  | Check2 hi ->
+    (match digit_value c with
+     | Some lo ->
+       let expected = (hi lsl 4) lor lo in
+       let payload = Buffer.contents d.body in
+       let sum = d.raw_sum in
+       reset d;
+       if sum = expected then Some (Packet payload) else Some Bad_checksum
+     | None ->
+       reset d;
+       Some Bad_checksum)
+
+let feed_string d s =
+  List.filter_map (feed d)
+    (List.init (String.length s) (fun i -> Char.code s.[i]))

@@ -1,0 +1,65 @@
+type t = {
+  mutable clock : int64;
+  queue : (unit -> unit) Event_queue.t;
+}
+
+let create () = { clock = 0L; queue = Event_queue.create () }
+
+let now t = t.clock
+
+let advance t cycles =
+  if Int64.compare cycles 0L < 0 then invalid_arg "Engine.advance: negative";
+  t.clock <- Int64.add t.clock cycles
+
+let at t ~time f =
+  let time = if Int64.compare time t.clock < 0 then t.clock else time in
+  Event_queue.add t.queue ~time f
+
+let after t ~delay f = at t ~time:(Int64.add t.clock delay) f
+
+let cancel t handle = Event_queue.cancel t.queue handle
+
+let next_event_time t = Event_queue.peek_time t.queue
+
+let dispatch_due t =
+  let rec loop n =
+    match Event_queue.peek_time t.queue with
+    | Some time when Int64.compare time t.clock <= 0 ->
+      (match Event_queue.pop t.queue with
+       | Some (_, f) ->
+         f ();
+         loop (n + 1)
+       | None -> n)
+    | Some _ | None -> n
+  in
+  loop 0
+
+let run_until t ~time =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some event_time when Int64.compare event_time time <= 0 ->
+      (match Event_queue.pop t.queue with
+       | Some (event_time, f) ->
+         if Int64.compare event_time t.clock > 0 then t.clock <- event_time;
+         f ();
+         loop ()
+       | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  if Int64.compare time t.clock > 0 then t.clock <- time
+
+let run_until_idle ?(max_events = 10_000_000) t =
+  let rec loop n =
+    if n >= max_events then n
+    else
+      match Event_queue.pop t.queue with
+      | Some (event_time, f) ->
+        if Int64.compare event_time t.clock > 0 then t.clock <- event_time;
+        f ();
+        loop (n + 1)
+      | None -> n
+  in
+  loop 0
+
+let pending t = Event_queue.length t.queue

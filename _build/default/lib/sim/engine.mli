@@ -1,0 +1,48 @@
+(** Discrete-event simulation engine.
+
+    Time is counted in CPU cycles ([int64]).  Components schedule thunks at
+    absolute or relative times; [run_until] advances the clock to each event
+    in order and executes it.  The machine simulator interleaves instruction
+    execution with event dispatch by consulting [next_event_time]. *)
+
+type t
+
+(** [create ()] is an engine with the clock at cycle 0. *)
+val create : unit -> t
+
+(** [now engine] is the current simulation time in cycles. *)
+val now : t -> int64
+
+(** [advance engine cycles] moves the clock forward by [cycles] without
+    dispatching events (used by the CPU to account instruction time).
+    @raise Invalid_argument if [cycles] is negative. *)
+val advance : t -> int64 -> unit
+
+(** [at engine ~time f] schedules [f] to run when the clock reaches [time].
+    Scheduling in the past clamps to the current time. *)
+val at : t -> time:int64 -> (unit -> unit) -> Event_queue.handle
+
+(** [after engine ~delay f] schedules [f] at [now + delay]. *)
+val after : t -> delay:int64 -> (unit -> unit) -> Event_queue.handle
+
+(** [cancel engine handle] cancels a scheduled thunk; false if already run. *)
+val cancel : t -> Event_queue.handle -> bool
+
+(** [next_event_time engine] is the timestamp of the next pending event. *)
+val next_event_time : t -> int64 option
+
+(** [dispatch_due engine] runs every event whose time is [<= now], in order.
+    Returns the number of events dispatched. *)
+val dispatch_due : t -> int
+
+(** [run_until engine ~time] dispatches events in time order, advancing the
+    clock to each, until the queue holds nothing at or before [time]; the
+    clock finishes at exactly [time]. *)
+val run_until : t -> time:int64 -> unit
+
+(** [run_until_idle ?max_events engine] dispatches until the queue is empty
+    or [max_events] (default 10_000_000) have run; returns events run. *)
+val run_until_idle : ?max_events:int -> t -> int
+
+(** [pending engine] is the number of scheduled events. *)
+val pending : t -> int

@@ -1,0 +1,123 @@
+(* Binary min-heap keyed by (time, sequence).  Cancellation flips the cell's
+   shared liveness ref and lets the dead cell sift out lazily at pop time, so
+   cancel is O(1) and handles stay type-safe ([bool ref] does not mention
+   the payload type). *)
+
+type 'a cell = {
+  time : int64;
+  seq : int;
+  payload : 'a;
+  live : bool ref;
+}
+
+type 'a t = {
+  mutable heap : 'a cell option array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live_count : int;
+}
+
+type handle = bool ref
+
+let create () = { heap = Array.make 16 None; size = 0; next_seq = 0; live_count = 0 }
+
+let is_empty q = q.live_count = 0
+
+let length q = q.live_count
+
+let cell_lt a b =
+  match Int64.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let get q i =
+  match q.heap.(i) with
+  | Some c -> c
+  | None -> assert false
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cell_lt (get q i) (get q parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < q.size && cell_lt (get q left) (get q !smallest) then smallest := left;
+  if right < q.size && cell_lt (get q right) (get q !smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let grow q =
+  let heap = Array.make (2 * Array.length q.heap) None in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let add q ~time payload =
+  if q.size = Array.length q.heap then grow q;
+  let live = ref true in
+  let cell = { time; seq = q.next_seq; payload; live } in
+  q.next_seq <- q.next_seq + 1;
+  q.heap.(q.size) <- Some cell;
+  q.size <- q.size + 1;
+  q.live_count <- q.live_count + 1;
+  sift_up q (q.size - 1);
+  live
+
+let cancel q h =
+  if !h then begin
+    h := false;
+    q.live_count <- q.live_count - 1;
+    true
+  end
+  else false
+
+let remove_root q =
+  let root = get q 0 in
+  q.size <- q.size - 1;
+  q.heap.(0) <- q.heap.(q.size);
+  q.heap.(q.size) <- None;
+  if q.size > 0 then sift_down q 0;
+  root
+
+(* Drop dead cells sitting at the root so peek/pop see a live minimum. *)
+let rec drain_dead q =
+  if q.size > 0 && not !((get q 0).live) then begin
+    ignore (remove_root q);
+    drain_dead q
+  end
+
+let peek_time q =
+  drain_dead q;
+  if q.size = 0 then None else Some (get q 0).time
+
+let pop q =
+  drain_dead q;
+  if q.size = 0 then None
+  else begin
+    let cell = remove_root q in
+    cell.live := false;
+    q.live_count <- q.live_count - 1;
+    Some (cell.time, cell.payload)
+  end
+
+let clear q =
+  for i = 0 to q.size - 1 do
+    match q.heap.(i) with
+    | Some c -> c.live := false
+    | None -> ()
+  done;
+  Array.fill q.heap 0 q.size None;
+  q.size <- 0;
+  q.live_count <- 0

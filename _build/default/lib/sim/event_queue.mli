@@ -1,0 +1,37 @@
+(** Priority queue of timestamped events.
+
+    The queue orders events by [(time, sequence)]: events scheduled for the
+    same time fire in insertion order, which keeps simulations deterministic.
+    Times are abstract 64-bit counts (the simulator uses CPU cycles). *)
+
+type 'a t
+
+(** [create ()] is an empty queue. *)
+val create : unit -> 'a t
+
+(** [is_empty q] is true when no event is pending. *)
+val is_empty : 'a t -> bool
+
+(** [length q] is the number of pending events. *)
+val length : 'a t -> int
+
+(** Handle to a scheduled event, usable for cancellation. *)
+type handle
+
+(** [add q ~time payload] schedules [payload] at [time] and returns a handle.
+    [time] may be in the past relative to previously popped events; ordering
+    is the caller's concern. *)
+val add : 'a t -> time:int64 -> 'a -> handle
+
+(** [cancel q h] removes the event behind [h]; returns [false] when the event
+    already fired or was cancelled before. *)
+val cancel : 'a t -> handle -> bool
+
+(** [peek_time q] is the timestamp of the earliest pending event. *)
+val peek_time : 'a t -> int64 option
+
+(** [pop q] removes and returns the earliest event as [(time, payload)]. *)
+val pop : 'a t -> (int64 * 'a) option
+
+(** [clear q] drops every pending event. *)
+val clear : 'a t -> unit

@@ -1,0 +1,70 @@
+type counter = {
+  name : string;
+  mutable value : int64;
+}
+
+let counter name = { name; value = 0L }
+let incr c = c.value <- Int64.add c.value 1L
+let add c v = c.value <- Int64.add c.value v
+let counter_name c = c.name
+let counter_value c = c.value
+let reset_counter c = c.value <- 0L
+
+type load = { mutable busy : int64 }
+
+let load () = { busy = 0L }
+let note_busy l cycles = l.busy <- Int64.add l.busy cycles
+let busy_cycles l = l.busy
+
+let utilization l ~elapsed =
+  if Int64.compare elapsed 0L <= 0 then 0.0
+  else
+    let u = Int64.to_float l.busy /. Int64.to_float elapsed in
+    if u < 0.0 then 0.0 else if u > 1.0 then 1.0 else u
+
+let reset_load l = l.busy <- 0L
+
+type histogram = {
+  width : float;
+  counts : int array; (* last slot is the overflow bucket *)
+  mutable total : int;
+  mutable sum : float;
+}
+
+let histogram ~buckets ~width =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets <= 0";
+  if width <= 0.0 then invalid_arg "Stats.histogram: width <= 0";
+  { width; counts = Array.make (buckets + 1) 0; total = 0; sum = 0.0 }
+
+let observe h v =
+  let buckets = Array.length h.counts - 1 in
+  let index =
+    if v < 0.0 then 0
+    else
+      let i = int_of_float (v /. h.width) in
+      if i >= buckets then buckets else i
+  in
+  h.counts.(index) <- h.counts.(index) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. v
+
+let histogram_count h = h.total
+
+let histogram_mean h = if h.total = 0 then 0.0 else h.sum /. float_of_int h.total
+
+let bucket_counts h = Array.copy h.counts
+
+let percentile h p =
+  if h.total = 0 then 0.0
+  else begin
+    let rank = p /. 100.0 *. float_of_int h.total in
+    let rec scan i acc =
+      if i >= Array.length h.counts then
+        h.width *. float_of_int (Array.length h.counts)
+      else
+        let acc = acc + h.counts.(i) in
+        if float_of_int acc >= rank then (float_of_int i +. 0.5) *. h.width
+        else scan (i + 1) acc
+    in
+    scan 0 0
+  end

@@ -1,0 +1,55 @@
+(** Measurement helpers: counters, busy-time (CPU load) accounting and
+    fixed-bucket histograms.
+
+    CPU load is defined as in the paper's Fig 3.1: the fraction of elapsed
+    cycles during which the processor was doing work (guest code, monitor
+    emulation, interrupt handling) rather than halted. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int64 -> unit
+val counter_name : counter -> string
+val counter_value : counter -> int64
+val reset_counter : counter -> unit
+
+(** {1 Busy-time accounting} *)
+
+type load
+
+(** [load ()] is a fresh accumulator with zero busy time. *)
+val load : unit -> load
+
+(** [note_busy load cycles] records [cycles] of non-idle execution. *)
+val note_busy : load -> int64 -> unit
+
+(** [busy_cycles load] is the accumulated busy time. *)
+val busy_cycles : load -> int64
+
+(** [utilization load ~elapsed] is busy/elapsed clamped to [0,1];
+    0 when [elapsed] is 0. *)
+val utilization : load -> elapsed:int64 -> float
+
+val reset_load : load -> unit
+
+(** {1 Histograms} *)
+
+type histogram
+
+(** [histogram ~buckets ~width] covers [\[0, buckets*width)] plus an
+    overflow bucket. *)
+val histogram : buckets:int -> width:float -> histogram
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_mean : histogram -> float
+
+(** [bucket_counts h] includes the final overflow bucket. *)
+val bucket_counts : histogram -> int array
+
+(** [percentile h p] approximates the [p]-th percentile ([0 <= p <= 100])
+    from bucket midpoints; 0 on an empty histogram. *)
+val percentile : histogram -> float -> float

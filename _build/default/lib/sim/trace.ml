@@ -1,0 +1,62 @@
+type severity = Debug | Info | Warn | Error
+
+type record = {
+  time : int64;
+  component : string;
+  severity : severity;
+  message : string;
+}
+
+type t = {
+  capacity : int;
+  ring : record option array;
+  mutable next : int;
+  mutable stored : int;
+  mutable emitted : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
+  { capacity; ring = Array.make capacity None; next = 0; stored = 0; emitted = 0 }
+
+let emit t ~time ~component ~severity message =
+  t.ring.(t.next) <- Some { time; component; severity; message };
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.stored < t.capacity then t.stored <- t.stored + 1;
+  t.emitted <- t.emitted + 1
+
+let records t =
+  let start = (t.next - t.stored + t.capacity) mod t.capacity in
+  let rec collect i acc =
+    if i < 0 then acc
+    else
+      let slot = (start + i) mod t.capacity in
+      match t.ring.(slot) with
+      | Some r -> collect (i - 1) (r :: acc)
+      | None -> collect (i - 1) acc
+  in
+  collect (t.stored - 1) []
+
+let find t ~component =
+  List.filter (fun r -> String.equal r.component component) (records t)
+
+let count t = t.stored
+
+let total t = t.emitted
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.stored <- 0;
+  t.emitted <- 0
+
+let severity_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let pp_record fmt r =
+  Format.fprintf fmt "[%Ld] %s %s: %s" r.time r.component
+    (severity_to_string r.severity)
+    r.message

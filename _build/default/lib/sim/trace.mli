@@ -1,0 +1,42 @@
+(** Bounded in-memory event trace.
+
+    Components append tagged records (device name, severity, message,
+    timestamp); the ring keeps the most recent [capacity] entries.  Tests and
+    the debugger use it to assert on event ordering without scraping logs. *)
+
+type severity = Debug | Info | Warn | Error
+
+type record = {
+  time : int64;
+  component : string;
+  severity : severity;
+  message : string;
+}
+
+type t
+
+(** [create ~capacity ()] holds at most [capacity] records (>= 1). *)
+val create : capacity:int -> unit -> t
+
+(** [emit t ~time ~component ~severity message] appends a record. *)
+val emit : t -> time:int64 -> component:string -> severity:severity -> string -> unit
+
+(** [records t] is the retained history, oldest first. *)
+val records : t -> record list
+
+(** [find t ~component] filters retained records by component, oldest
+    first. *)
+val find : t -> component:string -> record list
+
+(** [count t] is the number of retained records. *)
+val count : t -> int
+
+(** [total t] counts every record ever emitted, including evicted ones. *)
+val total : t -> int
+
+val clear : t -> unit
+
+val severity_to_string : severity -> string
+
+(** [pp_record fmt r] prints ["\[time\] component level: message"]. *)
+val pp_record : Format.formatter -> record -> unit

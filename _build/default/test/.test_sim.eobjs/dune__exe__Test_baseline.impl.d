@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Buffer Char List String Vmm_baseline Vmm_guest Vmm_hw Vmm_proto Vmm_sim

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char Core Gen List Printexc QCheck QCheck_alcotest Queue String Vmm_hw Vmm_proto Vmm_sim

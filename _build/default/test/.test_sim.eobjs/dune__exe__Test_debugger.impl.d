@@ -1,0 +1,1 @@
+test/test_debugger.ml: Alcotest Array Bytes Char Core Format List String Vmm_debugger Vmm_guest Vmm_hw Vmm_proto

@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Bytes Char Core Gen List Option Printf QCheck QCheck_alcotest String Vmm_guest Vmm_hw Vmm_sim

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bytes Char Gen Int64 List QCheck QCheck_alcotest Vmm_hw Vmm_sim

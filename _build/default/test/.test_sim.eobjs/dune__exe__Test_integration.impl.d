@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Char Core List Printf String Vmm_guest Vmm_harness Vmm_hw

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Char Format Gen List Option QCheck QCheck_alcotest String Vmm_proto

@@ -1,0 +1,357 @@
+(* Tests for the guest RTOS: network frame formatting, kernel image
+   construction, and an end-to-end bare-metal run validating that every
+   transmitted UDP frame carries correctly-checksummed disk data at the
+   requested rate. *)
+
+module Machine = Vmm_hw.Machine
+module Asm = Vmm_hw.Asm
+module Nic = Vmm_hw.Nic
+module Scsi = Vmm_hw.Scsi
+module Phys_mem = Vmm_hw.Phys_mem
+module Kernel = Vmm_guest.Kernel
+module Netfmt = Vmm_guest.Netfmt
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* -- Netfmt -- *)
+
+let test_template_shape () =
+  let h =
+    Netfmt.header_template ~src:Netfmt.default_source
+      ~dst:Netfmt.default_destination
+  in
+  check int "length" Netfmt.header_bytes (String.length h);
+  check int "ethertype" 0x08 (Char.code h.[Netfmt.off_ethertype]);
+  check int "ip version/ihl" 0x45 (Char.code h.[14]);
+  check int "udp proto" 0x11 (Char.code h.[Netfmt.off_ip_proto])
+
+let test_template_validation () =
+  let bad = { Netfmt.default_source with Netfmt.mac = "xx" } in
+  Alcotest.check_raises "bad mac"
+    (Invalid_argument "Netfmt.header_template: mac must be 6 bytes")
+    (fun () ->
+      ignore
+        (Netfmt.header_template ~src:bad ~dst:Netfmt.default_destination))
+
+let build_frame ~payload ~ip_id =
+  let h =
+    Netfmt.header_template ~src:Netfmt.default_source
+      ~dst:Netfmt.default_destination
+  in
+  let total = String.length payload + 28 in
+  let buf = Bytes.of_string (h ^ payload) in
+  let be16 off v =
+    Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+  in
+  be16 Netfmt.off_ip_total_len total;
+  be16 Netfmt.off_ip_id ip_id;
+  be16 Netfmt.off_udp_len (String.length payload + 8);
+  be16 Netfmt.off_udp_checksum (Netfmt.payload_checksum payload);
+  buf
+
+let test_parse_roundtrip () =
+  let frame = build_frame ~payload:"hello, hitactix!" ~ip_id:77 in
+  match Netfmt.parse frame with
+  | Some f ->
+    check Alcotest.string "payload" "hello, hitactix!" f.Netfmt.payload;
+    check int "ip id" 77 f.Netfmt.ip_id;
+    check int "sport" 9000 f.Netfmt.src.Netfmt.port;
+    check int "dport" 9001 f.Netfmt.dst.Netfmt.port;
+    check int "checksum field" (Netfmt.payload_checksum "hello, hitactix!")
+      f.Netfmt.udp_checksum
+  | None -> Alcotest.fail "frame did not parse"
+
+let test_parse_rejects () =
+  check bool "short" true (Netfmt.parse (Bytes.create 10) = None);
+  let frame = build_frame ~payload:"x" ~ip_id:0 in
+  Bytes.set frame Netfmt.off_ethertype '\x00';
+  check bool "not ipv4" true (Netfmt.parse frame = None);
+  let frame = build_frame ~payload:"x" ~ip_id:0 in
+  Bytes.set frame Netfmt.off_ip_total_len '\xFF';
+  check bool "length mismatch" true (Netfmt.parse frame = None)
+
+let prop_parse_roundtrip =
+  QCheck.Test.make ~name:"netfmt parse inverts build" ~count:200
+    QCheck.(pair (string_of_size Gen.(1 -- 1458)) (int_bound 0xFFFF))
+    (fun (payload, ip_id) ->
+      match Netfmt.parse (build_frame ~payload ~ip_id) with
+      | Some f -> f.Netfmt.payload = payload && f.Netfmt.ip_id = ip_id
+      | None -> false)
+
+(* -- Kernel construction -- *)
+
+let test_kernel_validation () =
+  let bad_rate = { (Kernel.default_config ~rate_mbps:10.0) with Kernel.rate_mbps = -1.0 } in
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Kernel.build: negative rate") (fun () ->
+      ignore (Kernel.build bad_rate));
+  let bad_payload =
+    { (Kernel.default_config ~rate_mbps:10.0) with Kernel.payload_bytes = 4000 }
+  in
+  Alcotest.check_raises "payload too big"
+    (Invalid_argument "Kernel.build: payload_bytes out of range") (fun () ->
+      ignore (Kernel.build bad_payload));
+  let bad_disks = { (Kernel.default_config ~rate_mbps:10.0) with Kernel.disks = 7 } in
+  Alcotest.check_raises "too many disks"
+    (Invalid_argument "Kernel.build: disks out of range") (fun () ->
+      ignore (Kernel.build bad_disks))
+
+let test_kernel_symbols_present () =
+  let p = Kernel.build (Kernel.default_config ~rate_mbps:10.0) in
+  List.iter
+    (fun (name, _doc) ->
+      check bool name true (List.mem_assoc name p.Asm.symbols))
+    Kernel.interesting_symbols;
+  check bool "counters" true (List.mem_assoc "counters" p.Asm.symbols);
+  check int "entry is boot" (Asm.symbol p "boot") Kernel.entry
+
+(* -- End-to-end bare-metal workload -- *)
+
+let run_collect ?(user_mode = false) ~rate ~seconds () =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) () in
+  let config =
+    { (Kernel.default_config ~rate_mbps:rate) with Kernel.user_mode }
+  in
+  let program = Kernel.build config in
+  let frames = ref [] in
+  Nic.set_on_frame (Machine.nic m) (fun f -> frames := Bytes.copy f :: !frames);
+  Machine.boot m program ~entry:Kernel.entry;
+  Machine.run_seconds m seconds;
+  (m, program, config, List.rev !frames)
+
+let test_workload_frames_valid () =
+  let _, _, config, frames = run_collect ~rate:50.0 ~seconds:0.1 () in
+  check bool "frames flowed" true (List.length frames > 100);
+  let parsed = List.filter_map (fun f -> Netfmt.parse f) frames in
+  check int "every frame parses" (List.length frames) (List.length parsed);
+  List.iter
+    (fun f ->
+      check int "checksum verifies"
+        (Netfmt.payload_checksum f.Netfmt.payload)
+        f.Netfmt.udp_checksum;
+      check bool "payload sized" true
+        (String.length f.Netfmt.payload <= config.Kernel.payload_bytes))
+    parsed;
+  (* ip_id is the frame sequence number *)
+  List.iteri
+    (fun i f -> check int "sequence" (i land 0xFFFF) f.Netfmt.ip_id)
+    parsed
+
+let test_workload_carries_disk_data () =
+  (* The first transmitted segment comes from disk 0, LBA 0: its payload
+     must be the disk's synthetic pattern, byte for byte. *)
+  let _, _, config, frames = run_collect ~rate:50.0 ~seconds:0.05 () in
+  let parsed = List.filter_map (fun f -> Netfmt.parse f) frames in
+  let frames_per_segment =
+    (config.Kernel.segment_bytes + config.Kernel.payload_bytes - 1)
+    / config.Kernel.payload_bytes
+  in
+  check bool "at least one segment" true
+    (List.length parsed >= frames_per_segment);
+  List.iteri
+    (fun i f ->
+      if i < frames_per_segment then begin
+        let base = i * config.Kernel.payload_bytes in
+        String.iteri
+          (fun j c ->
+            let expected = Scsi.pattern_byte ~target:0 ~offset:(base + j) in
+            if Char.code c <> expected then
+              Alcotest.failf "payload byte %d of frame %d: got %d want %d"
+                j i (Char.code c) expected)
+          f.Netfmt.payload
+      end)
+    parsed
+
+let test_workload_rate_accuracy () =
+  let m, program, _, frames = run_collect ~rate:100.0 ~seconds:0.2 () in
+  let bytes =
+    List.fold_left (fun acc f -> acc + Bytes.length f) 0 frames
+  in
+  let mbps = float_of_int (bytes * 8) /. 0.2 /. 1e6 in
+  check bool "within 8% of requested" true (abs_float (mbps -. 100.0) < 8.0);
+  let counters = Kernel.read_counters (Machine.mem m) program in
+  check bool "no skipped reads" true (counters.Kernel.reads_skipped = 0);
+  check bool "segments flowed" true (counters.Kernel.segments_done > 10);
+  check int "guest frame count matches wire" (List.length frames)
+    counters.Kernel.frames_sent
+
+let test_workload_zero_rate_idles () =
+  let m, program, _, frames = run_collect ~rate:0.0 ~seconds:0.05 () in
+  check int "no frames" 0 (List.length frames);
+  let counters = Kernel.read_counters (Machine.mem m) program in
+  check int "no ticks" 0 counters.Kernel.ticks
+
+let test_user_mode_frames_valid () =
+  (* Same workload with the application at ring 3 behind guest-built page
+     tables: every frame still parses and checksums. *)
+  let m, _, _, frames = run_collect ~user_mode:true ~rate:50.0 ~seconds:0.1 () in
+  check bool "frames flowed" true (List.length frames > 100);
+  let parsed = List.filter_map (fun f -> Netfmt.parse f) frames in
+  check int "every frame parses" (List.length frames) (List.length parsed);
+  List.iter
+    (fun f ->
+      check int "checksum verifies"
+        (Netfmt.payload_checksum f.Netfmt.payload)
+        f.Netfmt.udp_checksum)
+    parsed;
+  (* the app really is in ring 3 while packetizing: sample the CPU *)
+  check int "paging enabled" 0x600000 (Vmm_hw.Cpu.ptb (Machine.cpu m))
+
+let test_user_mode_matches_kernel_mode_data () =
+  let _, _, _, kframes = run_collect ~rate:30.0 ~seconds:0.08 () in
+  let _, _, _, uframes =
+    run_collect ~user_mode:true ~rate:30.0 ~seconds:0.08 ()
+  in
+  let payloads frames =
+    List.filter_map (fun f -> Option.map (fun p -> p.Netfmt.payload) (Netfmt.parse f)) frames
+  in
+  let k = payloads kframes and u = payloads uframes in
+  let n = min (List.length k) (List.length u) in
+  check bool "both streams carry frames" true (n > 50);
+  List.iteri
+    (fun i (a, b) ->
+      if i < n && not (String.equal a b) then
+        Alcotest.failf "payload %d differs between modes" i)
+    (List.combine
+       (List.filteri (fun i _ -> i < n) k)
+       (List.filteri (fun i _ -> i < n) u))
+
+let test_counters_monotonic () =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) () in
+  let config = Kernel.default_config ~rate_mbps:50.0 in
+  let program = Kernel.build config in
+  Machine.boot m program ~entry:Kernel.entry;
+  Machine.run_seconds m 0.05;
+  let c1 = Kernel.read_counters (Machine.mem m) program in
+  Machine.run_seconds m 0.05;
+  let c2 = Kernel.read_counters (Machine.mem m) program in
+  check bool "ticks grow" true (c2.Kernel.ticks > c1.Kernel.ticks);
+  check bool "frames grow" true (c2.Kernel.frames_sent > c1.Kernel.frames_sent);
+  check bool "issued >= done" true
+    (c2.Kernel.segments_issued >= c2.Kernel.segments_done);
+  check bool "acks trail frames" true
+    (c2.Kernel.tx_acked <= c2.Kernel.frames_sent)
+
+(* -- RX logger appliance -- *)
+
+module Rx_logger = Vmm_guest.Rx_logger
+module Io_bus = Vmm_hw.Io_bus
+module Engine = Vmm_sim.Engine
+module Costs = Vmm_hw.Costs
+
+let rx_rig ?(monitor = false) () =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) () in
+  let program = Rx_logger.build Rx_logger.default_config in
+  if monitor then begin
+    let mon = Core.Monitor.install m in
+    Core.Monitor.boot_guest mon program ~entry:Rx_logger.entry
+  end
+  else Machine.boot m program ~entry:Rx_logger.entry;
+  (m, program)
+
+let inject_frames m ~count ~corrupt_every ~fps =
+  let interval = Costs.cycles_of_seconds (Machine.costs m) (1.0 /. fps) in
+  let engine = Machine.engine m in
+  let rec inject i =
+    if i < count then begin
+      let payload = Printf.sprintf "payload-%03d-%s" i (String.make 64 'x') in
+      let frame = Netfmt.build ~payload ~ip_id:i in
+      if corrupt_every > 0 && i mod corrupt_every = corrupt_every - 1 then
+        Bytes.set frame (Netfmt.off_payload + 1) '\xFF';
+      Nic.inject_rx (Machine.nic m) frame;
+      ignore (Engine.after engine ~delay:interval (fun () -> inject (i + 1)))
+    end
+  in
+  ignore (Engine.after engine ~delay:interval (fun () -> inject 0))
+
+let test_rx_logger_validates_and_logs () =
+  let m, program = rx_rig () in
+  inject_frames m ~count:100 ~corrupt_every:5 ~fps:5000.0;
+  Machine.run_seconds m 0.1;
+  let c = Rx_logger.read_counters (Machine.mem m) program in
+  check int "all frames received" 100 c.Rx_logger.rx_frames;
+  check int "corrupted rejected" 20 c.Rx_logger.rx_invalid;
+  check int "valid accepted" 80 c.Rx_logger.rx_valid;
+  check int "every valid payload logged or dropped" 80
+    (c.Rx_logger.logged + c.Rx_logger.log_dropped);
+  check bool "most logged" true (c.Rx_logger.logged >= 70)
+
+let test_rx_logger_disk_contents () =
+  let m, program = rx_rig () in
+  inject_frames m ~count:10 ~corrupt_every:0 ~fps:1000.0;
+  Machine.run_seconds m 0.1;
+  let c = Rx_logger.read_counters (Machine.mem m) program in
+  check int "ten logged" 10 c.Rx_logger.logged;
+  (* read slots back through the controller and compare *)
+  let bus = Machine.bus m in
+  let base = Machine.Ports.scsi in
+  List.iteri
+    (fun slot expected ->
+      Io_bus.write bus base 0;
+      Io_bus.write bus (base + 1)
+        (Rx_logger.log_first_lba + (slot * Rx_logger.log_stride_sectors));
+      Io_bus.write bus (base + 2) (String.length expected);
+      Io_bus.write bus (base + 3) 0x700000;
+      Io_bus.write bus (base + 4) 1;
+      ignore (Engine.run_until_idle (Machine.engine m));
+      Io_bus.write bus (base + 6) 0;
+      let got =
+        Bytes.to_string
+          (Phys_mem.read_bytes (Machine.mem m) ~addr:0x700000
+             ~len:(String.length expected))
+      in
+      if not (String.equal got expected) then
+        Alcotest.failf "log slot %d mismatch" slot)
+    (List.init 10 (fun i -> Printf.sprintf "payload-%03d-%s" i (String.make 64 'x')))
+
+let test_rx_logger_under_monitor () =
+  let m, program = rx_rig ~monitor:true () in
+  inject_frames m ~count:50 ~corrupt_every:0 ~fps:5000.0;
+  Machine.run_seconds m 0.1;
+  let c = Rx_logger.read_counters (Machine.mem m) program in
+  check int "all received under monitor" 50 c.Rx_logger.rx_frames;
+  check int "all valid" 50 c.Rx_logger.rx_valid
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vmm_guest"
+    [
+      ( "netfmt",
+        [
+          Alcotest.test_case "template shape" `Quick test_template_shape;
+          Alcotest.test_case "template validation" `Quick test_template_validation;
+          Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "parse rejects" `Quick test_parse_rejects;
+        ]
+        @ qsuite [ prop_parse_roundtrip ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "config validation" `Quick test_kernel_validation;
+          Alcotest.test_case "symbols present" `Quick test_kernel_symbols_present;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "frames valid" `Quick test_workload_frames_valid;
+          Alcotest.test_case "carries disk data" `Quick
+            test_workload_carries_disk_data;
+          Alcotest.test_case "rate accuracy" `Quick test_workload_rate_accuracy;
+          Alcotest.test_case "zero rate idles" `Quick test_workload_zero_rate_idles;
+          Alcotest.test_case "counters monotonic" `Quick test_counters_monotonic;
+          Alcotest.test_case "user mode frames valid" `Quick
+            test_user_mode_frames_valid;
+          Alcotest.test_case "user mode same data" `Quick
+            test_user_mode_matches_kernel_mode_data;
+        ] );
+      ( "rx_logger",
+        [
+          Alcotest.test_case "validates and logs" `Quick
+            test_rx_logger_validates_and_logs;
+          Alcotest.test_case "disk contents" `Quick test_rx_logger_disk_contents;
+          Alcotest.test_case "under the monitor" `Quick
+            test_rx_logger_under_monitor;
+        ] );
+    ]

@@ -1,0 +1,1176 @@
+(* Tests for the hardware model: word arithmetic, physical memory, ISA
+   encode/decode, the assembler, MMU translation, CPU execution semantics
+   (including privilege, interrupts and paging) and the device models. *)
+
+module Engine = Vmm_sim.Engine
+module Word = Vmm_hw.Word
+module Phys_mem = Vmm_hw.Phys_mem
+module Isa = Vmm_hw.Isa
+module Asm = Vmm_hw.Asm
+module Mmu = Vmm_hw.Mmu
+module Cpu = Vmm_hw.Cpu
+module Io_bus = Vmm_hw.Io_bus
+module Pic = Vmm_hw.Pic
+module Pit = Vmm_hw.Pit
+module Uart = Vmm_hw.Uart
+module Scsi = Vmm_hw.Scsi
+module Nic = Vmm_hw.Nic
+module Machine = Vmm_hw.Machine
+module Costs = Vmm_hw.Costs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* -- Word -- *)
+
+let test_word_wrap () =
+  check int "add wraps" 0 (Word.add 0xFFFFFFFF 1);
+  check int "sub wraps" 0xFFFFFFFF (Word.sub 0 1);
+  check int "mul wraps" 0xFFFFFFFE (Word.mul 0xFFFFFFFF 2);
+  check int "signed view" (-1) (Word.to_signed 0xFFFFFFFF);
+  check int "of_signed" 0xFFFFFFFF (Word.of_signed (-1))
+
+let test_word_shifts () =
+  check int "shl" 0x80000000 (Word.shift_left 1 31);
+  check int "shl mod 32" 2 (Word.shift_left 1 33);
+  check int "shr" 1 (Word.shift_right 0x80000000 31);
+  check int "byte" 0xCD (Word.byte 0xABCD1234 2)
+
+let test_word_compare () =
+  check bool "unsigned" true (Word.unsigned_lt 1 0xFFFFFFFF);
+  check bool "signed" true (Word.signed_lt 0xFFFFFFFF 1)
+
+(* -- Phys_mem -- *)
+
+let test_mem_rw () =
+  let m = Phys_mem.create ~size:4096 in
+  Phys_mem.write_u32 m 0 0xDEADBEEF;
+  check int "u32" 0xDEADBEEF (Phys_mem.read_u32 m 0);
+  check int "u8 LE" 0xEF (Phys_mem.read_u8 m 0);
+  check int "u16 LE" 0xBEEF (Phys_mem.read_u16 m 0);
+  Phys_mem.write_u16 m 100 0x1234;
+  check int "u16 rt" 0x1234 (Phys_mem.read_u16 m 100)
+
+let test_mem_bounds () =
+  let m = Phys_mem.create ~size:16 in
+  Alcotest.check_raises "oob read" (Phys_mem.Bus_error 16) (fun () ->
+      ignore (Phys_mem.read_u8 m 16));
+  Alcotest.check_raises "straddling u32" (Phys_mem.Bus_error 13) (fun () ->
+      ignore (Phys_mem.read_u32 m 13))
+
+let test_mem_checksum_matches_rfc () =
+  (* Independent reference implementation. *)
+  let m = Phys_mem.create ~size:64 in
+  let data = [ 0x45; 0x00; 0x00; 0x3c; 0x1c; 0x46; 0x40; 0x00 ] in
+  List.iteri (fun i v -> Phys_mem.write_u8 m i v) data;
+  let reference =
+    let sum =
+      (0x45 lor (0x00 lsl 8))
+      + (0x00 lor (0x3c lsl 8))
+      + (0x1c lor (0x46 lsl 8))
+      + (0x40 lor (0x00 lsl 8))
+    in
+    let s = (sum land 0xFFFF) + (sum lsr 16) in
+    lnot ((s land 0xFFFF) + (s lsr 16)) land 0xFFFF
+  in
+  check int "checksum" reference (Phys_mem.checksum m ~addr:0 ~len:8)
+
+let test_mem_checksum_odd_len () =
+  let m = Phys_mem.create ~size:8 in
+  Phys_mem.write_u8 m 0 0xAB;
+  Phys_mem.write_u8 m 1 0xCD;
+  Phys_mem.write_u8 m 2 0x12;
+  let sum = 0xAB lor (0xCD lsl 8) in
+  let sum = sum + 0x12 in
+  let s = (sum land 0xFFFF) + (sum lsr 16) in
+  check int "odd trailing byte" (lnot s land 0xFFFF)
+    (Phys_mem.checksum m ~addr:0 ~len:3)
+
+(* -- ISA encode/decode -- *)
+
+let reg_gen = QCheck.Gen.int_bound 15
+let imm_gen = QCheck.Gen.map (fun v -> v land 0xFFFFFFFF) QCheck.Gen.int
+
+let instr_gen : Isa.instr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let r = reg_gen and i = imm_gen in
+  oneof
+    [
+      return Isa.Nop;
+      return Isa.Hlt;
+      map2 (fun a b -> Isa.Movi (a, b)) r i;
+      map2 (fun a b -> Isa.Mov (a, b)) r r;
+      map3 (fun a b c -> Isa.Add (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Addi (a, b, c)) r r i;
+      map3 (fun a b c -> Isa.Sub (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Xor_ (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Ld (a, b, c)) r r i;
+      map3 (fun a b c -> Isa.St (a, b, c)) r i r;
+      map (fun a -> Isa.Jmp a) i;
+      map (fun a -> Isa.Jz a) i;
+      map (fun a -> Isa.Call a) i;
+      return Isa.Ret;
+      map (fun a -> Isa.Push a) r;
+      map (fun a -> Isa.Pop a) r;
+      map2 (fun a b -> Isa.Ini (a, b)) r i;
+      map2 (fun a b -> Isa.Outi (a, b)) i r;
+      map (fun v -> Isa.Int_ (v land 0x3F)) (int_bound 63);
+      return Isa.Iret;
+      return Isa.Sti;
+      return Isa.Cli;
+      map (fun a -> Isa.Liht a) r;
+      map (fun a -> Isa.Lptb a) r;
+      map2 (fun a b -> Isa.Lstk (a land 3, b)) (int_bound 3) r;
+      return Isa.Tlbflush;
+      map3 (fun a b c -> Isa.Copy (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Csum (a, b, c)) r r r;
+      map (fun a -> Isa.Rdtsc a) r;
+      map (fun a -> Isa.Vmcall a) i;
+      return Isa.Brk;
+    ]
+
+let instr_arbitrary =
+  QCheck.make instr_gen ~print:(fun i -> Isa.to_string i)
+
+let prop_isa_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:2000 instr_arbitrary
+    (fun i ->
+      let b = Isa.encode i in
+      Bytes.length b = Isa.width && Isa.decode ~addr:0 b ~off:0 = i)
+
+let test_isa_decode_error () =
+  let b = Bytes.make 8 '\xFE' in
+  Alcotest.check_raises "bad opcode"
+    (Isa.Decode_error { addr = 0; opcode = 0xFE })
+    (fun () -> ignore (Isa.decode ~addr:0 b ~off:0))
+
+let test_isa_privileged_set () =
+  check bool "sti" true (Isa.is_privileged Isa.Sti);
+  check bool "hlt" true (Isa.is_privileged Isa.Hlt);
+  check bool "add" false (Isa.is_privileged (Isa.Add (0, 1, 2)));
+  check bool "in" false (Isa.is_privileged (Isa.Ini (0, 0x20)))
+
+(* -- Assembler -- *)
+
+let test_asm_labels () =
+  let a = Asm.create ~origin:0x100 () in
+  Asm.jmp a (Asm.lbl "target");
+  Asm.nop a;
+  Asm.label a "target";
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  check int "label addr" (0x100 + 16) (Asm.symbol p "target");
+  let i = Isa.decode ~addr:0 p.Asm.code ~off:0 in
+  check bool "jump resolved" true (i = Isa.Jmp (0x100 + 16))
+
+let test_asm_undefined_label () =
+  let a = Asm.create () in
+  Asm.jmp a (Asm.lbl "nowhere");
+  Alcotest.check_raises "undefined" (Asm.Undefined_label "nowhere") (fun () ->
+      ignore (Asm.assemble a))
+
+let test_asm_duplicate_label () =
+  let a = Asm.create () in
+  Asm.label a "x";
+  Alcotest.check_raises "duplicate" (Asm.Duplicate_label "x") (fun () ->
+      Asm.label a "x")
+
+let test_asm_data_and_align () =
+  let a = Asm.create ~origin:0 () in
+  Asm.bytes a (Bytes.of_string "abc");
+  Asm.align a 8;
+  Asm.label a "data";
+  Asm.word a (Asm.lbl "data");
+  let p = Asm.assemble a in
+  check int "aligned" 8 (Asm.symbol p "data");
+  let m = Phys_mem.create ~size:64 in
+  Asm.load p m;
+  check int "word self-ref" 8 (Phys_mem.read_u32 m 8)
+
+(* -- Machine helpers -- *)
+
+let fresh_machine () = Machine.create ~mem_size:(2 * 1024 * 1024) ()
+
+let run_program ?(limit = 200_000) build =
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:0x1000 () in
+  build a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  let halted = Machine.run_until_halted ~limit m in
+  check bool "program halted" true halted;
+  (m, p)
+
+let reg m r = Cpu.read_reg (Machine.cpu m) r
+
+(* -- CPU basics -- *)
+
+let test_cpu_arith () =
+  let m, _ =
+    run_program (fun a ->
+        Asm.movi a 1 (Asm.imm 10);
+        Asm.movi a 2 (Asm.imm 32);
+        Asm.add a 3 1 2;
+        Asm.sub a 4 2 1;
+        Asm.mul a 5 1 2;
+        Asm.movi a 6 (Asm.imm 0xF0F0);
+        Asm.movi a 7 (Asm.imm 0x0FF0);
+        Asm.and_ a 8 6 7;
+        Asm.or_ a 9 6 7;
+        Asm.xor_ a 10 6 7;
+        Asm.hlt a)
+  in
+  check int "add" 42 (reg m 3);
+  check int "sub" 22 (reg m 4);
+  check int "mul" 320 (reg m 5);
+  check int "and" 0x00F0 (reg m 8);
+  check int "or" 0xFFF0 (reg m 9);
+  check int "xor" 0xFF00 (reg m 10)
+
+let test_cpu_branches () =
+  let m, _ =
+    run_program (fun a ->
+        (* r1 counts loop iterations 0..4 *)
+        Asm.movi a 1 (Asm.imm 0);
+        Asm.label a "loop";
+        Asm.addi a 1 1 (Asm.imm 1);
+        Asm.cmpi a 1 (Asm.imm 5);
+        Asm.jnz a (Asm.lbl "loop");
+        (* signed comparison: -1 < 1 *)
+        Asm.movi a 2 (Asm.imm 0xFFFFFFFF);
+        Asm.movi a 3 (Asm.imm 1);
+        Asm.cmp a 2 3;
+        Asm.jlt a (Asm.lbl "signed_ok");
+        Asm.movi a 4 (Asm.imm 0);
+        Asm.hlt a;
+        Asm.label a "signed_ok";
+        Asm.movi a 4 (Asm.imm 1);
+        (* unsigned: 0xFFFFFFFF > 1 *)
+        Asm.cmp a 2 3;
+        Asm.jae a (Asm.lbl "unsigned_ok");
+        Asm.movi a 5 (Asm.imm 0);
+        Asm.hlt a;
+        Asm.label a "unsigned_ok";
+        Asm.movi a 5 (Asm.imm 1);
+        Asm.hlt a)
+  in
+  check int "loop count" 5 (reg m 1);
+  check int "signed" 1 (reg m 4);
+  check int "unsigned" 1 (reg m 5)
+
+let test_cpu_call_stack () =
+  let m, _ =
+    run_program (fun a ->
+        Asm.movi a Isa.sp (Asm.imm 0x8000);
+        Asm.movi a 1 (Asm.imm 7);
+        Asm.call a (Asm.lbl "double");
+        Asm.hlt a;
+        Asm.label a "double";
+        Asm.push a 2;
+        Asm.add a 2 1 1;
+        Asm.mov a 1 2;
+        Asm.pop a 2;
+        Asm.ret a)
+  in
+  check int "doubled" 14 (reg m 1);
+  check int "sp restored" 0x8000 (reg m Isa.sp)
+
+let test_cpu_memory () =
+  let m, _ =
+    run_program (fun a ->
+        Asm.movi a 1 (Asm.imm 0x9000);
+        Asm.movi a 2 (Asm.imm 0xCAFEBABE);
+        Asm.st a 1 4 2;
+        Asm.ld a 3 1 4;
+        Asm.ldb a 4 1 4;
+        Asm.movi a 5 (Asm.imm 0x55);
+        Asm.stb a 1 100 5;
+        Asm.ldb a 6 1 100;
+        Asm.hlt a)
+  in
+  check int "ld" 0xCAFEBABE (reg m 3);
+  check int "ldb low byte" 0xBE (reg m 4);
+  check int "stb/ldb" 0x55 (reg m 6)
+
+let test_cpu_copy_csum () =
+  let m = fresh_machine () in
+  let mem = Machine.mem m in
+  let src = 0x10000 and dst = 0x20000 and len = 1000 in
+  for i = 0 to len - 1 do
+    Phys_mem.write_u8 mem (src + i) ((i * 31) land 0xFF)
+  done;
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a 1 (Asm.imm dst);
+  Asm.movi a 2 (Asm.imm src);
+  Asm.movi a 3 (Asm.imm len);
+  Asm.copy a 1 2 3;
+  Asm.csum a 4 1 3;
+  Asm.hlt a;
+  Machine.boot m (Asm.assemble a) ~entry:0x1000;
+  ignore (Machine.run_until_halted m);
+  check bool "copied" true
+    (Phys_mem.read_bytes mem ~addr:src ~len
+    = Phys_mem.read_bytes mem ~addr:dst ~len);
+  check int "checksum matches reference"
+    (Phys_mem.checksum mem ~addr:dst ~len)
+    (reg m 4)
+
+let test_cpu_rdtsc_monotonic () =
+  let m, _ =
+    run_program (fun a ->
+        Asm.rdtsc a 1;
+        Asm.nop a;
+        Asm.nop a;
+        Asm.rdtsc a 2;
+        Asm.hlt a)
+  in
+  check bool "tsc advanced" true (reg m 2 > reg m 1)
+
+(* -- Interrupt table plumbing -- *)
+
+let gate_flags ~ring ~dpl = 1 lor (ring lsl 1) lor (dpl lsl 3)
+
+let write_gate mem ~table ~vector ~handler ~ring ~dpl =
+  Phys_mem.write_u32 mem (table + (8 * vector)) handler;
+  Phys_mem.write_u32 mem (table + (8 * vector) + 4) (gate_flags ~ring ~dpl)
+
+let test_cpu_software_interrupt () =
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 2 (Asm.imm 0);
+  Asm.int_ a 48;
+  (* handler returns here *)
+  Asm.addi a 2 2 (Asm.imm 100);
+  Asm.hlt a;
+  Asm.label a "handler";
+  Asm.addi a 2 2 (Asm.imm 1);
+  Asm.iret a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  write_gate (Machine.mem m) ~table:0x2000 ~vector:48
+    ~handler:(Asm.symbol p "handler") ~ring:0 ~dpl:3;
+  ignore (Machine.run_until_halted m);
+  check int "handler then continuation" 101 (reg m 2)
+
+let test_cpu_privilege_fault_ring3 () =
+  (* STI at ring 3 must deliver #GP to the ring-0 handler. *)
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:0x1000 () in
+  (* ring-0 setup *)
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 1 (Asm.imm 0x9000);
+  Asm.lstk a 0 1;
+  (* drop to ring 3 via iret: frame = error, pc, flags(cpl=3), sp *)
+  Asm.movi a 3 (Asm.imm 0x7000);
+  Asm.push a 3 (* user sp *);
+  Asm.movi a 3 (Asm.imm 0x3000) (* flags: cpl=3, if=0 *);
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.lbl "user");
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.imm 0);
+  Asm.push a 3;
+  Asm.iret a;
+  Asm.label a "user";
+  Asm.sti a (* must fault *);
+  Asm.label a "unreachable";
+  Asm.jmp a (Asm.lbl "unreachable");
+  Asm.label a "gp_handler";
+  Asm.movi a 5 (Asm.imm 0xFA17);
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  write_gate (Machine.mem m) ~table:0x2000 ~vector:Isa.vec_protection
+    ~handler:(Asm.symbol p "gp_handler") ~ring:0 ~dpl:0;
+  ignore (Machine.run_until_halted m);
+  check int "gp handler ran" 0xFA17 (reg m 5);
+  check int "back at ring 0" 0 (Cpu.cpl (Machine.cpu m))
+
+let test_cpu_stack_switch_on_ring_change () =
+  (* Interrupt from ring 3 must land on the ring-0 stack from LSTK. *)
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 1 (Asm.imm 0xA000);
+  Asm.lstk a 0 1;
+  Asm.movi a 3 (Asm.imm 0x7000);
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.imm 0x3000);
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.lbl "user");
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.imm 0);
+  Asm.push a 3;
+  Asm.iret a;
+  Asm.label a "user";
+  Asm.int_ a 48;
+  Asm.label a "spin";
+  Asm.jmp a (Asm.lbl "spin");
+  Asm.label a "handler";
+  Asm.mov a 6 Isa.sp;
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  write_gate (Machine.mem m) ~table:0x2000 ~vector:48
+    ~handler:(Asm.symbol p "handler") ~ring:0 ~dpl:3;
+  ignore (Machine.run_until_halted m);
+  (* 4 words pushed below the ring-0 entry stack top *)
+  check int "switched stack" (0xA000 - 16) (reg m 6)
+
+let test_cpu_int_gate_dpl_enforced () =
+  (* INT 49 from ring 3 with dpl 0 must raise #GP instead. *)
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 1 (Asm.imm 0xA000);
+  Asm.lstk a 0 1;
+  Asm.movi a 3 (Asm.imm 0x7000);
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.imm 0x3000);
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.lbl "user");
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.imm 0);
+  Asm.push a 3;
+  Asm.iret a;
+  Asm.label a "user";
+  Asm.int_ a 49;
+  Asm.label a "spin";
+  Asm.jmp a (Asm.lbl "spin");
+  Asm.label a "kernel_gate";
+  Asm.movi a 5 (Asm.imm 0xBAD);
+  Asm.hlt a;
+  Asm.label a "gp";
+  Asm.movi a 5 (Asm.imm 0x600D);
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  write_gate (Machine.mem m) ~table:0x2000 ~vector:49
+    ~handler:(Asm.symbol p "kernel_gate") ~ring:0 ~dpl:0;
+  write_gate (Machine.mem m) ~table:0x2000 ~vector:Isa.vec_protection
+    ~handler:(Asm.symbol p "gp") ~ring:0 ~dpl:0;
+  ignore (Machine.run_until_halted m);
+  check int "gp instead of gate" 0x600D (reg m 5)
+
+let test_cpu_hardware_interrupt () =
+  (* Program the PIT one-shot; the handler bumps a counter and halts. *)
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 2 (Asm.imm 100);
+  Asm.outi a (Asm.imm Vmm_hw.Machine.Ports.pit) 2 (* reload low *);
+  Asm.movi a 2 (Asm.imm 0);
+  Asm.outi a (Asm.imm (Vmm_hw.Machine.Ports.pit + 1)) 2;
+  Asm.movi a 2 (Asm.imm 2);
+  Asm.outi a (Asm.imm (Vmm_hw.Machine.Ports.pit + 2)) 2 (* one-shot *);
+  Asm.sti a;
+  Asm.label a "wait";
+  Asm.jmp a (Asm.lbl "wait");
+  Asm.label a "timer";
+  Asm.movi a 7 (Asm.imm 0x7E57);
+  (* EOI *)
+  Asm.movi a 2 (Asm.imm 0x20);
+  Asm.outi a (Asm.imm Vmm_hw.Machine.Ports.pic) 2;
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  write_gate (Machine.mem m) ~table:0x2000
+    ~vector:(Isa.vec_irq_base_default + Machine.Irq.timer)
+    ~handler:(Asm.symbol p "timer") ~ring:0 ~dpl:0;
+  ignore (Machine.run_until_halted ~limit:2_000_000 m);
+  check int "timer handler ran" 0x7E57 (reg m 7);
+  check int "pit fired once" 1 (Pit.ticks_fired (Machine.pit m))
+
+let test_cpu_if_masks_interrupts () =
+  (* With IF clear the PIT interrupt must stay pending. *)
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a 2 (Asm.imm 10);
+  Asm.outi a (Asm.imm Vmm_hw.Machine.Ports.pit) 2;
+  Asm.movi a 2 (Asm.imm 0);
+  Asm.outi a (Asm.imm (Vmm_hw.Machine.Ports.pit + 1)) 2;
+  Asm.movi a 2 (Asm.imm 2);
+  Asm.outi a (Asm.imm (Vmm_hw.Machine.Ports.pit + 2)) 2;
+  (* busy loop long enough for the one-shot to expire *)
+  Asm.movi a 1 (Asm.imm 0);
+  Asm.label a "loop";
+  Asm.addi a 1 1 (Asm.imm 1);
+  Asm.cmpi a 1 (Asm.imm 50_000);
+  Asm.jnz a (Asm.lbl "loop");
+  Asm.hlt a;
+  Machine.boot m (Asm.assemble a) ~entry:0x1000;
+  ignore (Machine.run_until_halted ~limit:2_000_000 m);
+  check bool "request latched, not delivered" true
+    (Pic.requested (Machine.pic m) land 1 = 1);
+  check Alcotest.int64 "no interrupt taken" 0L
+    (Cpu.interrupts_taken (Machine.cpu m))
+
+(* -- Paging -- *)
+
+let build_identity_tables mem ~pd ~pt ~mbytes ~user =
+  (* One page table covers 4 MiB; map [0, mbytes MiB) identity. *)
+  let pages = mbytes * 256 in
+  Phys_mem.write_u32 mem pd (Mmu.make_pte ~frame:pt ~writable:true ~user);
+  for i = 0 to pages - 1 do
+    Phys_mem.write_u32 mem
+      (pt + (4 * i))
+      (Mmu.make_pte ~frame:(i * 4096) ~writable:true ~user)
+  done
+
+let test_mmu_translate_and_bits () =
+  let costs = Costs.default in
+  let mem = Phys_mem.create ~size:(2 * 1024 * 1024) in
+  let mmu = Mmu.create costs in
+  build_identity_tables mem ~pd:0x4000 ~pt:0x5000 ~mbytes:1 ~user:false;
+  let paddr, cyc = Mmu.translate mmu mem ~ptb:0x4000 ~cpl:0 Mmu.Read 0x1234 in
+  check int "identity" 0x1234 paddr;
+  check bool "miss charged" true (cyc > 0);
+  let _, cyc2 = Mmu.translate mmu mem ~ptb:0x4000 ~cpl:0 Mmu.Read 0x1238 in
+  check int "tlb hit free" 0 cyc2;
+  let pte = Phys_mem.read_u32 mem (0x5000 + 4) in
+  check bool "accessed set" true (pte land Mmu.pte_accessed <> 0);
+  ignore (Mmu.translate mmu mem ~ptb:0x4000 ~cpl:0 Mmu.Write 0x1300);
+  let pte = Phys_mem.read_u32 mem (0x5000 + 4) in
+  check bool "dirty set" true (pte land Mmu.pte_dirty <> 0)
+
+let test_mmu_faults () =
+  let costs = Costs.default in
+  let mem = Phys_mem.create ~size:(2 * 1024 * 1024) in
+  let mmu = Mmu.create costs in
+  build_identity_tables mem ~pd:0x4000 ~pt:0x5000 ~mbytes:1 ~user:false;
+  (* unmapped: beyond 1 MiB *)
+  (try
+     ignore (Mmu.translate mmu mem ~ptb:0x4000 ~cpl:0 Mmu.Read 0x200000);
+     Alcotest.fail "expected not-present fault"
+   with Mmu.Page_fault f -> check bool "not present" true f.Mmu.not_present);
+  (* user access to supervisor page *)
+  (try
+     ignore (Mmu.translate mmu mem ~ptb:0x4000 ~cpl:3 Mmu.Read 0x1000);
+     Alcotest.fail "expected protection fault"
+   with Mmu.Page_fault f -> check bool "protection" false f.Mmu.not_present);
+  (* write to read-only page *)
+  Phys_mem.write_u32 mem (0x5000 + 8)
+    (Mmu.make_pte ~frame:0x2000 ~writable:false ~user:false);
+  Mmu.flush mmu;
+  try
+    ignore (Mmu.translate mmu mem ~ptb:0x4000 ~cpl:0 Mmu.Write 0x2000);
+    Alcotest.fail "expected write fault"
+  with Mmu.Page_fault f -> check bool "write prot" false f.Mmu.not_present
+
+let test_mmu_probe () =
+  let mem = Phys_mem.create ~size:(2 * 1024 * 1024) in
+  build_identity_tables mem ~pd:0x4000 ~pt:0x5000 ~mbytes:1 ~user:true;
+  (match Mmu.probe mem ~ptb:0x4000 0x3000 with
+   | Some pte ->
+     check int "frame" 0x3000 (Mmu.frame_of pte);
+     check bool "user" true (Mmu.is_user pte)
+   | None -> Alcotest.fail "expected mapping");
+  check bool "unmapped probe" true (Mmu.probe mem ~ptb:0x4000 0x600000 = None)
+
+let test_cpu_page_fault_delivery () =
+  (* Enable paging, then touch an unmapped page; #PF handler records the
+     faulting address from the error slot. *)
+  let m = fresh_machine () in
+  let mem = Machine.mem m in
+  build_identity_tables mem ~pd:0x40000 ~pt:0x41000 ~mbytes:1 ~user:false;
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 1 (Asm.imm 0x40000);
+  Asm.lptb a 1;
+  Asm.movi a 2 (Asm.imm 0x500000);
+  Asm.ld a 3 2 0 (* faults: beyond mapped 1 MiB *);
+  Asm.label a "spin";
+  Asm.jmp a (Asm.lbl "spin");
+  Asm.label a "pf";
+  Asm.ld a 4 Isa.sp 0 (* error slot = faulting vaddr *);
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  write_gate mem ~table:0x2000 ~vector:Isa.vec_page_fault
+    ~handler:(Asm.symbol p "pf") ~ring:0 ~dpl:0;
+  ignore (Machine.run_until_halted m);
+  check int "faulting address" 0x500000 (reg m 4)
+
+(* -- Devices -- *)
+
+let test_pic_priority_and_eoi () =
+  let pic = Pic.create () in
+  Pic.raise_irq pic 5;
+  Pic.raise_irq pic 2;
+  check (Alcotest.option int) "highest priority first"
+    (Some (Isa.vec_irq_base_default + 2))
+    (Pic.ack pic);
+  (* 5 still pending but blocked? line 5 is lower priority than in-service 2 *)
+  check bool "blocked by in-service" false (Pic.pending pic);
+  Pic.io_write pic 0 0x20 (* EOI *);
+  check (Alcotest.option int) "then lower priority"
+    (Some (Isa.vec_irq_base_default + 5))
+    (Pic.ack pic);
+  Pic.io_write pic 0 0x20;
+  check bool "drained" false (Pic.pending pic)
+
+let test_pic_higher_priority_preempts_service () =
+  let pic = Pic.create () in
+  Pic.raise_irq pic 5;
+  ignore (Pic.ack pic);
+  Pic.raise_irq pic 1;
+  check bool "higher priority deliverable over in-service 5" true
+    (Pic.pending pic)
+
+let test_pic_mask () =
+  let pic = Pic.create () in
+  Pic.io_write pic 1 0x01 (* mask line 0 *);
+  Pic.raise_irq pic 0;
+  check bool "masked" false (Pic.pending pic);
+  Pic.io_write pic 1 0x00;
+  check bool "unmasked" true (Pic.pending pic)
+
+let test_pic_intr_line_callback () =
+  let pic = Pic.create () in
+  let level = ref false in
+  Pic.set_intr pic (fun l -> level := l);
+  Pic.raise_irq pic 3;
+  check bool "asserted" true !level;
+  ignore (Pic.ack pic);
+  Pic.io_write pic 0 0x20;
+  check bool "deasserted" false !level
+
+let test_pit_periodic () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  let costs = Costs.default in
+  let pit = Pit.create ~engine ~costs ~raise_irq:(fun () -> incr fired) () in
+  (* 1000 input ticks per period *)
+  Pit.io_write pit 0 1000;
+  Pit.io_write pit 1 0;
+  Pit.io_write pit 2 1;
+  let second = Costs.cycles_of_seconds costs 1.0 in
+  Engine.run_until engine ~time:second;
+  (* 1193182/1000 ≈ 1193 expiries in one second *)
+  check bool "rate" true (abs (!fired - 1193) <= 2);
+  Pit.io_write pit 2 0;
+  let before = !fired in
+  Engine.run_until engine ~time:(Int64.mul second 2L);
+  check int "stopped" before !fired
+
+let test_uart_wire () =
+  let engine = Engine.create () in
+  let costs = Costs.default in
+  let uart = Uart.create ~engine ~costs () in
+  let received = ref [] in
+  Uart.set_on_tx uart (fun b -> received := b :: !received);
+  Uart.io_write uart 0 (Char.code 'h');
+  Uart.io_write uart 0 (Char.code 'i');
+  check int "tx busy" 0 (Uart.io_read uart 1 land 2);
+  ignore (Engine.run_until_idle engine);
+  check (Alcotest.list int) "bytes in order"
+    [ Char.code 'h'; Char.code 'i' ]
+    (List.rev !received);
+  check int "tx idle" 2 (Uart.io_read uart 1 land 2)
+
+let test_uart_rx_irq () =
+  let engine = Engine.create () in
+  let uart = Uart.create ~engine ~costs:Costs.default () in
+  let irqs = ref 0 in
+  Uart.set_irq uart (fun () -> incr irqs);
+  Uart.inject_rx uart 0x41;
+  check int "no irq while disabled" 0 !irqs;
+  Uart.io_write uart 2 1 (* enable: pending byte raises at once *);
+  check int "irq on enable with pending" 1 !irqs;
+  check int "status rx ready" 1 (Uart.io_read uart 1 land 1);
+  check int "data" 0x41 (Uart.io_read uart 0);
+  check int "drained" 0 (Uart.io_read uart 1 land 1)
+
+let test_scsi_read () =
+  let m = fresh_machine () in
+  let scsi = Machine.scsi m and bus = Machine.bus m in
+  let base = Machine.Ports.scsi in
+  Io_bus.write bus base 1 (* target 1 *);
+  Io_bus.write bus (base + 1) 4 (* lba 4 *);
+  Io_bus.write bus (base + 2) 2048 (* bytes *);
+  Io_bus.write bus (base + 3) 0x30000 (* dma *);
+  Io_bus.write bus (base + 4) 1 (* read *);
+  check int "busy bit" (1 lsl 17) (Io_bus.read bus (base + 5) land (1 lsl 17));
+  ignore (Engine.run_until_idle (Machine.engine m));
+  check int "done bit" 2 (Io_bus.read bus (base + 5) land 2);
+  let off = 4 * Scsi.sector_size in
+  let ok = ref true in
+  for i = 0 to 2047 do
+    if
+      Phys_mem.read_u8 (Machine.mem m) (0x30000 + i)
+      <> Scsi.pattern_byte ~target:1 ~offset:(off + i)
+    then ok := false
+  done;
+  check bool "pattern data" true !ok;
+  check bool "irq raised" true
+    (Pic.requested (Machine.pic m) land (1 lsl Machine.Irq.scsi) <> 0);
+  Io_bus.write bus (base + 6) 1 (* ack *);
+  check int "done cleared" 0 (Io_bus.read bus (base + 5) land 2);
+  check int "one read" 1 (Scsi.reads_completed scsi)
+
+let test_scsi_write_readback () =
+  let m = fresh_machine () in
+  let bus = Machine.bus m and mem = Machine.mem m in
+  let base = Machine.Ports.scsi in
+  Phys_mem.fill mem ~addr:0x30000 ~len:512 0xAB;
+  Io_bus.write bus base 0;
+  Io_bus.write bus (base + 1) 10;
+  Io_bus.write bus (base + 2) 512;
+  Io_bus.write bus (base + 3) 0x30000;
+  Io_bus.write bus (base + 4) 2 (* write *);
+  ignore (Engine.run_until_idle (Machine.engine m));
+  Io_bus.write bus (base + 6) 0;
+  (* read it back elsewhere *)
+  Io_bus.write bus base 0;
+  Io_bus.write bus (base + 1) 10;
+  Io_bus.write bus (base + 2) 512;
+  Io_bus.write bus (base + 3) 0x40000;
+  Io_bus.write bus (base + 4) 1;
+  ignore (Engine.run_until_idle (Machine.engine m));
+  check int "written data read back" 0xAB (Phys_mem.read_u8 mem 0x40000);
+  check int "last byte too" 0xAB (Phys_mem.read_u8 mem (0x40000 + 511))
+
+let test_scsi_streaming_rate () =
+  (* Completion time of a 1 MiB read must match the configured media rate. *)
+  let m = fresh_machine () in
+  let bus = Machine.bus m in
+  let base = Machine.Ports.scsi in
+  let costs = Machine.costs m in
+  let bytes = 1024 * 1024 in
+  Io_bus.write bus base 0;
+  Io_bus.write bus (base + 1) 0;
+  Io_bus.write bus (base + 2) bytes;
+  Io_bus.write bus (base + 3) 0x100000;
+  let t0 = Engine.now (Machine.engine m) in
+  Io_bus.write bus (base + 4) 1;
+  ignore (Engine.run_until_idle (Machine.engine m));
+  let elapsed = Int64.to_float (Int64.sub (Engine.now (Machine.engine m)) t0) in
+  let expected =
+    float_of_int (8 * bytes) /. (costs.Costs.disk_rate_mbps *. 1e6)
+    *. costs.Costs.cpu_hz
+  in
+  check bool "rate within 5%" true
+    (abs_float (elapsed -. expected) /. expected < 0.05)
+
+let test_nic_tx () =
+  let m = fresh_machine () in
+  let nic = Machine.nic m and bus = Machine.bus m and mem = Machine.mem m in
+  let frames = ref [] in
+  Nic.set_on_frame nic (fun f -> frames := f :: !frames);
+  let base = Machine.Ports.nic in
+  Phys_mem.fill mem ~addr:0x50000 ~len:100 0x5A;
+  Io_bus.write bus base 0x50000;
+  Io_bus.write bus (base + 1) 100;
+  Io_bus.write bus (base + 2) 1;
+  ignore (Engine.run_until_idle (Machine.engine m));
+  (match !frames with
+   | [ f ] ->
+     check int "length" 100 (Bytes.length f);
+     check int "payload" 0x5A (Char.code (Bytes.get f 50))
+   | _ -> Alcotest.fail "expected one frame");
+  check int "counter" 1 (Nic.frames_sent nic);
+  check bool "irq" true
+    (Pic.requested (Machine.pic m) land (1 lsl Machine.Irq.nic) <> 0);
+  check int "completion pending" 2 (Io_bus.read bus (base + 3) land 2);
+  Io_bus.write bus (base + 4) 1;
+  check int "completion consumed" 0 (Io_bus.read bus (base + 3) land 2)
+
+let test_nic_wire_rate () =
+  (* Two back-to-back 1500-byte frames serialize sequentially at 1 Gbps. *)
+  let m = fresh_machine () in
+  let nic = Machine.nic m and bus = Machine.bus m in
+  let times = ref [] in
+  Nic.set_on_frame nic (fun _ -> times := Engine.now (Machine.engine m) :: !times);
+  let base = Machine.Ports.nic in
+  Io_bus.write bus base 0x50000;
+  Io_bus.write bus (base + 1) 1500;
+  Io_bus.write bus (base + 2) 1;
+  Io_bus.write bus (base + 2) 1;
+  ignore (Engine.run_until_idle (Machine.engine m));
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    let costs = Machine.costs m in
+    let gap = Int64.to_float (Int64.sub t2 t1) /. costs.Costs.cpu_hz in
+    let expected = 1500.0 *. 8.0 /. 1e9 in
+    check bool "serialization gap" true (abs_float (gap -. expected) /. expected < 0.2)
+  | _ -> Alcotest.fail "expected two frames"
+
+let test_nic_rx () =
+  let m = fresh_machine () in
+  let nic = Machine.nic m and bus = Machine.bus m and mem = Machine.mem m in
+  let base = Machine.Ports.nic in
+  Nic.inject_rx nic (Bytes.of_string "hello-frame");
+  check int "rx waiting" 8 (Io_bus.read bus (base + 3) land 8);
+  check int "rx length" 11 (Io_bus.read bus (base + 7));
+  Io_bus.write bus (base + 6) 0x60000;
+  Io_bus.write bus (base + 2) 2;
+  check bool "frame in memory" true
+    (Bytes.to_string (Phys_mem.read_bytes mem ~addr:0x60000 ~len:11)
+    = "hello-frame")
+
+let test_io_bus_unclaimed () =
+  let bus = Io_bus.create () in
+  check int "floating read" 0xFFFFFFFF (Io_bus.read bus 0x999);
+  Io_bus.write bus 0x999 42 (* must not raise *)
+
+let test_io_bus_conflict () =
+  let bus = Io_bus.create () in
+  Io_bus.register bus ~name:"a" ~base:0x10 ~count:4
+    ~read:(fun _ -> 0)
+    ~write:(fun _ _ -> ());
+  Alcotest.check_raises "conflict"
+    (Io_bus.Port_conflict { port = 0x12; owner = "a" })
+    (fun () ->
+      Io_bus.register bus ~name:"b" ~base:0x12 ~count:2
+        ~read:(fun _ -> 0)
+        ~write:(fun _ _ -> ()))
+
+let test_io_permission_bitmap () =
+  (* OUT at ring 3 to a non-permitted port must #GP; permitted goes through. *)
+  let m = fresh_machine () in
+  let hits = ref [] in
+  Io_bus.register (Machine.bus m) ~name:"probe" ~base:0x500 ~count:2
+    ~read:(fun _ -> 0)
+    ~write:(fun off v -> hits := (off, v) :: !hits);
+  Cpu.allow_port (Machine.cpu m) 0x501 true;
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 1 (Asm.imm 0xA000);
+  Asm.lstk a 0 1;
+  Asm.movi a 3 (Asm.imm 0x7000);
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.imm 0x3000);
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.lbl "user");
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.imm 0);
+  Asm.push a 3;
+  Asm.iret a;
+  Asm.label a "user";
+  Asm.movi a 2 (Asm.imm 77);
+  Asm.outi a (Asm.imm 0x501) 2 (* permitted: direct *);
+  Asm.outi a (Asm.imm 0x500) 2 (* denied: #GP *);
+  Asm.label a "spin";
+  Asm.jmp a (Asm.lbl "spin");
+  Asm.label a "gp";
+  Asm.ld a 5 Isa.sp 0 (* error = port *);
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  write_gate (Machine.mem m) ~table:0x2000 ~vector:Isa.vec_protection
+    ~handler:(Asm.symbol p "gp") ~ring:0 ~dpl:0;
+  ignore (Machine.run_until_halted m);
+  check (Alcotest.list (Alcotest.pair int int)) "only permitted write landed"
+    [ (1, 77) ] !hits;
+  check int "gp error carries port" 0x500 (reg m 5)
+
+(* -- CPU edge cases -- *)
+
+let test_cpu_fetch_across_page_boundary () =
+  (* Data directives can misalign code; a fetch straddling two pages must
+     still decode (byte-at-a-time translation path). *)
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:(0x2000 - 4) () in
+  Asm.space a 4 (* push the first instruction to 0x2000 - wait, origin
+                   already offsets; place an instruction at 0xFFC *);
+  Machine.boot m (Asm.assemble a) ~entry:0x1000;
+  (* hand-place an instruction straddling 0x2FFC..0x3003 *)
+  let mem = Machine.mem m in
+  Phys_mem.load_bytes mem ~addr:0x2FFC (Isa.encode (Isa.Movi (1, 0x1234)));
+  Phys_mem.load_bytes mem ~addr:0x3004 (Isa.encode Isa.Hlt);
+  Vmm_hw.Cpu.set_pc (Machine.cpu m) 0x2FFC;
+  ignore (Machine.run_until_halted m);
+  check int "instruction decoded across boundary" 0x1234 (reg m 1)
+
+let test_cpu_unaligned_u32_across_pages () =
+  let m, _ =
+    run_program (fun a ->
+        Asm.movi a 1 (Asm.imm 0x2FFE) (* straddles 0x2FFF/0x3000 *);
+        Asm.movi a 2 (Asm.imm 0xA1B2C3D4);
+        Asm.st a 1 0 2;
+        Asm.ld a 3 1 0;
+        Asm.hlt a)
+  in
+  check int "unaligned store/load across pages" 0xA1B2C3D4 (reg m 3)
+
+let test_cpu_copy_across_pages () =
+  let m = fresh_machine () in
+  let mem = Machine.mem m in
+  for i = 0 to 9999 do
+    Phys_mem.write_u8 mem (0x2800 + i) ((i * 13) land 0xFF)
+  done;
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a 1 (Asm.imm 0x8800) (* destination also crosses pages *);
+  Asm.movi a 2 (Asm.imm 0x2800);
+  Asm.movi a 3 (Asm.imm 10000);
+  Asm.copy a 1 2 3;
+  Asm.hlt a;
+  Machine.boot m (Asm.assemble a) ~entry:0x1000;
+  ignore (Machine.run_until_halted m);
+  check bool "multi-page copy" true
+    (Phys_mem.read_bytes mem ~addr:0x2800 ~len:10000
+    = Phys_mem.read_bytes mem ~addr:0x8800 ~len:10000)
+
+let test_cpu_iret_to_ring3_with_pending_step () =
+  (* IRET restoring a flags word with TF set must trap after the first
+     user instruction. *)
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 1 (Asm.imm 0xA000);
+  Asm.lstk a 0 1;
+  Asm.movi a 3 (Asm.imm 0x7000);
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.imm (0x3000 lor 0x100)) (* ring 3, TF *);
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.lbl "user");
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.imm 0);
+  Asm.push a 3;
+  Asm.iret a;
+  Asm.label a "user";
+  Asm.movi a 5 (Asm.imm 1);
+  Asm.movi a 5 (Asm.imm 2);
+  Asm.label a "spin";
+  Asm.jmp a (Asm.lbl "spin");
+  Asm.label a "step_handler";
+  Asm.mov a 6 5 (* captures r5 at trap time *);
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  let gate_flags = 1 in
+  Phys_mem.write_u32 (Machine.mem m) (0x2000 + (8 * Isa.vec_debug_step))
+    (Asm.symbol p "step_handler");
+  Phys_mem.write_u32 (Machine.mem m)
+    (0x2000 + (8 * Isa.vec_debug_step) + 4)
+    gate_flags;
+  ignore (Machine.run_until_halted m);
+  check int "trapped after exactly one instruction" 1 (reg m 6)
+
+(* -- Cross-checking properties -- *)
+
+let prop_mmu_probe_agrees_with_translate =
+  (* For random guest-style mappings, a successful translate and probe
+     must agree on the physical frame; a probe miss must mean translate
+     faults. *)
+  QCheck.Test.make ~name:"mmu probe agrees with translate" ~count:100
+    QCheck.(
+      pair (int_bound 255)
+        (list_of_size (Gen.int_range 1 32) (pair (int_bound 255) (int_bound 255))))
+    (fun (probe_page, mappings) ->
+      let mem = Phys_mem.create ~size:(4 * 1024 * 1024) in
+      let mmu = Mmu.create Costs.default in
+      let pd = 0x200000 and pt = 0x201000 in
+      Phys_mem.write_u32 mem pd (Mmu.make_pte ~frame:pt ~writable:true ~user:true);
+      List.iter
+        (fun (vpage, ppage) ->
+          Phys_mem.write_u32 mem
+            (pt + (4 * (vpage land 0xFF)))
+            (Mmu.make_pte ~frame:((ppage land 0xFF) * 4096) ~writable:true ~user:true))
+        mappings;
+      let vaddr = (probe_page land 0xFF) * 4096 in
+      let probe = Mmu.probe mem ~ptb:pd vaddr in
+      let translate =
+        try Some (fst (Mmu.translate mmu mem ~ptb:pd ~cpl:3 Mmu.Read vaddr))
+        with Mmu.Page_fault _ -> None
+      in
+      match (probe, translate) with
+      | Some pte, Some paddr -> Mmu.frame_of pte = paddr
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let prop_disassembly_roundtrip =
+  (* Assembling a random instruction list and disassembling from memory
+     yields the same instruction sequence. *)
+  QCheck.Test.make ~name:"assemble/disassemble roundtrip" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 64) instr_arbitrary)
+    (fun instrs ->
+      let a = Asm.create ~origin:0x2000 () in
+      List.iteri
+        (fun i instr ->
+          ignore i;
+          Asm.instr a instr)
+        instrs;
+      let p = Asm.assemble a in
+      let mem = Phys_mem.create ~size:(64 * 1024) in
+      Asm.load p mem;
+      List.for_all
+        (fun (i, instr) -> Isa.read mem (0x2000 + (i * Isa.width)) = instr)
+        (List.mapi (fun i instr -> (i, instr)) instrs))
+
+let test_machine_determinism () =
+  (* Two machines running the same program for the same simulated time
+     must agree on every observable. *)
+  let run () =
+    let m = fresh_machine () in
+    let a = Asm.create ~origin:0x1000 () in
+    Asm.movi a Isa.sp (Asm.imm 0x8000);
+    Asm.movi a 1 (Asm.imm 0);
+    Asm.label a "loop";
+    Asm.addi a 1 1 (Asm.imm 1);
+    Asm.movi a 2 (Asm.imm 0x30000);
+    Asm.st a 2 0 1;
+    Asm.jmp a (Asm.lbl "loop");
+    Machine.boot m (Asm.assemble a) ~entry:0x1000;
+    Machine.run_seconds m 0.001;
+    ( Cpu.read_reg (Machine.cpu m) 1,
+      Cpu.instructions_retired (Machine.cpu m),
+      Vmm_sim.Stats.busy_cycles (Machine.load m) )
+  in
+  let a = run () and b = run () in
+  check bool "identical observables" true (a = b)
+
+(* -- Load accounting -- *)
+
+let test_machine_idle_vs_busy () =
+  (* A program that halts immediately: almost all time is idle. *)
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.hlt a;
+  Machine.boot m (Asm.assemble a) ~entry:0x1000;
+  (* a far-future event so the idle skip has a target *)
+  ignore
+    (Engine.at (Machine.engine m)
+       ~time:(Costs.cycles_of_seconds (Machine.costs m) 0.01)
+       (fun () -> ()));
+  let t0 = Machine.now m and b0 = Vmm_sim.Stats.busy_cycles (Machine.load m) in
+  Machine.run_seconds m 0.01;
+  let u = Machine.utilization m ~since:t0 ~since_busy:b0 in
+  check bool "mostly idle" true (u < 0.001)
+
+let test_machine_busy_loop () =
+  let m = fresh_machine () in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.label a "loop";
+  Asm.jmp a (Asm.lbl "loop");
+  Machine.boot m (Asm.assemble a) ~entry:0x1000;
+  let t0 = Machine.now m and b0 = Vmm_sim.Stats.busy_cycles (Machine.load m) in
+  Machine.run_for m ~cycles:100_000L;
+  let u = Machine.utilization m ~since:t0 ~since_busy:b0 in
+  check bool "fully busy" true (u > 0.99)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vmm_hw"
+    [
+      ( "word",
+        [
+          Alcotest.test_case "wrapping" `Quick test_word_wrap;
+          Alcotest.test_case "shifts" `Quick test_word_shifts;
+          Alcotest.test_case "comparisons" `Quick test_word_compare;
+        ] );
+      ( "phys_mem",
+        [
+          Alcotest.test_case "read/write" `Quick test_mem_rw;
+          Alcotest.test_case "bounds" `Quick test_mem_bounds;
+          Alcotest.test_case "checksum" `Quick test_mem_checksum_matches_rfc;
+          Alcotest.test_case "checksum odd" `Quick test_mem_checksum_odd_len;
+        ] );
+      ( "isa",
+        [
+          Alcotest.test_case "decode error" `Quick test_isa_decode_error;
+          Alcotest.test_case "privileged set" `Quick test_isa_privileged_set;
+        ]
+        @ qsuite [ prop_isa_roundtrip ] );
+      ( "asm",
+        [
+          Alcotest.test_case "labels" `Quick test_asm_labels;
+          Alcotest.test_case "undefined label" `Quick test_asm_undefined_label;
+          Alcotest.test_case "duplicate label" `Quick test_asm_duplicate_label;
+          Alcotest.test_case "data/align" `Quick test_asm_data_and_align;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_cpu_arith;
+          Alcotest.test_case "branches" `Quick test_cpu_branches;
+          Alcotest.test_case "call/stack" `Quick test_cpu_call_stack;
+          Alcotest.test_case "memory" `Quick test_cpu_memory;
+          Alcotest.test_case "copy/csum" `Quick test_cpu_copy_csum;
+          Alcotest.test_case "rdtsc" `Quick test_cpu_rdtsc_monotonic;
+          Alcotest.test_case "software interrupt" `Quick
+            test_cpu_software_interrupt;
+          Alcotest.test_case "ring3 privilege fault" `Quick
+            test_cpu_privilege_fault_ring3;
+          Alcotest.test_case "stack switch" `Quick
+            test_cpu_stack_switch_on_ring_change;
+          Alcotest.test_case "int gate dpl" `Quick test_cpu_int_gate_dpl_enforced;
+          Alcotest.test_case "hardware interrupt" `Quick
+            test_cpu_hardware_interrupt;
+          Alcotest.test_case "IF masks" `Quick test_cpu_if_masks_interrupts;
+          Alcotest.test_case "page fault delivery" `Quick
+            test_cpu_page_fault_delivery;
+          Alcotest.test_case "io permission bitmap" `Quick
+            test_io_permission_bitmap;
+          Alcotest.test_case "fetch across pages" `Quick
+            test_cpu_fetch_across_page_boundary;
+          Alcotest.test_case "unaligned u32 across pages" `Quick
+            test_cpu_unaligned_u32_across_pages;
+          Alcotest.test_case "copy across pages" `Quick
+            test_cpu_copy_across_pages;
+          Alcotest.test_case "iret with TF" `Quick
+            test_cpu_iret_to_ring3_with_pending_step;
+        ] );
+      ( "mmu",
+        [
+          Alcotest.test_case "translate + bits" `Quick test_mmu_translate_and_bits;
+          Alcotest.test_case "faults" `Quick test_mmu_faults;
+          Alcotest.test_case "probe" `Quick test_mmu_probe;
+        ] );
+      ( "pic",
+        [
+          Alcotest.test_case "priority/eoi" `Quick test_pic_priority_and_eoi;
+          Alcotest.test_case "preemption" `Quick
+            test_pic_higher_priority_preempts_service;
+          Alcotest.test_case "mask" `Quick test_pic_mask;
+          Alcotest.test_case "intr line" `Quick test_pic_intr_line_callback;
+        ] );
+      ("pit", [ Alcotest.test_case "periodic rate" `Quick test_pit_periodic ]);
+      ( "uart",
+        [
+          Alcotest.test_case "tx wire" `Quick test_uart_wire;
+          Alcotest.test_case "rx irq" `Quick test_uart_rx_irq;
+        ] );
+      ( "scsi",
+        [
+          Alcotest.test_case "read + pattern" `Quick test_scsi_read;
+          Alcotest.test_case "write readback" `Quick test_scsi_write_readback;
+          Alcotest.test_case "streaming rate" `Quick test_scsi_streaming_rate;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "tx" `Quick test_nic_tx;
+          Alcotest.test_case "wire rate" `Quick test_nic_wire_rate;
+          Alcotest.test_case "rx" `Quick test_nic_rx;
+        ] );
+      ( "io_bus",
+        [
+          Alcotest.test_case "unclaimed" `Quick test_io_bus_unclaimed;
+          Alcotest.test_case "conflict" `Quick test_io_bus_conflict;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "idle accounting" `Quick test_machine_idle_vs_busy;
+          Alcotest.test_case "busy loop" `Quick test_machine_busy_loop;
+          Alcotest.test_case "determinism" `Quick test_machine_determinism;
+        ] );
+      ( "properties",
+        qsuite [ prop_mmu_probe_agrees_with_translate; prop_disassembly_roundtrip ] );
+    ]

@@ -1,0 +1,217 @@
+(* Tests for the debug wire protocol: framing, escaping, incremental
+   decoding, hex helpers and the typed command/reply grammar. *)
+
+module Packet = Vmm_proto.Packet
+module Command = Vmm_proto.Command
+module Link = Vmm_proto.Link
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* -- Framing -- *)
+
+let test_frame_simple () =
+  (* "g" -> checksum 0x67 *)
+  check string "framed" "$g#67" (Packet.frame "g")
+
+let test_frame_escaping () =
+  let framed = Packet.frame "a$b" in
+  check bool "escaped dollar" true
+    (String.length framed > String.length "$a$b#xx" - 1);
+  let d = Packet.decoder () in
+  match Packet.feed_string d framed with
+  | [ Packet.Packet p ] -> check string "roundtrip" "a$b" p
+  | _ -> Alcotest.fail "expected one packet"
+
+let test_decoder_noise_and_ack () =
+  let d = Packet.decoder () in
+  let events = Packet.feed_string d ("xx+" ^ Packet.frame "OK" ^ "-junk") in
+  match events with
+  | [ Packet.Ack; Packet.Packet "OK"; Packet.Nak ] -> ()
+  | _ -> Alcotest.fail "unexpected event sequence"
+
+let test_decoder_bad_checksum () =
+  let d = Packet.decoder () in
+  match Packet.feed_string d "$abc#00" with
+  | [ Packet.Bad_checksum ] -> ()
+  | _ -> Alcotest.fail "expected checksum failure"
+
+let test_decoder_resync_on_dollar () =
+  (* A truncated packet followed by a fresh one decodes the fresh one. *)
+  let d = Packet.decoder () in
+  match Packet.feed_string d ("$garbage" ^ Packet.frame "ok") with
+  | [ Packet.Packet "ok" ] -> ()
+  | _ -> Alcotest.fail "expected resynchronization"
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"frame/decode roundtrip any payload" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 200))
+    (fun payload ->
+      let d = Packet.decoder () in
+      match Packet.feed_string d (Packet.frame payload) with
+      | [ Packet.Packet p ] -> String.equal p payload
+      | _ -> false)
+
+let prop_frame_roundtrip_split =
+  QCheck.Test.make ~name:"roundtrip survives byte-at-a-time delivery"
+    ~count:200
+    QCheck.(pair (string_of_size (Gen.int_bound 100)) (string_of_size (Gen.int_bound 100)))
+    (fun (p1, p2) ->
+      let d = Packet.decoder () in
+      let wire = Packet.frame p1 ^ "+" ^ Packet.frame p2 in
+      let events = ref [] in
+      String.iter
+        (fun c ->
+          match Packet.feed d (Char.code c) with
+          | Some e -> events := e :: !events
+          | None -> ())
+        wire;
+      match List.rev !events with
+      | [ Packet.Packet a; Packet.Ack; Packet.Packet b ] ->
+        String.equal a p1 && String.equal b p2
+      | _ -> false)
+
+(* -- Hex -- *)
+
+let test_hex_helpers () =
+  check string "to_hex" "68690a" (Packet.to_hex "hi\n");
+  check (Alcotest.option string) "of_hex" (Some "hi\n")
+    (Packet.of_hex "68690a");
+  check (Alcotest.option string) "odd length" None (Packet.of_hex "abc");
+  check (Alcotest.option string) "bad digit" None (Packet.of_hex "zz");
+  check string "fixed width" "00ff" (Packet.hex_of_int 255 ~width:4);
+  check (Alcotest.option int) "int_of_hex" (Some 0xDEAD)
+    (Packet.int_of_hex "dead");
+  check (Alcotest.option int) "empty" None (Packet.int_of_hex "")
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:500 QCheck.string (fun s ->
+      Packet.of_hex (Packet.to_hex s) = Some s)
+
+(* -- Commands -- *)
+
+let command_gen : Command.command QCheck.Gen.t =
+  let open QCheck.Gen in
+  let addr = map (fun v -> v land 0xFFFFFFFF) int in
+  oneof
+    [
+      return Command.Read_registers;
+      map2 (fun i v -> Command.Write_register (i land 0x1F, v land 0xFFFFFFFF)) int int;
+      map2 (fun a l -> Command.Read_memory { addr = a; len = l land 0xFFFF }) addr int;
+      map
+        (fun data -> Command.Write_memory { addr = 0x1000; data })
+        (string_size (int_bound 64));
+      map (fun a -> Command.Insert_breakpoint a) addr;
+      map (fun a -> Command.Remove_breakpoint a) addr;
+      return Command.Continue;
+      return Command.Step;
+      return Command.Halt;
+      return Command.Query_stop;
+      return Command.Detach;
+    ]
+
+let command_arbitrary =
+  QCheck.make command_gen ~print:(fun c ->
+      Format.asprintf "%a" Command.pp_command c)
+
+let prop_command_roundtrip =
+  QCheck.Test.make ~name:"command wire roundtrip" ~count:500 command_arbitrary
+    (fun c -> Command.command_of_wire (Command.command_to_wire c) = Some c)
+
+let reply_gen : Command.reply QCheck.Gen.t =
+  let open QCheck.Gen in
+  let addr = map (fun v -> v land 0xFFFFFFFF) int in
+  oneof
+    [
+      return Command.Ok_reply;
+      map (fun c -> Command.Error (c land 0xFF)) int;
+      map
+        (fun l -> Command.Registers (Array.of_list (List.map (fun v -> v land 0xFFFFFFFF) l)))
+        (list_repeat Command.register_count int);
+      map (fun a -> Command.Stopped (Command.Break a)) addr;
+      map (fun a -> Command.Stopped (Command.Step_done a)) addr;
+      map2
+        (fun v p -> Command.Stopped (Command.Faulted { vector = v land 0x3F; pc = p }))
+        int addr;
+      map (fun a -> Command.Stopped (Command.Halt_requested a)) addr;
+      return Command.Running;
+    ]
+
+let reply_arbitrary =
+  QCheck.make reply_gen ~print:(fun r -> Format.asprintf "%a" Command.pp_reply r)
+
+let prop_reply_roundtrip =
+  QCheck.Test.make ~name:"reply wire roundtrip" ~count:500 reply_arbitrary
+    (fun r -> Command.reply_of_wire (Command.reply_to_wire r) = Some r)
+
+let test_command_examples () =
+  check (Alcotest.option bool) "read regs" (Some true)
+    (Option.map (fun c -> c = Command.Read_registers)
+       (Command.command_of_wire "g"));
+  (match Command.command_of_wire "m00001000,00000010" with
+   | Some (Command.Read_memory { addr; len }) ->
+     check int "addr" 0x1000 addr;
+     check int "len" 16 len
+   | _ -> Alcotest.fail "read memory parse");
+  match Command.command_of_wire "M00002000,00000002:abcd" with
+  | Some (Command.Write_memory { addr; data }) ->
+    check int "addr" 0x2000 addr;
+    check string "data" "\xab\xcd" data
+  | _ -> Alcotest.fail "write memory parse"
+
+let test_command_rejects_garbage () =
+  check bool "empty" true (Command.command_of_wire "" = None);
+  check bool "unknown" true (Command.command_of_wire "Q!" = None);
+  check bool "bad length" true
+    (Command.command_of_wire "M00000000,00000005:ab" = None)
+
+(* -- Link -- *)
+
+let test_loopback () =
+  let a, b = Link.loopback () in
+  let got = ref [] in
+  b.Link.set_receive (fun byte -> got := byte :: !got);
+  Link.send_string a "abc";
+  check (Alcotest.list int) "delivered in order"
+    [ Char.code 'a'; Char.code 'b'; Char.code 'c' ]
+    (List.rev !got)
+
+let test_loopback_backlog () =
+  let a, b = Link.loopback () in
+  Link.send_string a "xy" (* no receiver yet *);
+  let got = ref [] in
+  b.Link.set_receive (fun byte -> got := byte :: !got);
+  check (Alcotest.list int) "backlog flushed"
+    [ Char.code 'x'; Char.code 'y' ]
+    (List.rev !got)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vmm_proto"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "frame" `Quick test_frame_simple;
+          Alcotest.test_case "escaping" `Quick test_frame_escaping;
+          Alcotest.test_case "noise + acks" `Quick test_decoder_noise_and_ack;
+          Alcotest.test_case "bad checksum" `Quick test_decoder_bad_checksum;
+          Alcotest.test_case "resync" `Quick test_decoder_resync_on_dollar;
+          Alcotest.test_case "hex helpers" `Quick test_hex_helpers;
+        ]
+        @ qsuite [ prop_frame_roundtrip; prop_frame_roundtrip_split; prop_hex_roundtrip ]
+      );
+      ( "command",
+        [
+          Alcotest.test_case "examples" `Quick test_command_examples;
+          Alcotest.test_case "rejects garbage" `Quick test_command_rejects_garbage;
+        ]
+        @ qsuite [ prop_command_roundtrip; prop_reply_roundtrip ] );
+      ( "link",
+        [
+          Alcotest.test_case "loopback" `Quick test_loopback;
+          Alcotest.test_case "backlog" `Quick test_loopback_backlog;
+        ] );
+    ]
