@@ -6,12 +6,13 @@
    see `help`.  Extra commands beyond the debugger language:
 
      run <seconds>   -- advance the target by simulated wall time
-     stats           -- monitor counters
+     stats           -- monitor + link counters
+     reconnect       -- revive a link declared dead (resync exchange)
      trace           -- recent monitor events
      quit
 
    Usage: dune exec bin/lwvmm_dbg.exe -- [--rate MBPS] [--fast-uart]
-          [--script 'cmd;cmd;...'] *)
+          [--lossy SEED] [--script 'cmd;cmd;...'] *)
 
 module Machine = Vmm_hw.Machine
 module Costs = Vmm_hw.Costs
@@ -20,8 +21,9 @@ module Kernel = Vmm_guest.Kernel
 module Session = Vmm_debugger.Session
 module Symbols = Vmm_debugger.Symbols
 module Cli = Vmm_debugger.Cli
+module Chaos = Vmm_fault.Chaos
 
-let run rate fast_uart script =
+let run rate fast_uart lossy script =
   let costs =
     if fast_uart then { Costs.default with Costs.uart_cycles_per_byte = 2000 }
     else Costs.default
@@ -31,7 +33,27 @@ let run rate fast_uart script =
   let program = Kernel.build (Kernel.default_config ~rate_mbps:rate) in
   Monitor.boot_guest monitor program ~entry:Kernel.entry;
   Machine.run_seconds machine 0.02;
-  let session = Session.attach machine in
+  let session =
+    match lossy with
+    | None -> Session.attach machine
+    | Some seed ->
+      (* A mildly hostile wire in both directions; the reliable link
+         repairs it and `stats` shows the repair work. *)
+      let chaos =
+        Chaos.create ~engine:(Machine.engine machine)
+          ~rng:(Vmm_sim.Rng.create ~seed:(Int64.of_int seed))
+          ()
+      in
+      Chaos.set_profile chaos
+        { Chaos.quiet with Chaos.drop_p = 0.005; Chaos.corrupt_p = 0.005 };
+      Chaos.set_active chaos true;
+      Printf.printf
+        "lossy wire enabled (seed %d): 0.5%% drop, 0.5%% corrupt; \
+         'reconnect' revives a dead link\n"
+        seed;
+      Session.attach ~wrap_to_target:(Chaos.wrap chaos)
+        ~wrap_to_host:(Chaos.wrap chaos) machine
+  in
   let symbols = Symbols.of_program program in
   let cli = Cli.create ~session ~symbols in
   Printf.printf
@@ -52,6 +74,10 @@ let run rate fast_uart script =
           (fun r -> Format.printf "%a@." Vmm_sim.Trace.pp_record r)
           records;
       true
+    | "reconnect" ->
+      if Session.reconnect session then print_endline "link re-established"
+      else print_endline "reconnect failed (wire still hostile?)";
+      true
     | "stats" ->
       let s = Monitor.stats monitor in
       Printf.printf
@@ -61,6 +87,17 @@ let run rate fast_uart script =
         s.Monitor.pit_emulations s.Monitor.cpu_emulations
         s.Monitor.io_emulations s.Monitor.shadow_fills
         s.Monitor.reflected_irqs s.Monitor.escalations;
+      Printf.printf
+        "link (target): retransmits %d | bad checksums %d | resets %d | \
+         downs %d | injected faults %d\n"
+        s.Monitor.link_retransmits s.Monitor.link_bad_checksums
+        s.Monitor.link_resets s.Monitor.link_downs s.Monitor.injected_faults;
+      let h = Session.link_stats session in
+      Printf.printf
+        "link (host): retransmits %d | bad checksums %d | dups dropped %d | \
+         downs %d\n"
+        h.Vmm_proto.Reliable.retransmits h.Vmm_proto.Reliable.bad_checksums
+        h.Vmm_proto.Reliable.duplicates_dropped (Session.link_downs session);
       true
     | line when String.length line > 4 && String.sub line 0 4 = "run " ->
       (match float_of_string_opt (String.sub line 4 (String.length line - 4)) with
@@ -87,7 +124,10 @@ let run rate fast_uart script =
       (String.split_on_char ';' script)
   | None ->
     let rec repl () =
+      (* stdout is block-buffered even on a tty: flush or the prompt
+         (and the previous command's output) never appears *)
       print_string "(dbg) ";
+      flush stdout;
       match In_channel.input_line stdin with
       | Some line -> if execute line then repl ()
       | None -> ()
@@ -107,6 +147,13 @@ let fast_uart =
   in
   Arg.(value & flag & info [ "fast-uart" ] ~doc)
 
+let lossy =
+  let doc =
+    "Interpose a seeded lossy wire on the debug link (1% drop, 1% corrupt \
+     per byte); the reliable link repairs it."
+  in
+  Arg.(value & opt (some int) None & info [ "lossy" ] ~docv:"SEED" ~doc)
+
 let script =
   let doc = "Run a semicolon-separated command list instead of a REPL." in
   Arg.(value & opt (some string) None & info [ "script" ] ~docv:"CMDS" ~doc)
@@ -114,6 +161,6 @@ let script =
 let cmd =
   let doc = "remote debugger for guests under the lightweight VMM" in
   let info = Cmd.info "lwvmm_dbg" ~doc in
-  Cmd.v info Term.(const run $ rate $ fast_uart $ script)
+  Cmd.v info Term.(const run $ rate $ fast_uart $ lossy $ script)
 
 let () = exit (Cmd.eval cmd)

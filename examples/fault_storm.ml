@@ -1,0 +1,99 @@
+(* Fault storm: every fault class in `Vmm_fault.Plan`, one after another,
+   against a single debug session — the stability suite's scenario as a
+   watchable demo.  The wire degrades, the guest crashes six different
+   ways, the disks fail and the NIC stalls; after each storm the host
+   sets a breakpoint, reads memory and resumes, and the run summarizes
+   the repair work the reliable link did.
+
+   Everything is deterministic in the seed (default 2026; pass another as
+   argv 1).
+
+   Run with: dune exec examples/fault_storm.exe [-- seed] *)
+
+module Machine = Vmm_hw.Machine
+module Costs = Vmm_hw.Costs
+module Reliable = Vmm_proto.Reliable
+module Monitor = Core.Monitor
+module Kernel = Vmm_guest.Kernel
+module Session = Vmm_debugger.Session
+module Chaos = Vmm_fault.Chaos
+module Plan = Vmm_fault.Plan
+
+let costs = { Costs.default with Costs.uart_cycles_per_byte = 2000 }
+
+let cyc s = Costs.cycles_of_seconds costs s
+
+let () =
+  let seed =
+    if Array.length Sys.argv > 1 then Int64.of_string Sys.argv.(1) else 2026L
+  in
+  Printf.printf "== fault storm (seed %Ld) ==\n%!" seed;
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs () in
+  let mon = Monitor.install m in
+  let program = Kernel.build (Kernel.default_config ~rate_mbps:20.0) in
+  Monitor.boot_guest mon program ~entry:Kernel.entry;
+  Machine.run_seconds m 0.01;
+  let plan = Plan.create ~seed ~engine:(Machine.engine m) in
+  let chaos = Plan.chaos plan in
+  let session =
+    Session.attach ~wrap_to_target:(Chaos.wrap chaos)
+      ~wrap_to_host:(Chaos.wrap chaos) m
+  in
+  let survived = ref 0 in
+  List.iter
+    (fun cls ->
+      Printf.printf "-- %-18s " (Plan.name cls);
+      let now = Machine.now m in
+      Plan.arm plan ~monitor:mon cls ~at:(Int64.add now (cyc 0.002))
+        ~until:(Int64.add now (cyc 0.06));
+      (* live traffic through the fault window *)
+      for _ = 1 to 8 do
+        ignore
+          (Session.read_memory ~timeout_s:0.5 session ~addr:Kernel.entry
+             ~len:32);
+        if not (Session.link_up session) then
+          ignore (Session.reconnect ~timeout_s:0.5 session)
+      done;
+      Machine.run_seconds m 0.05;
+      (* recovery: a few resync attempts on the now-quiet wire *)
+      let rec recover tries =
+        Session.read_registers ~timeout_s:1.0 session <> None
+        || tries > 0
+           && (ignore (Session.reconnect ~timeout_s:1.0 session);
+               recover (tries - 1))
+      in
+      let alive =
+        recover 5
+        && Session.insert_breakpoint session Kernel.entry
+        && Session.read_memory session ~addr:Kernel.entry ~len:16 <> None
+        && Session.remove_breakpoint session Kernel.entry
+      in
+      Session.continue_ session;
+      let answers = Session.is_running session <> None in
+      if alive && answers then begin
+        incr survived;
+        Printf.printf "debugger survived\n%!"
+      end
+      else Printf.printf "DEBUGGER LOST\n%!")
+    Plan.all;
+  let s = Monitor.stats mon in
+  let h = Session.link_stats session in
+  let c = Chaos.stats chaos in
+  Printf.printf "== %d/%d fault classes survived ==\n" !survived
+    (List.length Plan.all);
+  Printf.printf
+    "chaos: %d bytes passed, %d dropped, %d corrupted, %d duplicated, %d \
+     delayed\n"
+    c.Chaos.passed c.Chaos.dropped c.Chaos.corrupted c.Chaos.duplicated
+    c.Chaos.delayed;
+  Printf.printf
+    "host link: %d retransmits, %d bad checksums, %d dups dropped, %d downs\n"
+    h.Reliable.retransmits h.Reliable.bad_checksums
+    h.Reliable.duplicates_dropped (Session.link_downs session);
+  Printf.printf
+    "target link: %d retransmits, %d bad checksums, %d resets, %d downs\n"
+    s.Monitor.link_retransmits s.Monitor.link_bad_checksums
+    s.Monitor.link_resets s.Monitor.link_downs;
+  Printf.printf "monitor: %d injected faults, %d escalations — still standing\n"
+    s.Monitor.injected_faults s.Monitor.escalations;
+  if !survived <> List.length Plan.all then exit 1

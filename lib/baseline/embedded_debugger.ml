@@ -80,7 +80,8 @@ let handle t command =
   | Command.Insert_breakpoint _ | Command.Remove_breakpoint _
   | Command.Insert_watchpoint _ | Command.Remove_watchpoint _
   | Command.Read_console | Command.Read_profile
-  | Command.Continue | Command.Step | Command.Halt | Command.Detach ->
+  | Command.Continue | Command.Step | Command.Halt | Command.Detach
+  | Command.Resync ->
     reply t Command.Unsupported
 
 let service t =

@@ -29,6 +29,12 @@ type stats = {
   reflected_faults : int;
   hypercalls : int;
   escalations : int;
+  (* stability observability: the debug link and injected-fault story *)
+  link_retransmits : int;
+  link_bad_checksums : int;
+  link_resets : int;
+  link_downs : int;
+  injected_faults : int;
 }
 
 type t = {
@@ -67,6 +73,7 @@ type t = {
   mutable c_fault : int;
   mutable c_hyper : int;
   mutable c_escal : int;
+  mutable c_inject : int;
 }
 
 let real_ring_of_vring vring = if vring land 3 = 3 then 3 else 1
@@ -525,6 +532,59 @@ let handle_hypercall t imm =
     Cpu.set_halted t.cpu true
   | _ -> ()
 
+(* -- Fault injection (the robustness harness's guest-misbehaviour menu) --
+
+   Each case drives an existing monitor path exactly as a hostile or
+   broken guest would: the point of injecting here rather than patching
+   guest code is that the schedule is deterministic in sim time, so a
+   seeded run reproduces byte-for-byte. *)
+
+type injected_fault =
+  | Wild_jump of int
+      (** guest jumps into unmapped / monitor-reserved space *)
+  | Wild_store of int
+      (** guest stores into a monitor-reserved physical range *)
+  | Iht_clobber  (** guest overwrites its own interrupt-handler table *)
+  | Ptb_clobber  (** guest loads a wild page-table base *)
+  | Irq_storm of { lines : int; rounds : int }
+      (** interrupt storm across PIC lines, including unhandled ones *)
+  | Guest_wedge  (** guest halts with interrupts masked: dead CPU *)
+
+let pp_injected_fault fmt = function
+  | Wild_jump addr -> Format.fprintf fmt "wild jump to 0x%x" addr
+  | Wild_store addr -> Format.fprintf fmt "wild store to 0x%x" addr
+  | Iht_clobber -> Format.pp_print_string fmt "IHT clobbered"
+  | Ptb_clobber -> Format.pp_print_string fmt "PTB clobbered"
+  | Irq_storm { lines; rounds } ->
+    Format.fprintf fmt "IRQ storm (%d lines x %d rounds)" lines rounds
+  | Guest_wedge -> Format.pp_print_string fmt "guest wedged (halt, IF=0)"
+
+let inject t fault =
+  t.c_inject <- t.c_inject + 1;
+  trace t Vmm_sim.Trace.Warn
+    (Format.asprintf "injected fault: %a" pp_injected_fault fault);
+  match fault with
+  | Wild_jump addr -> Cpu.set_pc t.cpu addr
+  | Wild_store vaddr ->
+    (* The paper's canonical bug: a store lands in monitor-owned memory.
+       The MMU would refuse it, so enter through the page-fault path. *)
+    handle_page_fault t
+      { Mmu.vaddr; access = Mmu.Write; not_present = false }
+      (Cpu.pc t.cpu)
+  | Iht_clobber ->
+    ignore (guest_write t ~addr:t.v_iht ~data:(String.make (64 * 8) '\000'))
+  | Ptb_clobber -> emulate_lptb t 0
+  | Irq_storm { lines; rounds } ->
+    for _ = 1 to rounds do
+      for line = 0 to lines - 1 do
+        virtual_irq t (line land 7)
+      done
+    done
+  | Guest_wedge ->
+    t.v_if <- false;
+    t.v_halted <- true;
+    Cpu.set_halted t.cpu true
+
 (* -- Real interrupt routing -- *)
 
 let drain_uart t =
@@ -718,6 +778,7 @@ let install ?(passthrough = default_passthrough) machine =
       c_fault = 0;
       c_hyper = 0;
       c_escal = 0;
+      c_inject = 0;
     }
   in
   t.vpit <-
@@ -726,7 +787,14 @@ let install ?(passthrough = default_passthrough) machine =
          ~raise_irq:(fun () -> virtual_irq t Machine.Irq.timer)
          ());
   t.stub <-
-    Some (Stub.create ~target:(make_target t) ~dispatch_cost:costs.Costs.stub_dispatch ());
+    Some
+      (Stub.create
+         ~link_config:
+           { Vmm_proto.Reliable.default_config with
+             Vmm_proto.Reliable.byte_cycles = costs.Costs.uart_cycles_per_byte
+           }
+         ~target:(make_target t) ~dispatch_cost:costs.Costs.stub_dispatch
+         ~engine:(Machine.engine machine) ());
   (* Open direct device access; everything else traps. *)
   List.iter
     (fun { base; count } ->
@@ -795,6 +863,12 @@ let stats t =
     reflected_faults = t.c_fault;
     hypercalls = t.c_hyper;
     escalations = t.c_escal;
+    link_retransmits = (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.retransmits;
+    link_bad_checksums =
+      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.bad_checksums;
+    link_resets = (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.link_resets;
+    link_downs = Stub.link_downs (get_stub t);
+    injected_faults = t.c_inject;
   }
 
 let console t = Buffer.contents t.console_buf

@@ -38,6 +38,11 @@ type stats = {
   reflected_faults : int;
   hypercalls : int;
   escalations : int;
+  link_retransmits : int;
+  link_bad_checksums : int;
+  link_resets : int;
+  link_downs : int;
+  injected_faults : int;
 }
 
 (** [install ?passthrough machine] takes ownership of the machine:
@@ -99,3 +104,27 @@ val console : t -> string
 
 (** [shutdown_requested t] — the guest invoked the shutdown hypercall. *)
 val shutdown_requested : t -> bool
+
+(** {2 Fault injection}
+
+    Adversarial-guest behaviours, driven through the monitor's own
+    emulation paths so the damage is exactly what a misbehaving guest
+    could cause — never more.  The stability claim under test: whatever
+    the guest does, the monitor and its debug stub survive and the host
+    session keeps working. *)
+
+type injected_fault =
+  | Wild_jump of int  (** guest pc teleports to an arbitrary address *)
+  | Wild_store of int
+      (** guest store into an address its tables do not map (e.g. a
+          monitor-reserved frame): vectors through the page-fault path *)
+  | Iht_clobber  (** the guest's interrupt-handler table is zeroed *)
+  | Ptb_clobber
+      (** the guest loads a garbage page-table base (paging off) *)
+  | Irq_storm of { lines : int; rounds : int }
+      (** a burst of [lines * rounds] virtual interrupts *)
+  | Guest_wedge  (** interrupts off + halt: the classic hard hang *)
+
+(** [inject t fault] perturbs the running guest.  The guest may crash —
+    that is the point — but the monitor must not. *)
+val inject : t -> injected_fault -> unit

@@ -1,5 +1,6 @@
 module Packet = Vmm_proto.Packet
 module Command = Vmm_proto.Command
+module Reliable = Vmm_proto.Reliable
 module Isa = Vmm_hw.Isa
 
 type target = {
@@ -28,48 +29,68 @@ type run_state =
 type t = {
   target : target;
   dispatch_cost : int;
-  decoder : Packet.decoder;
+  mutable endpoint : Reliable.t option;
+      (** option only to tie the construction knot; always Some after create *)
   breakpoints : Breakpoints.t;
   mutable state : run_state;
   mutable commands : int;
   mutable notifications : int;
-  mutable last_tx : string option;  (** last framed packet, for NAK *)
-  mutable retransmissions : int;
+  mutable link_downs : int;
 }
 
 let brk_bytes = Bytes.to_string (Isa.encode Isa.Brk)
 
-let create ~target ~dispatch_cost () =
-  {
-    target;
-    dispatch_cost;
-    decoder = Packet.decoder ();
-    breakpoints = Breakpoints.create ();
-    state = Running;
-    commands = 0;
-    notifications = 0;
-    last_tx = None;
-    retransmissions = 0;
-  }
+let get_endpoint t =
+  match t.endpoint with Some e -> e | None -> assert false
 
-let send_raw t s = String.iter (fun c -> t.target.send_byte (Char.code c)) s
+let rec create ?link_config ~target ~dispatch_cost ~engine () =
+  let t =
+    {
+      target;
+      dispatch_cost;
+      endpoint = None;
+      breakpoints = Breakpoints.create ();
+      state = Running;
+      commands = 0;
+      notifications = 0;
+      link_downs = 0;
+    }
+  in
+  let endpoint =
+    Reliable.create ?config:link_config ~engine ~send_byte:target.send_byte
+      ~deliver:(fun payload -> deliver t payload)
+      ()
+  in
+  (* A dead link must not wedge the stub: drop the pending traffic, keep
+     the debug state, and wait for the host's Resync.  The guest is
+     stopped so nothing is lost while nobody is listening — the monitor
+     stays quiescent in the paper's "attached, guest stopped" state. *)
+  Reliable.set_on_link_down endpoint (fun () ->
+      t.link_downs <- t.link_downs + 1;
+      match t.state with
+      | Stopped _ -> ()
+      | Running | Step_over _ | Client_step _ ->
+        let pc = t.target.current_pc () in
+        t.target.set_step false;
+        t.target.stop ();
+        t.state <- Stopped (Command.Halt_requested pc));
+  t.endpoint <- Some endpoint;
+  t
 
-let send_reply t reply =
-  let framed = Packet.frame (Command.reply_to_wire reply) in
-  t.last_tx <- Some framed;
-  send_raw t framed
+and send_reply t reply =
+  Reliable.send (get_endpoint t) (Command.reply_to_wire reply)
 
-let notify t reason =
+and notify t reason =
   t.notifications <- t.notifications + 1;
   send_reply t (Command.Stopped reason)
 
-let stop_with t reason =
+and stop_with t reason =
   t.target.stop ();
   t.state <- Stopped reason
 
 (* Breakpoint patching. *)
 
-let patch_brk t addr =
+and patch_brk t addr =
   match t.target.read_memory ~addr ~len:Isa.width with
   | None -> false
   | Some saved ->
@@ -77,13 +98,13 @@ let patch_brk t addr =
       t.target.write_memory ~addr ~data:brk_bytes
     else true (* already present: idempotent *)
 
-let unpatch_brk t addr =
+and unpatch_brk t addr =
   match Breakpoints.remove t.breakpoints ~addr with
   | Some saved -> ignore (t.target.write_memory ~addr ~data:saved)
   | None -> ()
 
 (* Make patches invisible: splice saved bytes into data read from memory. *)
-let splice_saved t ~addr ~len data =
+and splice_saved t ~addr ~len data =
   let buf = Bytes.of_string data in
   List.iter
     (fun bp_addr ->
@@ -98,7 +119,7 @@ let splice_saved t ~addr ~len data =
   Bytes.to_string buf
 
 (* Writes that overlap a patch update the saved copy, not the BRK bytes. *)
-let write_memory_spliced t ~addr ~data =
+and write_memory_spliced t ~addr ~data =
   let len = String.length data in
   let bps = Breakpoints.addresses t.breakpoints in
   let overlapping =
@@ -131,7 +152,7 @@ let write_memory_spliced t ~addr ~data =
 
 (* Resuming. *)
 
-let continue_guest t =
+and continue_guest t =
   let pc = t.target.current_pc () in
   if Breakpoints.mem t.breakpoints ~addr:pc then begin
     (* Step across the patched instruction, then re-insert it. *)
@@ -142,7 +163,7 @@ let continue_guest t =
   else t.state <- Running;
   t.target.resume ()
 
-let step_guest t =
+and step_guest t =
   let pc = t.target.current_pc () in
   let repatch =
     if Breakpoints.mem t.breakpoints ~addr:pc then begin
@@ -157,7 +178,7 @@ let step_guest t =
 
 (* Command dispatch. *)
 
-let handle_command t command =
+and handle_command t command =
   t.commands <- t.commands + 1;
   t.target.charge t.dispatch_cost;
   match command with
@@ -218,6 +239,12 @@ let handle_command t command =
     (match t.state with
      | Stopped reason -> send_reply t (Command.Stopped reason)
      | Running | Step_over _ | Client_step _ -> send_reply t Command.Running)
+  | Command.Resync ->
+    (* The host is re-establishing a link it declared dead; restart the
+       ARQ state on this side too, then confirm over the fresh link. *)
+    Reliable.reset (get_endpoint t);
+    Reliable.set_sequenced (get_endpoint t) true;
+    send_reply t Command.Sync_ok
   | Command.Detach ->
     List.iter
       (fun (addr, saved) -> ignore (t.target.write_memory ~addr ~data:saved))
@@ -229,23 +256,12 @@ let handle_command t command =
      | Running | Step_over _ | Client_step _ -> ());
     send_reply t Command.Ok_reply
 
-let on_rx_byte t byte =
-  match Packet.feed t.decoder byte with
-  | None -> ()
-  | Some Packet.Ack -> ()
-  | Some Packet.Nak ->
-    (* the host saw a corrupted reply: retransmit the last packet *)
-    (match t.last_tx with
-     | Some framed ->
-       t.retransmissions <- t.retransmissions + 1;
-       send_raw t framed
-     | None -> ())
-  | Some Packet.Bad_checksum -> t.target.send_byte (Char.code Packet.nak)
-  | Some (Packet.Packet payload) ->
-    t.target.send_byte (Char.code Packet.ack);
-    (match Command.command_of_wire payload with
-     | Some command -> handle_command t command
-     | None -> send_reply t Command.Unsupported)
+and deliver t payload =
+  match Command.command_of_wire payload with
+  | Some command -> handle_command t command
+  | None -> send_reply t Command.Unsupported
+
+let on_rx_byte t byte = Reliable.on_rx_byte (get_endpoint t) byte
 
 (* Events from the guest side. *)
 
@@ -284,7 +300,10 @@ let on_guest_fault t ~vector ~pc =
   notify t (Command.Faulted { vector; pc })
 
 let stopped t = match t.state with Stopped _ -> true | Running | Step_over _ | Client_step _ -> false
-let retransmissions t = t.retransmissions
+let endpoint t = get_endpoint t
+let link_stats t = Reliable.stats (get_endpoint t)
+let retransmissions t = (link_stats t).Reliable.retransmits
+let link_downs t = t.link_downs
 let breakpoints t = t.breakpoints
 let commands_handled t = t.commands
 let notifications_sent t = t.notifications

@@ -33,9 +33,17 @@ type target = {
 
 type t
 
-(** [create ~target ~dispatch_cost ()] — [dispatch_cost] cycles are charged
-    per decoded command. *)
-val create : target:target -> dispatch_cost:int -> unit -> t
+(** [create ~target ~dispatch_cost ~engine ()] — [dispatch_cost] cycles
+    are charged per decoded command.  The stub talks through a
+    {!Vmm_proto.Reliable} endpoint whose retransmission timers run on
+    [engine]; [link_config] tunes its timeouts and retry budget. *)
+val create :
+  ?link_config:Vmm_proto.Reliable.config ->
+  target:target ->
+  dispatch_cost:int ->
+  engine:Vmm_sim.Engine.t ->
+  unit ->
+  t
 
 (** {2 Events from the monitor} *)
 
@@ -65,5 +73,15 @@ val breakpoints : t -> Breakpoints.t
 val commands_handled : t -> int
 val notifications_sent : t -> int
 
-(** [retransmissions t] — replies resent after a host NAK (noisy wire). *)
+(** The stub's end of the reliable link. *)
+val endpoint : t -> Vmm_proto.Reliable.t
+
+val link_stats : t -> Vmm_proto.Reliable.counters
+
+(** [retransmissions t] — replies resent after a host NAK or an ack
+    timeout (noisy wire). *)
 val retransmissions : t -> int
+
+(** [link_downs t] — times the stub's retry budget ran out.  Each one
+    stopped the guest (if running) so the session stays reconnectable. *)
+val link_downs : t -> int

@@ -3,76 +3,98 @@ module Uart = Vmm_hw.Uart
 module Costs = Vmm_hw.Costs
 module Packet = Vmm_proto.Packet
 module Command = Vmm_proto.Command
+module Reliable = Vmm_proto.Reliable
 
 type t = {
   machine : Machine.t;
-  decoder : Packet.decoder;
+  endpoint : Reliable.t;
   replies : string Queue.t;  (** raw non-stop payloads *)
   stops : Command.stop_reason Queue.t;
   mutable sent : int;
-  mutable received : int;
+  received : int ref;
+  stale : int ref;
+      (** replies still owed to commands whose wait was abandoned; they
+          must be discarded on arrival, not matched to a later command *)
   mutable last_latency_s : float;
-  mutable last_tx : string option;  (** last framed command, for NAK *)
-  mutable retransmissions : int;
+  mutable link_downs : int;
 }
 
 let default_timeout_s = 5.0
 
 let is_stop_payload payload = String.length payload >= 3 && payload.[0] = 'T'
 
-let attach machine =
+(* [wrap_to_target] / [wrap_to_host] interpose on the raw byte streams
+   (host->UART and UART->host); the fault harness uses them to model a
+   lossy transport.  The identity default is the historical perfect
+   link. *)
+let attach ?link_config ?(wrap_to_target = fun sink -> sink)
+    ?(wrap_to_host = fun sink -> sink) machine =
+  let uart = Machine.uart machine in
+  let replies = Queue.create () in
+  let stops = Queue.create () in
+  let received = ref 0 in
+  let stale = ref 0 in
+  let deliver payload =
+    incr received;
+    let stop =
+      if is_stop_payload payload then
+        match Command.reply_of_wire payload with
+        | Some (Command.Stopped reason) -> Some reason
+        | Some _ | None -> None
+      else None
+    in
+    match stop with
+    | Some reason -> Queue.add reason stops
+    | None ->
+      (* Replies pair with commands positionally, so a reply owed to an
+         abandoned wait must never satisfy a later command. *)
+      if !stale > 0 then decr stale else Queue.add payload replies
+  in
+  let link_config =
+    match link_config with
+    | Some c -> c
+    | None ->
+      { Reliable.default_config with
+        Reliable.byte_cycles = (Machine.costs machine).Costs.uart_cycles_per_byte
+      }
+  in
+  let endpoint =
+    Reliable.create ~config:link_config ~engine:(Machine.engine machine)
+      ~send_byte:(wrap_to_target (fun byte -> Uart.inject_rx uart byte))
+      ~deliver ()
+  in
+  (* The host initiates, so it always speaks the sequenced protocol. *)
+  Reliable.set_sequenced endpoint true;
   let t =
     {
       machine;
-      decoder = Packet.decoder ();
-      replies = Queue.create ();
-      stops = Queue.create ();
+      endpoint;
+      replies;
+      stops;
       sent = 0;
-      received = 0;
+      received;
+      stale;
       last_latency_s = 0.0;
-      last_tx = None;
-      retransmissions = 0;
+      link_downs = 0;
     }
   in
-  Uart.set_on_tx (Machine.uart machine) (fun byte ->
-      match Packet.feed t.decoder byte with
-      | Some (Packet.Packet payload) ->
-        t.received <- t.received + 1;
-        if is_stop_payload payload then begin
-          match Command.reply_of_wire payload with
-          | Some (Command.Stopped reason) -> Queue.add reason t.stops
-          | Some _ | None -> Queue.add payload t.replies
-        end
-        else Queue.add payload t.replies
-      | Some Packet.Bad_checksum ->
-        (* corrupted reply: ask the stub to retransmit *)
-        Uart.inject_rx (Machine.uart machine) (Char.code Packet.nak)
-      | Some Packet.Nak ->
-        (* the stub saw a corrupted command: resend it *)
-        (match t.last_tx with
-         | Some framed ->
-           t.retransmissions <- t.retransmissions + 1;
-           String.iter
-             (fun c -> Uart.inject_rx (Machine.uart machine) (Char.code c))
-             framed
-         | None -> ())
-      | Some Packet.Ack | None -> ());
+  Reliable.set_on_link_down endpoint (fun () -> t.link_downs <- t.link_downs + 1);
+  Uart.set_on_tx uart (wrap_to_host (fun byte -> Reliable.on_rx_byte endpoint byte));
   t
 
 let send t command =
   t.sent <- t.sent + 1;
-  let wire = Packet.frame (Command.command_to_wire command) in
-  t.last_tx <- Some wire;
-  String.iter
-    (fun c -> Uart.inject_rx (Machine.uart t.machine) (Char.code c))
-    wire
+  Reliable.send t.endpoint (Command.command_to_wire command)
 
 (* Pump the shared simulation in slices until [ready] or timeout.  The
-   slice bounds the latency-measurement quantization, not correctness. *)
+   slice bounds the latency-measurement quantization, not correctness.
+   A link declared down also ends the wait: the caller gets None now
+   instead of burning the whole timeout on a dead wire. *)
 let pump_until t ~timeout_s ready =
   let slice = 0.0005 in
   let rec go budget =
     if ready () then true
+    else if not (Reliable.link_up t.endpoint) then ready ()
     else if budget <= 0.0 then false
     else begin
       Machine.run_seconds t.machine slice;
@@ -88,7 +110,13 @@ let transact ?(timeout_s = default_timeout_s) t command =
   let costs = Machine.costs t.machine in
   t.last_latency_s <-
     Costs.seconds_of_cycles costs (Int64.sub (Machine.now t.machine) start);
-  if got then Some (Queue.pop t.replies) else None
+  if got then Some (Queue.pop t.replies)
+  else begin
+    (* Abandoned: when the reply does land it belongs to this command,
+       not the next one. *)
+    incr t.stale;
+    None
+  end
 
 let read_registers ?timeout_s t =
   match transact ?timeout_s t Command.Read_registers with
@@ -161,9 +189,17 @@ let query_raw ?(timeout_s = default_timeout_s) t =
   in
   if pump_until t ~timeout_s ready then
     match Queue.take_opt t.stops with
-    | Some reason -> Some (Error reason)
+    | Some reason ->
+      (* Answered from the stop queue — the ['?'] reply is still owed
+         and must not satisfy the next transact. *)
+      if Queue.is_empty t.replies then incr t.stale
+      else ignore (Queue.pop t.replies);
+      Some (Error reason)
     | None -> Some (Ok (Queue.pop t.replies))
-  else None
+  else begin
+    incr t.stale;
+    None
+  end
 
 let query ?timeout_s t =
   match query_raw ?timeout_s t with
@@ -192,8 +228,39 @@ let halt ?timeout_s t =
 
 let detach ?timeout_s t = expect_ok ?timeout_s t Command.Detach
 
+(* Reconnection after a Link_down: restart this side's ARQ state and
+   tell the stub to do the same over a fresh exchange.  Stale replies
+   from the dead incarnation are dropped; pending stop notifications are
+   kept (they describe real target state). *)
+let link_up t = Reliable.link_up t.endpoint
+
+let reconnect ?(timeout_s = default_timeout_s) t =
+  Reliable.reset t.endpoint;
+  Queue.clear t.replies;
+  t.stale := 0;
+  (* Resync travels as a plain (unsequenced) frame: the stub delivers
+     those without the duplicate filter, so it gets through even when the
+     stale sequence spaces disagree about everything. *)
+  t.sent <- t.sent + 1;
+  Reliable.send_plain t.endpoint (Command.command_to_wire Command.Resync);
+  (* Replies from the dead incarnation can still trickle in ahead of the
+     resync ack; only the distinctive [sync] payload counts, everything
+     earlier is discarded. *)
+  let sync_wire = Command.reply_to_wire Command.Sync_ok in
+  let synced = ref false in
+  let ready () =
+    while (not !synced) && not (Queue.is_empty t.replies) do
+      if Queue.pop t.replies = sync_wire then synced := true
+    done;
+    !synced
+  in
+  ignore (pump_until t ~timeout_s ready : bool);
+  !synced
+
 let pending_stop t = Queue.take_opt t.stops
-let retransmissions t = t.retransmissions
+let link_stats t = Reliable.stats t.endpoint
+let retransmissions t = (link_stats t).Reliable.retransmits
+let link_downs t = t.link_downs
 let packets_sent t = t.sent
-let packets_received t = t.received
+let packets_received t = !(t.received)
 let last_latency_s t = t.last_latency_s

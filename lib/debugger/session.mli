@@ -10,8 +10,19 @@
 type t
 
 (** [attach machine] wires the session to the machine's UART (host side).
-    Only one session (or host harness) can own the UART at a time. *)
-val attach : Vmm_hw.Machine.t -> t
+    Only one session (or host harness) can own the UART at a time.
+
+    The session speaks the sequenced {!Vmm_proto.Reliable} protocol;
+    [link_config] tunes its timeouts and retry budget.  [wrap_to_target]
+    and [wrap_to_host] interpose on the raw byte streams (host->UART and
+    UART->host respectively) — the fault harness uses them to model a
+    lossy transport; the identity default is a perfect wire. *)
+val attach :
+  ?link_config:Vmm_proto.Reliable.config ->
+  ?wrap_to_target:((int -> unit) -> int -> unit) ->
+  ?wrap_to_host:((int -> unit) -> int -> unit) ->
+  Vmm_hw.Machine.t ->
+  t
 
 (** Simulated seconds a blocking call will pump before giving up. *)
 val default_timeout_s : float
@@ -64,6 +75,19 @@ val wait_stop : ?timeout_s:float -> t -> Vmm_proto.Command.stop_reason option
 (** [detach ?timeout_s t] removes target breakpoints and resumes. *)
 val detach : ?timeout_s:float -> t -> bool
 
+(** {2 Link failure and recovery} *)
+
+(** [link_up t] — false once this side's retry budget ran out (the peer
+    may have concluded the same independently).  Blocking calls return
+    [None]/[false] promptly instead of burning their timeout. *)
+val link_up : t -> bool
+
+(** [reconnect ?timeout_s t] restarts the ARQ state on both ends: resets
+    the local endpoint, drops stale replies, and confirms with a Resync
+    exchange.  Pending stop notifications survive (they describe real
+    target state).  Returns true when the target confirmed. *)
+val reconnect : ?timeout_s:float -> t -> bool
+
 (** {2 Introspection} *)
 
 (** [pending_stop t] — a stop notification that arrived unsolicited. *)
@@ -72,8 +96,14 @@ val pending_stop : t -> Vmm_proto.Command.stop_reason option
 val packets_sent : t -> int
 val packets_received : t -> int
 
-(** [retransmissions t] — commands resent after a target NAK. *)
+(** [retransmissions t] — commands resent after a target NAK or an ack
+    timeout. *)
 val retransmissions : t -> int
+
+val link_stats : t -> Vmm_proto.Reliable.counters
+
+(** [link_downs t] — times this side declared the link dead. *)
+val link_downs : t -> int
 
 (** [last_latency_s t] — simulated seconds between the last command's
     transmission and its reply (E5 measures this under load). *)

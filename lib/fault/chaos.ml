@@ -1,0 +1,109 @@
+(* A lossy wire: wraps a byte sink and, while active, drops, corrupts,
+   duplicates or delays each byte independently, drawing every decision
+   from a seeded Rng stream so a failing run replays from its seed.
+
+   Delayed bytes are re-submitted through an Engine event, so they can
+   land behind later traffic — reordering is deliberately part of the
+   menu; to the framing layer it reads as corruption and the ARQ layer
+   must recover either way. *)
+
+module Engine = Vmm_sim.Engine
+module Rng = Vmm_sim.Rng
+
+type profile = {
+  drop_p : float;
+  corrupt_p : float;
+  dup_p : float;
+  delay_p : float;
+  max_delay_cycles : int;  (** uniform in [1, max] when a delay fires *)
+}
+
+let quiet = { drop_p = 0.0; corrupt_p = 0.0; dup_p = 0.0; delay_p = 0.0; max_delay_cycles = 1 }
+
+let check_profile p =
+  let bad x = x < 0.0 || x > 1.0 in
+  if bad p.drop_p || bad p.corrupt_p || bad p.dup_p || bad p.delay_p then
+    invalid_arg "Chaos: probabilities must be in [0,1]";
+  if p.max_delay_cycles < 1 then invalid_arg "Chaos: max_delay_cycles < 1"
+
+type counters = {
+  mutable passed : int;
+  mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  mutable active : bool;
+  mutable profile : profile;
+  counters : counters;
+}
+
+let create ~engine ~rng () =
+  {
+    engine;
+    rng;
+    active = false;
+    profile = quiet;
+    counters =
+      { passed = 0; dropped = 0; corrupted = 0; duplicated = 0; delayed = 0 };
+  }
+
+let set_profile t p =
+  check_profile p;
+  t.profile <- p
+
+let set_active t flag = t.active <- flag
+
+(* [window t ~start ~stop ~profile] arms the profile for the sim-time
+   interval [start, stop); both edges are Engine events so the schedule
+   is part of the deterministic replay. *)
+let window t ~start ~stop ~profile =
+  check_profile profile;
+  if Int64.compare stop start < 0 then invalid_arg "Chaos.window: stop < start";
+  ignore
+    (Engine.at t.engine ~time:start (fun () ->
+         t.profile <- profile;
+         t.active <- true));
+  ignore (Engine.at t.engine ~time:stop (fun () -> t.active <- false))
+
+let active t = t.active
+let stats t = t.counters
+
+let roll t p = p > 0.0 && Rng.float t.rng 1.0 < p
+
+let wrap t sink =
+  fun byte ->
+    if not t.active then begin
+      t.counters.passed <- t.counters.passed + 1;
+      sink byte
+    end
+    else if roll t t.profile.drop_p then
+      t.counters.dropped <- t.counters.dropped + 1
+    else begin
+      let byte =
+        if roll t t.profile.corrupt_p then begin
+          t.counters.corrupted <- t.counters.corrupted + 1;
+          (* xor with a uniform nonzero mask: guaranteed to differ *)
+          byte lxor (1 + Rng.int t.rng 255)
+        end
+        else byte
+      in
+      let deliver () =
+        t.counters.passed <- t.counters.passed + 1;
+        sink byte;
+        if roll t t.profile.dup_p then begin
+          t.counters.duplicated <- t.counters.duplicated + 1;
+          sink byte
+        end
+      in
+      if roll t t.profile.delay_p then begin
+        t.counters.delayed <- t.counters.delayed + 1;
+        let delay = Int64.of_int (1 + Rng.int t.rng t.profile.max_delay_cycles) in
+        ignore (Engine.after t.engine ~delay deliver)
+      end
+      else deliver ()
+    end

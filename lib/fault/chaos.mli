@@ -1,0 +1,51 @@
+(** A lossy wire: wraps a byte sink and, while active, drops, corrupts,
+    duplicates or delays each byte independently, drawing every decision
+    from a seeded {!Vmm_sim.Rng} stream — a failing run replays from its
+    seed.
+
+    Delayed bytes are re-submitted through an Engine event, so they can
+    land behind later traffic; reordering is deliberately part of the
+    menu.  To the framing layer it reads as corruption, and the ARQ layer
+    must recover either way. *)
+
+type profile = {
+  drop_p : float;
+  corrupt_p : float;
+  dup_p : float;
+  delay_p : float;
+  max_delay_cycles : int;  (** uniform in [1, max] when a delay fires *)
+}
+
+(** All-zero probabilities: a perfect wire. *)
+val quiet : profile
+
+type counters = {
+  mutable passed : int;
+  mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+}
+
+type t
+
+(** [create ~engine ~rng ()] starts inactive (pass-through). *)
+val create : engine:Vmm_sim.Engine.t -> rng:Vmm_sim.Rng.t -> unit -> t
+
+(** [set_profile t p] — @raise Invalid_argument on probabilities outside
+    [0,1] or [max_delay_cycles < 1]. *)
+val set_profile : t -> profile -> unit
+
+val set_active : t -> bool -> unit
+
+(** [window t ~start ~stop ~profile] arms [profile] for the sim-time
+    interval [start, stop); both edges are Engine events, so the schedule
+    is part of the deterministic replay. *)
+val window : t -> start:int64 -> stop:int64 -> profile:profile -> unit
+
+val active : t -> bool
+val stats : t -> counters
+
+(** [wrap t sink] is a sink that applies the chaos (when active) before
+    forwarding to [sink]. *)
+val wrap : t -> (int -> unit) -> int -> unit

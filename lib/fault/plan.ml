@@ -1,0 +1,117 @@
+(* A seeded schedule of faults against a running debug setup.
+
+   One Plan owns one Rng stream (split per armed fault so classes do not
+   perturb each other) and one Chaos wire.  [arm] translates a fault
+   class into concrete Engine events: a chaos window for link classes, a
+   Monitor.inject for adversarial-guest classes, a device hook for the
+   rest.  Everything is a function of (seed, schedule), so a failing
+   stability run reproduces from the seed printed by the test. *)
+
+module Engine = Vmm_sim.Engine
+module Rng = Vmm_sim.Rng
+module Machine = Vmm_hw.Machine
+module Scsi = Vmm_hw.Scsi
+module Nic = Vmm_hw.Nic
+module Monitor = Core.Monitor
+
+type fault_class =
+  | Link_drop
+  | Link_corrupt
+  | Link_dup
+  | Link_delay
+  | Guest_wild_jump
+  | Guest_wild_store
+  | Guest_iht_clobber
+  | Guest_ptb_clobber
+  | Guest_irq_storm
+  | Guest_wedge
+  | Scsi_error
+  | Nic_stall
+
+let all =
+  [
+    Link_drop; Link_corrupt; Link_dup; Link_delay;
+    Guest_wild_jump; Guest_wild_store; Guest_iht_clobber; Guest_ptb_clobber;
+    Guest_irq_storm; Guest_wedge;
+    Scsi_error; Nic_stall;
+  ]
+
+let name = function
+  | Link_drop -> "link-drop"
+  | Link_corrupt -> "link-corrupt"
+  | Link_dup -> "link-dup"
+  | Link_delay -> "link-delay"
+  | Guest_wild_jump -> "guest-wild-jump"
+  | Guest_wild_store -> "guest-wild-store"
+  | Guest_iht_clobber -> "guest-iht-clobber"
+  | Guest_ptb_clobber -> "guest-ptb-clobber"
+  | Guest_irq_storm -> "guest-irq-storm"
+  | Guest_wedge -> "guest-wedge"
+  | Scsi_error -> "scsi-error"
+  | Nic_stall -> "nic-stall"
+
+type t = {
+  seed : int64;
+  engine : Engine.t;
+  rng : Rng.t;
+  chaos : Chaos.t;
+  mutable armed : int;
+}
+
+let create ~seed ~engine =
+  let rng = Rng.create ~seed in
+  let chaos = Chaos.create ~engine ~rng:(Rng.split rng) () in
+  { seed; engine; rng; chaos; armed = 0 }
+
+let seed t = t.seed
+let chaos t = t.chaos
+let armed t = t.armed
+
+(* Moderate per-byte probabilities: high enough that a window over a few
+   packet exchanges is all but certain to hit, low enough that the retry
+   budget beats the noise. *)
+let link_profile rng fault =
+  let p () = 0.02 +. Rng.float rng 0.04 in
+  match fault with
+  | Link_drop -> { Chaos.quiet with Chaos.drop_p = p () }
+  | Link_corrupt -> { Chaos.quiet with Chaos.corrupt_p = p () }
+  | Link_dup -> { Chaos.quiet with Chaos.dup_p = 0.05 +. Rng.float rng 0.1 }
+  | Link_delay ->
+    {
+      Chaos.quiet with
+      Chaos.delay_p = 0.05 +. Rng.float rng 0.1;
+      Chaos.max_delay_cycles = 200_000 + Rng.int rng 200_000;
+    }
+  | _ -> invalid_arg "Plan.link_profile: not a link fault"
+
+let arm t ~monitor fault ~at ~until =
+  if Int64.compare until at < 0 then invalid_arg "Plan.arm: until < at";
+  t.armed <- t.armed + 1;
+  let rng = Rng.split t.rng in
+  let machine = Monitor.machine monitor in
+  let inject f = ignore (Engine.at t.engine ~time:at (fun () -> Monitor.inject monitor f)) in
+  match fault with
+  | Link_drop | Link_corrupt | Link_dup | Link_delay ->
+    Chaos.window t.chaos ~start:at ~stop:until ~profile:(link_profile rng fault)
+  | Guest_wild_jump ->
+    (* an address far outside the mapped image *)
+    inject (Monitor.Wild_jump (0x0F00_0000 lor Rng.int rng 0xFFFF))
+  | Guest_wild_store ->
+    (* aims at monitor-reserved territory: the shadow tables' home *)
+    inject (Monitor.Wild_store (0x0FF0_0000 lor Rng.int rng 0xFFFF))
+  | Guest_iht_clobber -> inject Monitor.Iht_clobber
+  | Guest_ptb_clobber -> inject Monitor.Ptb_clobber
+  | Guest_irq_storm ->
+    inject
+      (Monitor.Irq_storm
+         { lines = 2 + Rng.int rng 6; rounds = 50 + Rng.int rng 200 })
+  | Guest_wedge -> inject Monitor.Guest_wedge
+  | Scsi_error ->
+    ignore
+      (Engine.at t.engine ~time:at (fun () ->
+           Scsi.inject_read_errors (Machine.scsi machine) (1 + Rng.int rng 4)))
+  | Nic_stall ->
+    ignore
+      (Engine.at t.engine ~time:at (fun () ->
+           let cycles = Int64.sub until at in
+           Nic.stall_tx (Machine.nic machine) ~cycles))

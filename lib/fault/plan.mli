@@ -1,0 +1,47 @@
+(** A seeded schedule of faults against a running debug setup.
+
+    One plan owns one {!Vmm_sim.Rng} stream (split per armed fault so
+    classes do not perturb each other) and one {!Chaos} wire.  {!arm}
+    translates a fault class into concrete Engine events: a chaos window
+    for link classes, a {!Core.Monitor.inject} for adversarial-guest
+    classes, a device hook for the rest.  Everything is a function of
+    (seed, schedule), so a failing stability run reproduces from the seed
+    printed by the test. *)
+
+type fault_class =
+  | Link_drop  (** bytes vanish from the debug wire *)
+  | Link_corrupt  (** bytes are bit-flipped in transit *)
+  | Link_dup  (** bytes arrive twice *)
+  | Link_delay  (** bytes arrive late, possibly reordered *)
+  | Guest_wild_jump  (** guest pc teleports outside its image *)
+  | Guest_wild_store  (** guest store into monitor-reserved territory *)
+  | Guest_iht_clobber  (** guest interrupt-handler table zeroed *)
+  | Guest_ptb_clobber  (** guest page-table base loaded with garbage *)
+  | Guest_irq_storm  (** a burst of virtual interrupts *)
+  | Guest_wedge  (** interrupts off + halt *)
+  | Scsi_error  (** disk reads fail at the medium *)
+  | Nic_stall  (** the NIC wire refuses to serialize *)
+
+(** Every class, in declaration order — the stability suite iterates
+    this. *)
+val all : fault_class list
+
+val name : fault_class -> string
+
+type t
+
+val create : seed:int64 -> engine:Vmm_sim.Engine.t -> t
+val seed : t -> int64
+
+(** The plan's lossy wire; wrap the session's byte streams with
+    [Chaos.wrap (chaos plan)] to expose them to the link classes. *)
+val chaos : t -> Chaos.t
+
+(** [arm t ~monitor fault ~at ~until] schedules [fault] (sim-time cycles).
+    Link classes are active over [[at, until)]; guest and device classes
+    trigger at [at] ([until] additionally sizes the NIC stall). *)
+val arm :
+  t -> monitor:Core.Monitor.t -> fault_class -> at:int64 -> until:int64 -> unit
+
+(** [armed t] — faults scheduled so far. *)
+val armed : t -> int

@@ -20,6 +20,7 @@ type t = {
   mutable on_frame : bytes -> unit;
   rx : bytes Queue.t;
   mutable rx_addr : int;
+  mutable tx_stalls : int;
 }
 
 let create ~engine ~costs ~mem () =
@@ -40,6 +41,7 @@ let create ~engine ~costs ~mem () =
     on_frame = (fun _ -> ());
     rx = Queue.create ();
     rx_addr = 0;
+    tx_stalls = 0;
   }
 
 let set_irq t f = t.irq <- f
@@ -122,3 +124,14 @@ let attach t bus ~base =
 let frames_sent t = t.frames_sent
 let bytes_sent t = t.bytes_sent
 let overflows t = t.overflow_count
+
+(* Fault injection: the wire refuses to serialize for [cycles]; frames
+   submitted meanwhile queue behind the stall (and overflow the ring if
+   the guest keeps pushing). *)
+let stall_tx t ~cycles =
+  if Int64.compare cycles 0L < 0 then invalid_arg "Nic.stall_tx: negative";
+  let resume = Int64.add (Engine.now t.engine) cycles in
+  if Int64.compare resume t.wire_busy_until > 0 then t.wire_busy_until <- resume;
+  t.tx_stalls <- t.tx_stalls + 1
+
+let tx_stalls t = t.tx_stalls

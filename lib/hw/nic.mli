@@ -47,3 +47,12 @@ val attach : t -> Io_bus.t -> base:int -> unit
 val frames_sent : t -> int
 val bytes_sent : t -> int64
 val overflows : t -> int
+
+(** {2 Fault injection} *)
+
+(** [stall_tx t ~cycles] — the wire refuses to serialize for [cycles];
+    frames submitted meanwhile queue behind the stall (and overflow the
+    ring if the driver keeps pushing). *)
+val stall_tx : t -> cycles:int64 -> unit
+
+val tx_stalls : t -> int

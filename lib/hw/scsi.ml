@@ -21,6 +21,9 @@ type t = {
   mutable irq : unit -> unit;
   mutable reads_completed : int;
   mutable bytes_read : int64;
+  mutable inject_read_errors : int;
+      (* fault injection: the next N reads fail at the medium *)
+  mutable read_errors : int;
 }
 
 let create ~engine ~costs ~mem ~targets () =
@@ -40,6 +43,8 @@ let create ~engine ~costs ~mem ~targets () =
     irq = (fun () -> ());
     reads_completed = 0;
     bytes_read = 0L;
+    inject_read_errors = 0;
+    read_errors = 0;
   }
 
 let targets t = Array.length t.target_states
@@ -58,6 +63,17 @@ let transfer_cycles t bytes =
 
 let complete_read t target lba count dma =
   let ts = t.target_states.(target) in
+  if t.inject_read_errors > 0 then begin
+    (* A medium error: the command completes (so the driver's wait ends)
+       but no data is transferred and the error flag is raised. *)
+    t.inject_read_errors <- t.inject_read_errors - 1;
+    t.read_errors <- t.read_errors + 1;
+    ts.busy <- false;
+    ts.done_ <- true;
+    t.error <- true;
+    t.irq ()
+  end
+  else begin
   let base = lba * sector_size in
   for i = 0 to count - 1 do
     let v =
@@ -72,6 +88,7 @@ let complete_read t target lba count dma =
   t.reads_completed <- t.reads_completed + 1;
   t.bytes_read <- Int64.add t.bytes_read (Int64.of_int count);
   t.irq ()
+  end
 
 (* Write data is latched when the command is issued (the controller DMAs
    it out immediately); completion only signals that the medium has it.
@@ -147,3 +164,10 @@ let attach t bus ~base =
 
 let reads_completed t = t.reads_completed
 let bytes_read t = t.bytes_read
+
+(* Fault injection: fail the next [n] reads at the medium. *)
+let inject_read_errors t n =
+  if n < 0 then invalid_arg "Scsi.inject_read_errors: negative";
+  t.inject_read_errors <- t.inject_read_errors + n
+
+let read_errors t = t.read_errors

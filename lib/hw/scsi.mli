@@ -46,3 +46,12 @@ val attach : t -> Io_bus.t -> base:int -> unit
 val reads_completed : t -> int
 
 val bytes_read : t -> int64
+
+(** {2 Fault injection} *)
+
+(** [inject_read_errors t n] — the next [n] reads fail at the medium: the
+    command completes (busy clears, done sets) but no data transfers and
+    the error status bit is raised. *)
+val inject_read_errors : t -> int -> unit
+
+val read_errors : t -> int

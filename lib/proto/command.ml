@@ -16,6 +16,9 @@ type command =
   | Read_console
   | Read_profile
   | Detach
+  | Resync
+      (** reset the reliable-link endpoints on both sides after a
+          [Link_down] escalation; the session stays attached *)
 
 type stop_reason =
   | Break of int
@@ -31,6 +34,7 @@ type reply =
   | Memory of string
   | Stopped of stop_reason
   | Running
+  | Sync_ok
   | Unsupported
 
 let hex = Packet.hex_of_int
@@ -58,6 +62,7 @@ let command_to_wire = function
   | Read_console -> "qC"
   | Read_profile -> "qP"
   | Detach -> "D"
+  | Resync -> "!"
 
 let split_once s ~on =
   match String.index_opt s on with
@@ -83,6 +88,7 @@ let command_of_wire s =
       else if s = "qP" then Some Read_profile
       else None
     | 'D' -> Some Detach
+    | '!' -> Some Resync
     | 'P' ->
       let* idx_s, val_s = split_once (tail s) ~on:'=' in
       let* idx = Packet.int_of_hex idx_s in
@@ -155,6 +161,7 @@ let reply_to_wire = function
   | Memory data -> Packet.to_hex data
   | Stopped reason -> stop_to_wire reason
   | Running -> "R"
+  | Sync_ok -> "sync"
   | Unsupported -> ""
 
 let parse_stop s =
@@ -188,6 +195,7 @@ let reply_of_wire s =
   if s = "" then Some Unsupported
   else if s = "OK" then Some Ok_reply
   else if s = "R" then Some Running
+  else if s = "sync" then Some Sync_ok
   else if s.[0] = 'E' && String.length s = 3 then
     let* code = Packet.int_of_hex (tail s) in
     Some (Error code)
@@ -228,4 +236,5 @@ let pp_reply fmt = function
   | Memory data -> Format.fprintf fmt "<%d bytes>" (String.length data)
   | Stopped reason -> pp_stop_reason fmt reason
   | Running -> Format.pp_print_string fmt "running"
+  | Sync_ok -> Format.pp_print_string fmt "sync"
   | Unsupported -> Format.pp_print_string fmt "<unsupported>"

@@ -25,6 +25,9 @@ type command =
   | Read_console  (** [qC] — drain the target-side console buffer *)
   | Read_profile  (** [qP] — fetch the monitor's pc-sampling profile *)
   | Detach  (** [D] *)
+  | Resync
+      (** [!] — restart the reliable-link state on the target after the
+          host declared the link dead; see {!Reliable}. *)
 
 (** Why the target is (now) stopped. *)
 type stop_reason =
@@ -42,6 +45,9 @@ type reply =
   | Memory of string  (** raw bytes, hex on the wire *)
   | Stopped of stop_reason  (** [T<code>;<pc>] *)
   | Running  (** [R] — reply to [?] while not stopped *)
+  | Sync_ok
+      (** [sync] — reply to [!].  Deliberately distinct from [OK]: a
+          reconnecting host discards stale replies until it sees this. *)
   | Unsupported  (** empty reply *)
 
 val command_to_wire : command -> string

@@ -20,10 +20,21 @@ let endpoint_of ~peer ~own =
     send = (fun byte -> deliver peer (byte land 0xFF));
     set_receive =
       (fun f ->
-        own.receive <- Some f;
-        while not (Queue.is_empty own.backlog) do
-          f (Queue.pop own.backlog)
-        done);
+        (* Drain before going live: if [f] sends a reply that loops back
+           synchronously, the looped bytes must queue behind the backlog
+           rather than interleave mid-drain.  Swapping the backlog into a
+           local queue keeps any re-entrant arrivals ordered after the
+           batch being delivered. *)
+        let rec drain () =
+          if not (Queue.is_empty own.backlog) then begin
+            let batch = Queue.create () in
+            Queue.transfer own.backlog batch;
+            Queue.iter f batch;
+            drain ()
+          end
+        in
+        drain ();
+        own.receive <- Some f);
   }
 
 let loopback () =

@@ -37,6 +37,9 @@ val feed : decoder -> int -> event option
 (** [feed_string d s] convenience: feed every byte, collect events. *)
 val feed_string : decoder -> string -> event list
 
+(** [reset d] abandons any partial frame and returns to idle. *)
+val reset : decoder -> unit
+
 (** {2 Hex helpers} *)
 
 (** [to_hex s] — lowercase hex, two digits per byte. *)

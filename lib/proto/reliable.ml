@@ -1,0 +1,318 @@
+(* Reliable ARQ endpoint over the $...# framing.
+
+   The base protocol (Packet) produces Ack/Nak events but nothing drives
+   retransmission from them; this layer finally does.  Each endpoint is a
+   stop-and-wait sender plus a duplicate-suppressing receiver:
+
+   - outgoing payloads are tagged with an 8-bit sequence number and
+     framed as [|ss<payload>]; at most one frame per direction is in
+     flight, the rest queue;
+   - a well-formed sequenced frame is acknowledged with [+ss] (the ack
+     carries the sequence so a duplicated or stale ack cannot be
+     misattributed to a newer frame); a checksum failure elicits a bare
+     [-];
+   - an unacknowledged frame is retransmitted on NAK and on a sim-time
+     timeout (Engine events), with capped exponential backoff; after
+     [max_retries] the endpoint gives up, drops its queue and reports
+     Link_down instead of hanging;
+   - a frame carrying an already-seen sequence number is re-acked and
+     dropped, so retransmission never re-executes a command.
+
+   For compatibility with peers that speak the bare protocol (the
+   embedded-debugger baseline, hand-rolled test hosts), an endpoint
+   starts in plain mode: unsequenced frames are delivered as-is, sends
+   are fire-and-forget with the historical NAK-retransmit behaviour, and
+   the first sequenced frame received upgrades the endpoint. *)
+
+module Engine = Vmm_sim.Engine
+module Event_queue = Vmm_sim.Event_queue
+
+type config = {
+  byte_cycles : int;
+      (** serialization cost per wire byte; timeouts scale with it *)
+  slack_bytes : int;
+      (** extra byte-times allowed for queueing before a retry *)
+  max_retries : int;  (** retransmissions before the link is declared down *)
+  backoff_exp_cap : int;  (** cap on the exponential backoff doubling *)
+}
+
+let default_config =
+  {
+    byte_cycles = 109_375 (* 115200 baud at 1.26 GHz *);
+    slack_bytes = 256;
+    max_retries = 8;
+    backoff_exp_cap = 4;
+  }
+
+type counters = {
+  mutable retransmits : int;
+  mutable bad_checksums : int;
+  mutable duplicates_dropped : int;
+  mutable stray_acks : int;
+  mutable link_downs : int;
+  mutable link_resets : int;
+}
+
+type flight = {
+  seq : int;
+  framed : string;
+  mutable retries : int;
+  mutable timer : Event_queue.handle option;
+}
+
+(* Ack parsing state: a '+' in sequenced mode is followed by two hex
+   digits naming the acknowledged sequence number. *)
+type ack_state = No_ack | Ack_seen | Ack_digit of int
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  send_byte : int -> unit;
+  deliver : string -> unit;
+  mutable on_link_down : unit -> unit;
+  decoder : Packet.decoder;
+  txq : string Queue.t;
+  mutable flight : flight option;
+  mutable next_seq : int;
+  mutable last_rx_seq : int;  (** -1 = nothing received yet *)
+  mutable sequenced : bool;
+  mutable up : bool;
+  mutable last_plain_tx : string option;  (** plain-mode NAK retransmit *)
+  mutable ack_state : ack_state;
+  counters : counters;
+}
+
+let create ?(config = default_config) ~engine ~send_byte ~deliver () =
+  {
+    engine;
+    config;
+    send_byte;
+    deliver;
+    on_link_down = (fun () -> ());
+    decoder = Packet.decoder ();
+    txq = Queue.create ();
+    flight = None;
+    next_seq = 0;
+    last_rx_seq = -1;
+    sequenced = false;
+    up = true;
+    last_plain_tx = None;
+    ack_state = No_ack;
+    counters =
+      {
+        retransmits = 0;
+        bad_checksums = 0;
+        duplicates_dropped = 0;
+        stray_acks = 0;
+        link_downs = 0;
+        link_resets = 0;
+      };
+  }
+
+let set_on_link_down t f = t.on_link_down <- f
+let set_sequenced t flag = t.sequenced <- flag
+let sequenced t = t.sequenced
+let link_up t = t.up
+let stats t = t.counters
+let pending_tx t = Queue.length t.txq + match t.flight with Some _ -> 1 | None -> 0
+
+let send_raw t s = String.iter (fun c -> t.send_byte (Char.code c)) s
+
+let seq_payload ~seq payload = "|" ^ Packet.hex_of_int seq ~width:2 ^ payload
+
+let parse_seq payload =
+  if String.length payload >= 3 && payload.[0] = '|' then
+    match Packet.int_of_hex (String.sub payload 1 2) with
+    | Some seq -> Some (seq, String.sub payload 3 (String.length payload - 3))
+    | None -> None
+  else None
+
+let cancel_timer t fl =
+  match fl.timer with
+  | Some h ->
+    ignore (Engine.cancel t.engine h);
+    fl.timer <- None
+  | None -> ()
+
+(* Retry n waits (frame + slack) byte-times, doubled per attempt up to
+   the cap, so a slow-but-healthy link (a long reply still serializing
+   ahead of the ack) runs out of patience strictly slower than it runs
+   out of wire. *)
+let timeout_cycles t fl =
+  let base = (String.length fl.framed + t.config.slack_bytes) * t.config.byte_cycles in
+  let exp = min fl.retries t.config.backoff_exp_cap in
+  Int64.of_int (base lsl exp)
+
+let rec arm_timer t fl =
+  fl.timer <-
+    Some (Engine.after t.engine ~delay:(timeout_cycles t fl) (fun () -> on_timeout t fl))
+
+and on_timeout t fl =
+  (* Only the current flight's timer may act; a cancelled or superseded
+     timer that still fires must not retransmit stale data. *)
+  match t.flight with
+  | Some cur when cur == fl ->
+    fl.timer <- None;
+    if fl.retries >= t.config.max_retries then begin
+      t.up <- false;
+      t.flight <- None;
+      Queue.clear t.txq;
+      t.counters.link_downs <- t.counters.link_downs + 1;
+      t.on_link_down ()
+    end
+    else begin
+      fl.retries <- fl.retries + 1;
+      t.counters.retransmits <- t.counters.retransmits + 1;
+      send_raw t fl.framed;
+      arm_timer t fl
+    end
+  | Some _ | None -> ()
+
+let rec pump t =
+  match t.flight with
+  | Some _ -> ()
+  | None ->
+    if t.up then
+      match Queue.take_opt t.txq with
+      | None -> ()
+      | Some payload ->
+        let seq = t.next_seq in
+        t.next_seq <- (t.next_seq + 1) land 0xFF;
+        let fl =
+          { seq; framed = Packet.frame (seq_payload ~seq payload); retries = 0; timer = None }
+        in
+        t.flight <- Some fl;
+        send_raw t fl.framed;
+        arm_timer t fl
+
+and send t payload =
+  if t.sequenced then begin
+    if t.up then begin
+      Queue.add payload t.txq;
+      pump t
+    end
+    (* link declared down: drop rather than hang; the caller sees the
+       down state and reconnects *)
+  end
+  else begin
+    let framed = Packet.frame payload in
+    t.last_plain_tx <- Some framed;
+    send_raw t framed
+  end
+
+(* An unsequenced frame from a sequenced endpoint.  Receivers deliver
+   plain frames unconditionally (no duplicate filter), which is exactly
+   what a Resync needs: it must get through even when the two sequence
+   spaces disagree about everything. *)
+let send_plain t payload =
+  let framed = Packet.frame payload in
+  t.last_plain_tx <- Some framed;
+  send_raw t framed
+
+let on_ack t seq =
+  match t.flight with
+  | Some fl when fl.seq = seq ->
+    cancel_timer t fl;
+    t.flight <- None;
+    pump t
+  | Some _ | None -> t.counters.stray_acks <- t.counters.stray_acks + 1
+
+let on_nak t =
+  if t.sequenced then
+    match t.flight with
+    | Some fl ->
+      cancel_timer t fl;
+      if fl.retries >= t.config.max_retries then begin
+        t.up <- false;
+        t.flight <- None;
+        Queue.clear t.txq;
+        t.counters.link_downs <- t.counters.link_downs + 1;
+        t.on_link_down ()
+      end
+      else begin
+        fl.retries <- fl.retries + 1;
+        t.counters.retransmits <- t.counters.retransmits + 1;
+        send_raw t fl.framed;
+        arm_timer t fl
+      end
+    | None -> ()
+  else
+    match t.last_plain_tx with
+    | Some framed ->
+      t.counters.retransmits <- t.counters.retransmits + 1;
+      send_raw t framed
+    | None -> ()
+
+let send_ack t seq =
+  t.send_byte (Char.code Packet.ack);
+  String.iter (fun c -> t.send_byte (Char.code c)) (Packet.hex_of_int seq ~width:2)
+
+let on_packet t payload =
+  match parse_seq payload with
+  | Some (seq, body) ->
+    t.sequenced <- true;
+    send_ack t seq;
+    if seq = t.last_rx_seq then
+      t.counters.duplicates_dropped <- t.counters.duplicates_dropped + 1
+    else begin
+      t.last_rx_seq <- seq;
+      t.deliver body
+    end
+  | None ->
+    (* plain-mode peer: historical ack-and-deliver behaviour *)
+    t.send_byte (Char.code Packet.ack);
+    t.deliver payload
+
+let feed_decoder t byte =
+  match Packet.feed t.decoder byte with
+  | None -> ()
+  | Some Packet.Ack -> if t.sequenced then t.ack_state <- Ack_seen
+  | Some Packet.Nak -> on_nak t
+  | Some Packet.Bad_checksum ->
+    t.counters.bad_checksums <- t.counters.bad_checksums + 1;
+    t.send_byte (Char.code Packet.nak)
+  | Some (Packet.Packet payload) -> on_packet t payload
+
+let hex_digit_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let on_rx_byte t byte =
+  let byte = byte land 0xFF in
+  let c = Char.chr byte in
+  match t.ack_state with
+  | Ack_seen ->
+    (match hex_digit_value c with
+     | Some hi -> t.ack_state <- Ack_digit hi
+     | None ->
+       (* corrupted ack tail: abandon it (the timeout re-covers the
+          frame) and reinterpret the byte normally *)
+       t.ack_state <- No_ack;
+       feed_decoder t byte)
+  | Ack_digit hi ->
+    (match hex_digit_value c with
+     | Some lo ->
+       t.ack_state <- No_ack;
+       on_ack t ((hi lsl 4) lor lo)
+     | None ->
+       t.ack_state <- No_ack;
+       feed_decoder t byte)
+  | No_ack -> feed_decoder t byte
+
+(* Reconnect: forget all transfer state but keep counters and mode.  Both
+   ends must reset around the same exchange (the debugger's Resync
+   command does this) so the sequence spaces restart together. *)
+let reset t =
+  (match t.flight with Some fl -> cancel_timer t fl | None -> ());
+  t.flight <- None;
+  Queue.clear t.txq;
+  t.next_seq <- 0;
+  t.last_rx_seq <- -1;
+  t.up <- true;
+  t.last_plain_tx <- None;
+  t.ack_state <- No_ack;
+  Packet.reset t.decoder;
+  t.counters.link_resets <- t.counters.link_resets + 1

@@ -1,0 +1,96 @@
+(** Reliable ARQ endpoint over the {!Packet} framing.
+
+    The base protocol produces Ack/Nak events but nothing drives
+    retransmission from them; this layer does.  Each endpoint is a
+    stop-and-wait sender plus a duplicate-suppressing receiver:
+
+    - outgoing payloads are tagged with an 8-bit sequence number and
+      framed as [|ss<payload>]; at most one frame per direction is in
+      flight, the rest queue;
+    - a well-formed sequenced frame is acknowledged with [+ss] (the ack
+      carries the sequence so a duplicated or stale ack cannot be
+      misattributed to a newer frame); a checksum failure elicits a bare
+      [-];
+    - an unacknowledged frame is retransmitted on NAK and on a sim-time
+      timeout, with capped exponential backoff; after [max_retries] the
+      endpoint gives up, drops its queue and reports link-down instead of
+      hanging;
+    - a frame carrying an already-seen sequence number is re-acked and
+      dropped, so retransmission never re-executes a command.
+
+    For compatibility with peers that speak the bare protocol (the
+    embedded-debugger baseline, hand-rolled test hosts), an endpoint
+    starts in {e plain} mode: unsequenced frames are delivered as-is,
+    sends are fire-and-forget with the historical NAK-retransmit
+    behaviour, and the first sequenced frame received upgrades the
+    endpoint. *)
+
+type config = {
+  byte_cycles : int;
+      (** serialization cost per wire byte; timeouts scale with it *)
+  slack_bytes : int;
+      (** extra byte-times allowed for queueing before a retry *)
+  max_retries : int;  (** retransmissions before the link is declared down *)
+  backoff_exp_cap : int;  (** cap on the exponential backoff doubling *)
+}
+
+(** 115200 baud at the default clock; 8 retries, backoff capped at 16x. *)
+val default_config : config
+
+type counters = {
+  mutable retransmits : int;
+  mutable bad_checksums : int;
+  mutable duplicates_dropped : int;
+  mutable stray_acks : int;
+  mutable link_downs : int;
+  mutable link_resets : int;
+}
+
+type t
+
+(** [create ~engine ~send_byte ~deliver ()] — [send_byte] transmits one
+    wire byte; [deliver] receives each de-duplicated decoded payload.
+    Retransmission timers run on [engine]'s simulated clock. *)
+val create :
+  ?config:config ->
+  engine:Vmm_sim.Engine.t ->
+  send_byte:(int -> unit) ->
+  deliver:(string -> unit) ->
+  unit ->
+  t
+
+(** [set_on_link_down t f] — called once per transition to down (retry
+    budget exhausted).  The endpoint stays down until {!reset}. *)
+val set_on_link_down : t -> (unit -> unit) -> unit
+
+(** [set_sequenced t flag] forces the mode; receivers normally upgrade
+    automatically on the first sequenced frame. *)
+val set_sequenced : t -> bool -> unit
+
+val sequenced : t -> bool
+val link_up : t -> bool
+
+(** [send t payload] — sequenced mode: queue and transmit under ARQ
+    (silently dropped while the link is down — the caller observes
+    {!link_up} and reconnects).  Plain mode: fire-and-forget. *)
+val send : t -> string -> unit
+
+(** [send_plain t payload] transmits one unsequenced fire-and-forget
+    frame regardless of mode.  Receivers deliver plain frames without the
+    duplicate filter — the Resync exchange uses this so it gets through
+    even when the two sequence spaces disagree about everything. *)
+val send_plain : t -> string -> unit
+
+(** [on_rx_byte t byte] — feed one received wire byte. *)
+val on_rx_byte : t -> int -> unit
+
+(** [reset t] forgets all transfer state (flight, queue, sequence
+    numbers, partial decode) and brings the link back up.  Counters and
+    mode survive.  Both ends must reset around the same exchange — the
+    debugger's Resync command pairs them. *)
+val reset : t -> unit
+
+val stats : t -> counters
+
+(** [pending_tx t] — frames queued or in flight. *)
+val pending_tx : t -> int

@@ -1,0 +1,230 @@
+(* Stability suite: the paper's robustness claim under adversarial
+   conditions.  For every fault class — lossy/corrupting/duplicating/
+   delaying debug wire, wild guest jumps and stores, clobbered interrupt
+   table or page-table base, interrupt storms, a wedged guest, failing
+   disks, a stalled NIC — the guest may crash, but the monitor and its
+   debug stub must survive: afterwards the host can still set a
+   breakpoint, read memory and resume.  Every run is deterministic in the
+   seed printed on entry, so a failure replays exactly. *)
+
+module Machine = Vmm_hw.Machine
+module Costs = Vmm_hw.Costs
+module Scsi = Vmm_hw.Scsi
+module Nic = Vmm_hw.Nic
+module Monitor = Core.Monitor
+module Kernel = Vmm_guest.Kernel
+module Session = Vmm_debugger.Session
+module Chaos = Vmm_fault.Chaos
+module Plan = Vmm_fault.Plan
+module Rng = Vmm_sim.Rng
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* A fast wire keeps the suite quick without changing any semantics: all
+   timeouts scale with the same cost table. *)
+let test_costs = { Costs.default with Costs.uart_cycles_per_byte = 2000 }
+
+let cyc s = Costs.cycles_of_seconds test_costs s
+
+let rig ~seed =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:test_costs () in
+  let mon = Monitor.install m in
+  let program = Kernel.build (Kernel.default_config ~rate_mbps:20.0) in
+  Monitor.boot_guest mon program ~entry:Kernel.entry;
+  Machine.run_seconds m 0.01;
+  let plan = Plan.create ~seed ~engine:(Machine.engine m) in
+  let chaos = Plan.chaos plan in
+  let session =
+    Session.attach ~wrap_to_target:(Chaos.wrap chaos)
+      ~wrap_to_host:(Chaos.wrap chaos) m
+  in
+  (m, mon, plan, session)
+
+let is_link = function
+  | Plan.Link_drop | Plan.Link_corrupt | Plan.Link_dup | Plan.Link_delay ->
+    true
+  | _ -> false
+
+(* After the fault window the wire is clean again, so recovery is
+   deterministic: at most a few Resync exchanges. *)
+let recover session =
+  let alive () = Session.read_registers ~timeout_s:1.0 session <> None in
+  let rec go tries = alive () || (tries > 0 && (ignore (Session.reconnect ~timeout_s:1.0 session); go (tries - 1))) in
+  go 5
+
+let stability cls () =
+  let seed = Int64.of_int (0x5EED00 + Hashtbl.hash (Plan.name cls) mod 0xFFFF) in
+  Printf.printf "[stability] %-18s seed=%Ld\n%!" (Plan.name cls) seed;
+  let m, mon, plan, session = rig ~seed in
+  check bool "healthy before fault" true
+    (Session.read_registers session <> None);
+  let now = Machine.now m in
+  Plan.arm plan ~monitor:mon cls ~at:(Int64.add now (cyc 0.002))
+    ~until:(Int64.add now (cyc 0.08));
+  (* Drive load through the fault.  Link classes get live traffic inside
+     the window (that is what they corrupt); the rest just need sim time
+     for the fault to land and do its damage. *)
+  if is_link cls then
+    for _ = 1 to 12 do
+      ignore (Session.read_memory ~timeout_s:0.5 session ~addr:Kernel.entry ~len:32);
+      if not (Session.link_up session) then
+        ignore (Session.reconnect ~timeout_s:0.5 session)
+    done
+  else Machine.run_seconds m 0.1;
+  (* Past the window: the wire is quiet, the guest may be dead. *)
+  check bool "link recovered" true (recover session);
+  (* The paper's claim: whatever happened, debugging still works. *)
+  check bool "insert breakpoint" true
+    (Session.insert_breakpoint session Kernel.entry);
+  (match Session.read_memory session ~addr:Kernel.entry ~len:16 with
+   | Some data -> check int "memory read length" 16 (String.length data)
+   | None -> Alcotest.fail "memory read failed after fault");
+  check bool "remove breakpoint" true
+    (Session.remove_breakpoint session Kernel.entry);
+  Session.continue_ session;
+  check bool "target answers after resume" true
+    (Session.is_running session <> None);
+  (* The monitor survived and counted what happened to it. *)
+  let stats = Monitor.stats mon in
+  if not (is_link cls) && cls <> Plan.Scsi_error && cls <> Plan.Nic_stall then
+    check bool "fault was injected" true (stats.Monitor.injected_faults >= 1)
+
+(* Device-fault classes additionally check the device-side counters the
+   stability run relies on. *)
+
+let test_scsi_error_counted () =
+  let seed = 77L in
+  let m, mon, plan, _session = rig ~seed in
+  let scsi = Machine.scsi m in
+  let before = Scsi.read_errors scsi in
+  let now = Machine.now m in
+  Plan.arm plan ~monitor:mon Plan.Scsi_error ~at:(Int64.add now (cyc 0.002))
+    ~until:(Int64.add now (cyc 0.08));
+  Machine.run_seconds m 0.2;
+  check bool "read errors surfaced" true (Scsi.read_errors scsi > before)
+
+let test_nic_stall_counted () =
+  let seed = 78L in
+  let m, mon, plan, _session = rig ~seed in
+  let nic = Machine.nic m in
+  let now = Machine.now m in
+  Plan.arm plan ~monitor:mon Plan.Nic_stall ~at:(Int64.add now (cyc 0.002))
+    ~until:(Int64.add now (cyc 0.08));
+  Machine.run_seconds m 0.1;
+  check int "stall recorded" 1 (Nic.tx_stalls nic)
+
+(* Reconnection semantics on a healthy wire: reset + Resync is cheap and
+   idempotent. *)
+let test_reconnect_idempotent () =
+  let _, _, _, session = rig ~seed:79L in
+  check bool "first reconnect" true (Session.reconnect session);
+  check bool "second reconnect" true (Session.reconnect session);
+  check bool "still debuggable" true
+    (Session.read_registers session <> None);
+  check bool "resets counted" true
+    ((Session.link_stats session).Vmm_proto.Reliable.link_resets >= 2)
+
+(* A deliberately hostile wire must eventually yield Link_down (bounded
+   retries — no hang), and reconnecting afterwards must succeed. *)
+(* Loss only on the target->host direction: the stub receives the
+   command, retries its reply into the void, exhausts its budget and
+   parks the guest; the host independently concludes the same from the
+   missing ack. *)
+let test_link_down_and_back () =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:test_costs () in
+  let mon = Monitor.install m in
+  let program = Kernel.build (Kernel.default_config ~rate_mbps:20.0) in
+  Monitor.boot_guest mon program ~entry:Kernel.entry;
+  Machine.run_seconds m 0.01;
+  let chaos =
+    Chaos.create ~engine:(Machine.engine m) ~rng:(Rng.create ~seed:80L) ()
+  in
+  let session = Session.attach ~wrap_to_host:(Chaos.wrap chaos) m in
+  check bool "healthy first" true (Session.read_registers session <> None);
+  Chaos.set_profile chaos { Chaos.quiet with Chaos.drop_p = 1.0 };
+  Chaos.set_active chaos true;
+  (match Session.read_memory ~timeout_s:60.0 session ~addr:Kernel.entry ~len:8 with
+   | Some _ -> Alcotest.fail "read should not survive a 100%-loss wire"
+   | None -> ());
+  check bool "link declared down" false (Session.link_up session);
+  check int "one link-down event" 1 (Session.link_downs session);
+  (* Let the stub finish exhausting its own retry budget. *)
+  Machine.run_seconds m 5.0;
+  check bool "stub declared down too" true (Core.Stub.link_downs (Monitor.stub mon) >= 1);
+  (* While nobody could talk to it, the stub parked the guest: the
+     reconnectable "attached, guest stopped" state. *)
+  check bool "stub parked the guest" true (Core.Stub.stopped (Monitor.stub mon));
+  Chaos.set_active chaos false;
+  check bool "reconnect after down" true (Session.reconnect session);
+  check bool "debuggable again" true (Session.read_registers session <> None);
+  (* The parked guest resumes and the session keeps answering. *)
+  Session.continue_ session;
+  check bool "target answers after resume" true
+    (Session.is_running session <> None)
+
+(* Regression: replies pair with commands by order, so an abandoned wait
+   must not shift the pairing.  A guest fault mid-traffic queues a stop
+   notification; [is_running] answers from it, leaving its own '?' reply
+   in flight.  That late reply must be discarded — every later transact
+   still gets its own reply, and reconnect finds the real resync ack. *)
+let test_stale_reply_no_desync () =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:test_costs () in
+  let mon = Monitor.install m in
+  let program = Kernel.build (Kernel.default_config ~rate_mbps:20.0) in
+  Monitor.boot_guest mon program ~entry:Kernel.entry;
+  Machine.run_seconds m 0.01;
+  let session = Session.attach m in
+  let storm iter =
+    let now = Machine.now m in
+    ignore
+      (Vmm_sim.Engine.at (Machine.engine m)
+         ~time:(Int64.add now (cyc 0.002))
+         (fun () -> Monitor.inject mon (Monitor.Wild_jump 0x0F00_1234)));
+    for i = 1 to 8 do
+      check bool
+        (Printf.sprintf "%s read %d" iter i)
+        true
+        (Session.read_memory ~timeout_s:0.5 session ~addr:Kernel.entry ~len:32
+        <> None)
+    done;
+    Machine.run_seconds m 0.05;
+    check bool (iter ^ " regs") true
+      (Session.read_registers ~timeout_s:1.0 session <> None);
+    Session.continue_ session;
+    (* Answers from the queued stop notification, abandoning the '?'
+       reply — the trigger for the historical desync. *)
+    check bool (iter ^ " is_running answers") true
+      (Session.is_running ~timeout_s:1.0 session <> None)
+  in
+  storm "first";
+  storm "second";
+  check bool "reads still paired" true
+    (Session.read_memory ~timeout_s:1.0 session ~addr:Kernel.entry ~len:32
+    <> None);
+  check bool "reconnect on healthy link" true
+    (Session.reconnect ~timeout_s:1.0 session);
+  check bool "debuggable after resync" true
+    (Session.read_registers ~timeout_s:1.0 session <> None)
+
+let () =
+  let stability_cases =
+    List.map
+      (fun cls ->
+        Alcotest.test_case (Plan.name cls) `Quick (fun () -> stability cls ()))
+      Plan.all
+  in
+  Alcotest.run "vmm_fault"
+    [
+      ("stability", stability_cases);
+      ( "fault-machinery",
+        [
+          Alcotest.test_case "scsi errors counted" `Quick test_scsi_error_counted;
+          Alcotest.test_case "nic stall counted" `Quick test_nic_stall_counted;
+          Alcotest.test_case "reconnect idempotent" `Quick test_reconnect_idempotent;
+          Alcotest.test_case "link down and back" `Quick test_link_down_and_back;
+          Alcotest.test_case "stale reply no desync" `Quick
+            test_stale_reply_no_desync;
+        ] );
+    ]

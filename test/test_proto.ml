@@ -187,6 +187,160 @@ let test_loopback_backlog () =
     [ Char.code 'x'; Char.code 'y' ]
     (List.rev !got)
 
+(* Re-entrancy regression: a receive callback installed while a backlog
+   is pending may itself trigger new traffic; the drain must deliver
+   those late arrivals too instead of losing them (they land in the
+   backlog while [receive] is still unset). *)
+let test_loopback_reentrant_drain () =
+  let a, b = Link.loopback () in
+  Link.send_string a "ab" (* no receiver yet *);
+  let got = ref [] in
+  b.Link.set_receive (fun byte ->
+      if Char.chr byte = 'a' then Link.send_string a "c";
+      got := byte :: !got);
+  check (Alcotest.list int) "late arrivals drained"
+    [ Char.code 'a'; Char.code 'b'; Char.code 'c' ]
+    (List.rev !got)
+
+(* -- Decoder fuzz -- *)
+
+(* 10k random byte streams: the decoder must never raise, and whatever
+   state the noise leaves behind, at most one following frame may be
+   sacrificed to it (a trailing escape or checksum state can swallow a
+   single '$') — the one after that must decode. *)
+let test_decoder_fuzz () =
+  let seed = 0xF00DL in
+  Printf.printf "[fuzz] decoder seed=%Ld\n%!" seed;
+  let rng = Vmm_sim.Rng.create ~seed in
+  for _ = 1 to 10_000 do
+    let d = Packet.decoder () in
+    let len = Vmm_sim.Rng.int rng 65 in
+    (try
+       for _ = 1 to len do
+         ignore (Packet.feed d (Vmm_sim.Rng.int rng 256))
+       done
+     with e ->
+       Alcotest.failf "decoder raised on noise: %s" (Printexc.to_string e));
+    let probe = Packet.frame "probe" in
+    let events = Packet.feed_string d (probe ^ probe) in
+    let decoded =
+      List.exists (function Packet.Packet "probe" -> true | _ -> false) events
+    in
+    if not decoded then Alcotest.fail "decoder failed to resynchronize"
+  done
+
+(* -- Reliable ARQ -- *)
+
+module Reliable = Vmm_proto.Reliable
+module Engine = Vmm_sim.Engine
+
+let arq_config =
+  { Reliable.byte_cycles = 10; slack_bytes = 10; max_retries = 3; backoff_exp_cap = 2 }
+
+(* A connected pair with a cuttable wire in each direction. *)
+let arq_pair () =
+  let engine = Engine.create () in
+  let a_cut = ref false and b_cut = ref false in
+  let a_got = ref [] and b_got = ref [] in
+  let a = ref None and b = ref None in
+  let to_b byte = if not !a_cut then Reliable.on_rx_byte (Option.get !b) byte in
+  let to_a byte = if not !b_cut then Reliable.on_rx_byte (Option.get !a) byte in
+  a :=
+    Some
+      (Reliable.create ~config:arq_config ~engine ~send_byte:to_b
+         ~deliver:(fun p -> a_got := p :: !a_got)
+         ());
+  b :=
+    Some
+      (Reliable.create ~config:arq_config ~engine ~send_byte:to_a
+         ~deliver:(fun p -> b_got := p :: !b_got)
+         ());
+  let a = Option.get !a and b = Option.get !b in
+  Reliable.set_sequenced a true;
+  (engine, a, b, a_cut, b_cut, a_got, b_got)
+
+let settle engine = Engine.run_until engine ~time:10_000_000L
+
+let test_arq_delivery () =
+  let engine, a, b, _, _, _, b_got = arq_pair () in
+  Reliable.send a "hello";
+  Reliable.send a "world";
+  settle engine;
+  check (Alcotest.list string) "in order once" [ "hello"; "world" ]
+    (List.rev !b_got);
+  check bool "peer upgraded" true (Reliable.sequenced b);
+  check int "nothing in flight" 0 (Reliable.pending_tx a)
+
+let test_arq_retransmit_on_loss () =
+  let engine, a, _, a_cut, _, _, b_got = arq_pair () in
+  a_cut := true (* first transmission vanishes *);
+  Reliable.send a "persist";
+  check (Alcotest.list string) "lost for now" [] !b_got;
+  a_cut := false;
+  settle engine (* timeout fires, retransmit goes through *);
+  check (Alcotest.list string) "delivered by retry" [ "persist" ] !b_got;
+  check bool "retry counted" true ((Reliable.stats a).Reliable.retransmits >= 1);
+  check bool "still up" true (Reliable.link_up a)
+
+let test_arq_duplicate_suppressed () =
+  let engine, a, b, _, b_cut, _, b_got = arq_pair () in
+  b_cut := true (* b's acks never arrive, so a keeps retransmitting *);
+  Reliable.send a "once";
+  settle engine;
+  (* b saw the original plus timeout retransmits: all the same seq. *)
+  check (Alcotest.list string) "delivered exactly once" [ "once" ] !b_got;
+  check bool "duplicates counted" true
+    ((Reliable.stats b).Reliable.duplicates_dropped >= 1)
+
+let test_arq_link_down_and_reset () =
+  let engine, a, b, a_cut, _, _, b_got = arq_pair () in
+  let downs = ref 0 in
+  Reliable.set_on_link_down a (fun () -> incr downs);
+  a_cut := true;
+  Reliable.send a "doomed";
+  Reliable.send a "queued-behind";
+  settle engine;
+  check bool "down after bounded retries" false (Reliable.link_up a);
+  check int "one down event" 1 !downs;
+  check int "queue dropped" 0 (Reliable.pending_tx a);
+  Reliable.send a "ignored while down";
+  check int "sends dropped while down" 0 (Reliable.pending_tx a);
+  (* Reconnect: both ends restart their sequence spaces. *)
+  a_cut := false;
+  Reliable.reset a;
+  Reliable.reset b;
+  Reliable.send a "after reset";
+  settle engine;
+  check bool "back up" true (Reliable.link_up a);
+  check (Alcotest.list string) "fresh exchange works" [ "after reset" ] !b_got;
+  check bool "reset counted" true ((Reliable.stats a).Reliable.link_resets >= 1)
+
+let test_arq_plain_compat () =
+  (* A plain-mode peer (the historical protocol): unsequenced frames in,
+     bare acks out, NAK retransmits the last frame. *)
+  let engine = Engine.create () in
+  let wire_to_peer = Buffer.create 64 in
+  let got = ref [] in
+  let e =
+    Reliable.create ~config:arq_config ~engine
+      ~send_byte:(fun byte -> Buffer.add_char wire_to_peer (Char.chr byte))
+      ~deliver:(fun p -> got := p :: !got)
+      ()
+  in
+  String.iter
+    (fun c -> Reliable.on_rx_byte e (Char.code c))
+    (Packet.frame "g");
+  check (Alcotest.list string) "plain frame delivered" [ "g" ] !got;
+  check bool "stays plain" false (Reliable.sequenced e);
+  Buffer.clear wire_to_peer;
+  Reliable.send e "reply";
+  let sent_once = Buffer.contents wire_to_peer in
+  check string "fire and forget framing" (Packet.frame "reply") sent_once;
+  Reliable.on_rx_byte e (Char.code '-') (* peer NAKs: retransmit *);
+  check string "nak retransmit" (sent_once ^ sent_once)
+    (Buffer.contents wire_to_peer);
+  check bool "retransmit counted" true ((Reliable.stats e).Reliable.retransmits >= 1)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -213,5 +367,19 @@ let () =
         [
           Alcotest.test_case "loopback" `Quick test_loopback;
           Alcotest.test_case "backlog" `Quick test_loopback_backlog;
+          Alcotest.test_case "re-entrant drain" `Quick
+            test_loopback_reentrant_drain;
+        ] );
+      ("fuzz", [ Alcotest.test_case "decoder total" `Quick test_decoder_fuzz ]);
+      ( "reliable",
+        [
+          Alcotest.test_case "delivery" `Quick test_arq_delivery;
+          Alcotest.test_case "retransmit on loss" `Quick
+            test_arq_retransmit_on_loss;
+          Alcotest.test_case "duplicate suppressed" `Quick
+            test_arq_duplicate_suppressed;
+          Alcotest.test_case "link down + reset" `Quick
+            test_arq_link_down_and_reset;
+          Alcotest.test_case "plain-mode compat" `Quick test_arq_plain_compat;
         ] );
     ]
