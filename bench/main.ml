@@ -26,17 +26,93 @@ module Session = Vmm_debugger.Session
 module Embedded = Vmm_baseline.Embedded_debugger
 module Hw_simulator = Vmm_baseline.Hw_simulator
 
+module Json = Vmm_obs.Json
+
 let section title =
   Printf.printf "\n==================================================\n";
   Printf.printf "%s\n" title;
   Printf.printf "==================================================\n"
 
 (* ---------------------------------------------------------------- *)
+(* Run telemetry: machine-readable result files next to the console  *)
+(* tables, so CI and notebooks consume the same run.                 *)
+(* ---------------------------------------------------------------- *)
+
+(* Resolve HEAD by reading .git directly: no subprocess, and a missing
+   repo (running from an export) degrades to "unknown". *)
+let git_rev () =
+  let read_line path =
+    try
+      let ic = open_in path in
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      Some (String.trim line)
+    with Sys_error _ -> None
+  in
+  match read_line ".git/HEAD" with
+  | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " ->
+    let r = String.sub head 5 (String.length head - 5) in
+    (match read_line (Filename.concat ".git" r) with
+     | Some rev when rev <> "" -> rev
+     | _ -> "unknown")
+  | Some rev when rev <> "" -> rev
+  | _ -> "unknown"
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n[telemetry] wrote %s\n" path
+
+let measurement_json (m : Workload.measurement) =
+  let idle =
+    Int64.sub m.Workload.elapsed_cycles m.Workload.busy_cycles
+  in
+  Json.Obj
+    [
+      ("system", Json.String (Workload.system_name m.Workload.system));
+      ("requested_mbps", Json.Float m.Workload.requested_mbps);
+      ("achieved_mbps", Json.Float m.Workload.achieved_mbps);
+      ("cpu_load", Json.Float m.Workload.cpu_load);
+      ("duration_s", Json.Float m.Workload.duration_s);
+      ("frames", Json.Int m.Workload.frames);
+      ("busy_cycles", Json.Int (Int64.to_int m.Workload.busy_cycles));
+      ("elapsed_cycles", Json.Int (Int64.to_int m.Workload.elapsed_cycles));
+      ("idle_cycles", Json.Int (Int64.to_int idle));
+      ( "breakdown",
+        Json.Obj
+          (List.map
+             (fun (cat, v) -> (cat, Json.Int (Int64.to_int v)))
+             m.Workload.breakdown) );
+      ("irq_latency_p50_cycles", Json.Float m.Workload.irq_latency_p50);
+      ("irq_latency_p99_cycles", Json.Float m.Workload.irq_latency_p99);
+    ]
+
+let run_header bench =
+  [
+    ("bench", Json.String bench);
+    ("git_rev", Json.String (git_rev ()));
+    ("seed", Json.Int 0);
+    ("cpu_hz", Json.Float Costs.default.Costs.cpu_hz);
+  ]
+
+(* ---------------------------------------------------------------- *)
 (* E1 — Fig 3.1: CPU load vs transfer rate on the three systems.    *)
 (* ---------------------------------------------------------------- *)
 
+(* BENCH_FIG31_RATES=25,100 overrides the sweep — CI smoke runs a short
+   one and still exercises the full telemetry path. *)
 let fig3_1_rates =
-  [ 25.0; 50.0; 100.0; 150.0; 200.0; 300.0; 400.0; 500.0; 600.0; 700.0 ]
+  match Sys.getenv_opt "BENCH_FIG31_RATES" with
+  | Some spec ->
+    let rates =
+      String.split_on_char ',' spec
+      |> List.filter_map (fun tok -> float_of_string_opt (String.trim tok))
+    in
+    if rates = [] then failwith "BENCH_FIG31_RATES: no valid rates" else rates
+  | None ->
+    [ 25.0; 50.0; 100.0; 150.0; 200.0; 300.0; 400.0; 500.0; 600.0; 700.0 ]
 
 let fig3_1 () =
   section
@@ -101,7 +177,23 @@ let fig3_1 () =
   Printf.printf "\n        ";
   List.iter (fun (rate, _) -> Printf.printf "%4.0f " rate) results;
   Printf.printf
-    " Mbps\n  R = real hardware, L = lightweight VMM, V = VMware-like full VMM\n"
+    " Mbps\n  R = real hardware, L = lightweight VMM, V = VMware-like full VMM\n";
+  write_json "BENCH_fig31.json"
+    (Json.Obj
+       (run_header "fig3.1"
+       @ [
+           ( "rates",
+             Json.List
+               (List.map
+                  (fun (rate, row) ->
+                    Json.Obj
+                      [
+                        ("rate_mbps", Json.Float rate);
+                        ( "environments",
+                          Json.List (List.map measurement_json row) );
+                      ])
+                  results) );
+         ]))
 
 (* ---------------------------------------------------------------- *)
 (* E2 — headline ratios.                                            *)
@@ -123,7 +215,17 @@ let headline () =
     "lightweight VMM vs full VMM" (lw /. full);
   Printf.printf "%-40s %7.1f%%   (paper: ~26%%)\n"
     "lightweight VMM vs real hardware"
-    (100.0 *. lw /. bare)
+    (100.0 *. lw /. bare);
+  write_json "BENCH_headline.json"
+    (Json.Obj
+       (run_header "headline"
+       @ [
+           ("bare_metal_mbps", Json.Float bare);
+           ("lightweight_vmm_mbps", Json.Float lw);
+           ("full_vmm_mbps", Json.Float full);
+           ("lw_vs_full_ratio", Json.Float (lw /. full));
+           ("lw_vs_bare_ratio", Json.Float (lw /. bare));
+         ]))
 
 (* ---------------------------------------------------------------- *)
 (* E3 — stability under injected guest failure.                     *)

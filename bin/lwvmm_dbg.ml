@@ -5,10 +5,13 @@
    loop of the paper's Fig 2.1.  Reads commands from stdin (one per line);
    see `help`.  Extra commands beyond the debugger language:
 
-     run <seconds>   -- advance the target by simulated wall time
-     stats           -- monitor + link counters
-     reconnect       -- revive a link declared dead (resync exchange)
-     trace           -- recent monitor events
+     run <seconds>    -- advance the target by simulated wall time
+     stats            -- full metrics registry (Prometheus text format)
+     reconnect        -- revive a link declared dead (resync exchange)
+     trace            -- recent monitor events
+     trace on|off     -- start/stop cycle-attribution span recording
+     trace dump FILE  -- write recorded spans as Chrome trace-event JSON
+                         (open in Perfetto / about:tracing)
      quit
 
    Usage: dune exec bin/lwvmm_dbg.exe -- [--rate MBPS] [--fast-uart]
@@ -54,6 +57,7 @@ let run rate fast_uart lossy script =
       Session.attach ~wrap_to_target:(Chaos.wrap chaos)
         ~wrap_to_host:(Chaos.wrap chaos) machine
   in
+  Session.register_metrics session (Machine.registry machine);
   let symbols = Symbols.of_program program in
   let cli = Cli.create ~session ~symbols in
   Printf.printf
@@ -74,30 +78,42 @@ let run rate fast_uart lossy script =
           (fun r -> Format.printf "%a@." Vmm_sim.Trace.pp_record r)
           records;
       true
+    | "trace on" ->
+      Vmm_obs.Tracer.set_enabled (Machine.tracer machine) true;
+      print_endline "span recording on";
+      true
+    | "trace off" ->
+      let tracer = Machine.tracer machine in
+      Vmm_obs.Tracer.set_enabled tracer false;
+      Printf.printf "span recording off (%d events held, %d dropped)\n"
+        (Vmm_obs.Tracer.event_count tracer)
+        (Vmm_obs.Tracer.dropped tracer);
+      true
+    | line
+      when String.length line > 11 && String.sub line 0 11 = "trace dump " ->
+      let path = String.trim (String.sub line 11 (String.length line - 11)) in
+      if path = "" then print_endline "usage: trace dump FILE"
+      else begin
+        let json =
+          Vmm_obs.Tracer.to_chrome_json (Machine.tracer machine)
+        in
+        let oc = open_out path in
+        output_string oc (Vmm_obs.Json.to_string json);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %d events to %s\n"
+          (Vmm_obs.Tracer.event_count (Machine.tracer machine))
+          path
+      end;
+      true
     | "reconnect" ->
       if Session.reconnect session then print_endline "link re-established"
       else print_endline "reconnect failed (wire still hostile?)";
       true
     | "stats" ->
-      let s = Monitor.stats monitor in
-      Printf.printf
-        "world switches %d | pic %d pit %d cpu %d io %d | shadow fills %d | \
-         reflected irqs %d | escalations %d\n"
-        s.Monitor.world_switches s.Monitor.pic_emulations
-        s.Monitor.pit_emulations s.Monitor.cpu_emulations
-        s.Monitor.io_emulations s.Monitor.shadow_fills
-        s.Monitor.reflected_irqs s.Monitor.escalations;
-      Printf.printf
-        "link (target): retransmits %d | bad checksums %d | resets %d | \
-         downs %d | injected faults %d\n"
-        s.Monitor.link_retransmits s.Monitor.link_bad_checksums
-        s.Monitor.link_resets s.Monitor.link_downs s.Monitor.injected_faults;
-      let h = Session.link_stats session in
-      Printf.printf
-        "link (host): retransmits %d | bad checksums %d | dups dropped %d | \
-         downs %d\n"
-        h.Vmm_proto.Reliable.retransmits h.Vmm_proto.Reliable.bad_checksums
-        h.Vmm_proto.Reliable.duplicates_dropped (Session.link_downs session);
+      (* Everything — device counters, monitor exit reasons, shadow
+         state, both ends of the debug link — lives in one registry. *)
+      print_string (Vmm_obs.Registry.dump (Machine.registry machine));
       true
     | line when String.length line > 4 && String.sub line 0 4 = "run " ->
       (match float_of_string_opt (String.sub line 4 (String.length line - 4)) with

@@ -96,6 +96,26 @@ let world_switch t =
   t.c_world <- t.c_world + 1;
   charge t t.costs.Costs.world_switch
 
+(* Cycle attribution: every [charge] books to the load's current
+   category, so pinning a category for the duration of a handler is all
+   the bookkeeping attribution needs — nesting restores the outer
+   category, and per-category totals keep summing to the busy total by
+   construction.  When the machine tracer is enabled the same scope also
+   appears as a Perfetto span. *)
+let span t cat name f =
+  let body () =
+    Vmm_sim.Stats.with_category (Machine.load t.machine) cat f
+  in
+  let tracer = Machine.tracer t.machine in
+  if Vmm_obs.Tracer.enabled tracer then
+    Vmm_obs.Tracer.with_span tracer ~cat name body
+  else body ()
+
+(* Category only, no span: for closures fired on every stub byte, where
+   a trace event apiece would drown the timeline. *)
+let with_cat t cat f =
+  Vmm_sim.Stats.with_category (Machine.load t.machine) cat f
+
 (* -- Guest-virtual memory access through the guest's own tables -- *)
 
 let translate_guest t vaddr =
@@ -202,6 +222,7 @@ let read_guest_gate t vector =
     | _ -> None
 
 let rec reflect ?(check_dpl = false) t ~vector ~error ~return_pc ~depth =
+  span t "irq" "reflect" @@ fun () ->
   t.c_fault <- t.c_fault + 1;
   match read_guest_gate t vector with
   | None ->
@@ -290,6 +311,7 @@ let emulate_lptb t value =
   charge t t.costs.Costs.shadow_pt_sync
 
 let emulate_privileged t instr pc =
+  span t "mon_cpu" "emulate_priv" @@ fun () ->
   t.c_cpu <- t.c_cpu + 1;
   world_switch t;
   charge t t.costs.Costs.emulate_cpu;
@@ -354,11 +376,13 @@ let uart_base = Machine.Ports.uart
 let emulated_in t port =
   if port >= pic_base && port < pic_base + 3 then begin
     t.c_pic <- t.c_pic + 1;
+    span t "mon_pic" "vpic_in" @@ fun () ->
     charge t t.costs.Costs.emulate_pic;
     Pic.io_read t.vpic (port - pic_base)
   end
   else if port >= pit_base && port < pit_base + 3 then begin
     t.c_pit <- t.c_pit + 1;
+    span t "mon_pit" "vpit_in" @@ fun () ->
     charge t t.costs.Costs.emulate_pit;
     Pit.io_read (get_vpit t) (port - pit_base)
   end
@@ -380,12 +404,14 @@ let emulated_in t port =
 let emulated_out t port value =
   if port >= pic_base && port < pic_base + 3 then begin
     t.c_pic <- t.c_pic + 1;
+    span t "mon_pic" "vpic_out" @@ fun () ->
     charge t t.costs.Costs.emulate_pic;
     Pic.io_write t.vpic (port - pic_base) value;
     kick t
   end
   else if port >= pit_base && port < pit_base + 3 then begin
     t.c_pit <- t.c_pit + 1;
+    span t "mon_pit" "vpit_out" @@ fun () ->
     charge t t.costs.Costs.emulate_pit;
     Pit.io_write (get_vpit t) (port - pit_base) value
   end
@@ -399,6 +425,7 @@ let emulated_out t port value =
   end
 
 let emulate_io t port pc =
+  span t "mon_io" "emulate_io" @@ fun () ->
   t.c_io <- t.c_io + 1;
   world_switch t;
   let next = (pc + Isa.width) land 0xFFFFFFFF in
@@ -465,6 +492,7 @@ let reprotect_after_step t page =
   t.reprotect_page <- None
 
 let handle_page_fault t (f : Mmu.fault) pc =
+  span t "mon_shadow" "page_fault" @@ fun () ->
   world_switch t;
   let vaddr = f.Mmu.vaddr in
   let page = vaddr land lnot 0xFFF in
@@ -517,6 +545,7 @@ let handle_page_fault t (f : Mmu.fault) pc =
 (* -- Hypercalls -- *)
 
 let handle_hypercall t imm =
+  span t "mon_cpu" "hypercall" @@ fun () ->
   t.c_hyper <- t.c_hyper + 1;
   world_switch t;
   charge t t.costs.Costs.emulate_cpu;
@@ -588,6 +617,7 @@ let inject t fault =
 (* -- Real interrupt routing -- *)
 
 let drain_uart t =
+  span t "stub" "drain_uart" @@ fun () ->
   let uart = Machine.uart t.machine in
   let stub = get_stub t in
   let rec go () =
@@ -601,6 +631,7 @@ let drain_uart t =
   go ()
 
 let handle_real_irq t vector =
+  span t "irq" "real_irq" @@ fun () ->
   world_switch t;
   let line = vector - Pic.vector_base (Machine.pic t.machine) in
   (* The monitor owns the physical controller: retire the interrupt now. *)
@@ -618,24 +649,28 @@ let handle_fault t kind pc =
   match kind with
   | Cpu.Gp (Cpu.Privileged_instruction instr) ->
     if t.v_cpl = 0 then emulate_privileged t instr pc
-    else begin
+    else
+      span t "mon_cpu" "gp" @@ fun () ->
       world_switch t;
       reflect t ~vector:Isa.vec_protection ~error:0 ~return_pc:pc ~depth:0
-    end
   | Cpu.Gp (Cpu.Io_denied port) ->
     if t.v_cpl = 0 then emulate_io t port pc
     else begin
+      span t "mon_cpu" "gp" @@ fun () ->
       world_switch t;
       reflect t ~vector:Isa.vec_protection ~error:port ~return_pc:pc ~depth:0
     end
   | Cpu.Gp _ ->
+    span t "mon_cpu" "gp" @@ fun () ->
     world_switch t;
     reflect t ~vector:Isa.vec_protection ~error:0 ~return_pc:pc ~depth:0
   | Cpu.Page f -> handle_page_fault t f pc
   | Cpu.Breakpoint_trap ->
+    span t "stub" "breakpoint" @@ fun () ->
     world_switch t;
     Stub.on_breakpoint (get_stub t) ~pc
   | Cpu.Step_trap ->
+    span t "stub" "step_trap" @@ fun () ->
     world_switch t;
     (match t.reprotect_page with
      | Some page ->
@@ -644,9 +679,11 @@ let handle_fault t kind pc =
        else Stub.on_step_trap (get_stub t) ~pc
      | None -> Stub.on_step_trap (get_stub t) ~pc)
   | Cpu.Undefined opcode ->
+    span t "mon_cpu" "undefined" @@ fun () ->
     world_switch t;
     reflect t ~vector:Isa.vec_undefined ~error:opcode ~return_pc:pc ~depth:0
   | Cpu.Machine_check _ ->
+    span t "mon_cpu" "machine_check" @@ fun () ->
     world_switch t;
     escalate t ~vector:Isa.vec_machine_check ~pc
 
@@ -655,6 +692,7 @@ let hook t _cpu event =
    | Cpu.Irq vector -> handle_real_irq t vector
    | Cpu.Fault (kind, pc) -> handle_fault t kind pc
    | Cpu.Soft_int (vector, next_pc) ->
+     span t "mon_cpu" "soft_int" @@ fun () ->
      world_switch t;
      t.c_cpu <- t.c_cpu + 1;
      reflect ~check_dpl:true t ~vector ~error:0 ~return_pc:next_pc ~depth:0
@@ -734,9 +772,10 @@ let make_target t =
         else false);
     send_byte =
       (fun byte ->
+        with_cat t "stub" @@ fun () ->
         charge t t.costs.Costs.port_io;
         Uart.io_write (Machine.uart t.machine) 0 byte);
-    charge = (fun cycles -> charge t cycles);
+    charge = (fun cycles -> with_cat t "stub" (fun () -> charge t cycles));
   }
 
 (* -- Construction -- *)
@@ -795,6 +834,46 @@ let install ?(passthrough = default_passthrough) machine =
            }
          ~target:(make_target t) ~dispatch_cost:costs.Costs.stub_dispatch
          ~engine:(Machine.engine machine) ());
+  (* Monitor exit counters, shadow state and the guest-side debug link
+     join the machine registry (kvm_stat style: one place to read why the
+     guest keeps exiting). *)
+  let registry = Machine.registry machine in
+  let g name f = Vmm_obs.Registry.int_gauge registry name f in
+  g "monitor_world_switches_total" (fun () -> t.c_world);
+  g "monitor_pic_emulations_total" (fun () -> t.c_pic);
+  g "monitor_pit_emulations_total" (fun () -> t.c_pit);
+  g "monitor_cpu_emulations_total" (fun () -> t.c_cpu);
+  g "monitor_io_emulations_total" (fun () -> t.c_io);
+  g "monitor_reflected_irqs_total" (fun () -> t.c_irq);
+  g "monitor_reflected_faults_total" (fun () -> t.c_fault);
+  g "monitor_hypercalls_total" (fun () -> t.c_hyper);
+  g "monitor_escalations_total" (fun () -> t.c_escal);
+  g "monitor_injected_faults_total" (fun () -> t.c_inject);
+  g "shadow_fills_total" (fun () -> Shadow.fills t.shadow);
+  g "shadow_mappings" (fun () -> Shadow.mappings t.shadow);
+  g "stublink_retransmits_total" (fun () ->
+      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.retransmits);
+  g "stublink_bad_checksums_total" (fun () ->
+      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.bad_checksums);
+  g "stublink_duplicates_dropped_total" (fun () ->
+      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.duplicates_dropped);
+  g "stublink_resets_total" (fun () ->
+      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.link_resets);
+  g "stublink_downs_total" (fun () -> Stub.link_downs (get_stub t));
+  g "stub_commands_handled_total" (fun () ->
+      Stub.commands_handled (get_stub t));
+  g "stub_notifications_sent_total" (fun () ->
+      Stub.notifications_sent (get_stub t));
+  Pic.set_latency_probe t.vpic
+    ~now:(fun () -> Vmm_sim.Engine.now (Machine.engine machine))
+    ~observe:
+      (let h =
+         Vmm_obs.Registry.histogram registry "vpic_delivery_latency_cycles"
+           ~buckets:64 ~width:2000.0
+       in
+       Vmm_sim.Stats.observe h);
+  g "vpic_irqs_raised_total" (fun () -> Pic.raises t.vpic);
+  g "vpic_irqs_acked_total" (fun () -> Pic.acks t.vpic);
   (* Open direct device access; everything else traps. *)
   List.iter
     (fun { base; count } ->

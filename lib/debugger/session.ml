@@ -264,3 +264,17 @@ let link_downs t = t.link_downs
 let packets_sent t = t.sent
 let packets_received t = !(t.received)
 let last_latency_s t = t.last_latency_s
+
+(* Host-side link health, published next to the target-side metrics so
+   `lwvmm_dbg stats` shows both ends of the wire in one dump. *)
+let register_metrics t registry =
+  let g name f = Vmm_obs.Registry.int_gauge registry name f in
+  g "hostlink_packets_sent_total" (fun () -> packets_sent t);
+  g "hostlink_packets_received_total" (fun () -> packets_received t);
+  g "hostlink_retransmits_total" (fun () -> retransmissions t);
+  g "hostlink_bad_checksums_total" (fun () ->
+      (link_stats t).Reliable.bad_checksums);
+  g "hostlink_resets_total" (fun () -> (link_stats t).Reliable.link_resets);
+  g "hostlink_downs_total" (fun () -> link_downs t);
+  Vmm_obs.Registry.gauge registry "hostlink_last_latency_seconds" (fun () ->
+      last_latency_s t)

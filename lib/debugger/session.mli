@@ -108,3 +108,9 @@ val link_downs : t -> int
 (** [last_latency_s t] — simulated seconds between the last command's
     transmission and its reply (E5 measures this under load). *)
 val last_latency_s : t -> float
+
+(** [register_metrics t registry] publishes the session's link health
+    (packets, retransmits, resets, last command latency) as
+    [hostlink_*] gauges — typically into the target machine's registry
+    so one dump covers both ends of the wire. *)
+val register_metrics : t -> Vmm_obs.Registry.t -> unit

@@ -27,6 +27,11 @@ type measurement = {
   duration_s : float;
   frames : int;
   counters : Kernel.counters;
+  busy_cycles : int64;
+  elapsed_cycles : int64;
+  breakdown : (string * int64) list;
+  irq_latency_p50 : float;
+  irq_latency_p99 : float;
 }
 
 type context =
@@ -64,12 +69,38 @@ let prepare ?(costs = Costs.default) ?(mem_size = 16 * 1024 * 1024) system
   in
   (ctx, program)
 
+(* Per-category deltas over a window.  [busy_by_category] values only
+   grow, so every [before] category reappears in [after] and the deltas
+   sum to the window's busy-cycle delta. *)
+let breakdown_delta before after =
+  List.filter_map
+    (fun (cat, v) ->
+      let v0 = Option.value ~default:0L (List.assoc_opt cat before) in
+      let d = Int64.sub v v0 in
+      if Int64.compare d 0L > 0 then Some (cat, d) else None)
+    after
+
 let measure ctx program ~config ~warmup_s ~duration_s =
   let m = machine_of ctx in
   let nic = Machine.nic m in
   Machine.run_seconds m warmup_s;
+  (* Delivery latency comes from the interrupt controller the guest
+     actually takes interrupts from: the monitor's virtual PIC when one
+     is installed, the physical PIC otherwise.  Reset after warmup so the
+     percentiles describe only the measurement window. *)
+  let registry = Machine.registry m in
+  let irq_hist =
+    match
+      Vmm_obs.Registry.find_histogram registry "vpic_delivery_latency_cycles"
+    with
+    | Some h -> Some h
+    | None ->
+      Vmm_obs.Registry.find_histogram registry "pic_delivery_latency_cycles"
+  in
+  Option.iter Stats.reset_histogram irq_hist;
   let t0 = Machine.now m in
   let busy0 = Stats.busy_cycles (Machine.load m) in
+  let by_cat0 = Stats.busy_by_category (Machine.load m) in
   let bytes0 = Nic.bytes_sent nic in
   let frames0 = Nic.frames_sent nic in
   Machine.run_seconds m duration_s;
@@ -87,6 +118,9 @@ let measure ctx program ~config ~warmup_s ~duration_s =
     if seconds <= 0.0 then 0.0
     else Int64.to_float bytes *. 8.0 /. seconds /. 1e6
   in
+  let percentile p =
+    match irq_hist with Some h -> Stats.percentile h p | None -> 0.0
+  in
   {
     system = system_of_context ctx;
     requested_mbps = config.Kernel.rate_mbps;
@@ -95,6 +129,12 @@ let measure ctx program ~config ~warmup_s ~duration_s =
     duration_s = seconds;
     frames;
     counters = Kernel.read_counters (Machine.mem m) program;
+    busy_cycles = busy;
+    elapsed_cycles = elapsed;
+    breakdown =
+      breakdown_delta by_cat0 (Stats.busy_by_category (Machine.load m));
+    irq_latency_p50 = percentile 50.0;
+    irq_latency_p99 = percentile 99.0;
   }
 
 let run ?costs ?mem_size ?(warmup_s = 0.05) system ~rate_mbps ~duration_s =

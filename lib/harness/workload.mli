@@ -19,6 +19,15 @@ type measurement = {
   duration_s : float;
   frames : int;  (** frames on the wire during the window *)
   counters : Vmm_guest.Kernel.counters;  (** guest's own view, cumulative *)
+  busy_cycles : int64;  (** busy cycles inside the window *)
+  elapsed_cycles : int64;
+  breakdown : (string * int64) list;
+      (** per-category busy cycles over the window (guest, mon_*, irq,
+          stub — see docs/OBSERVABILITY.md); sums to [busy_cycles] *)
+  irq_latency_p50 : float;  (** raise-to-ack delivery latency, cycles *)
+  irq_latency_p99 : float;
+      (** measured on the guest-facing interrupt controller (virtual PIC
+          under a monitor, physical PIC on bare metal) *)
 }
 
 (** Live handles for callers that want system-specific statistics. *)

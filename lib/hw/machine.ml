@@ -1,6 +1,8 @@
 module Engine = Vmm_sim.Engine
 module Stats = Vmm_sim.Stats
 module Trace = Vmm_sim.Trace
+module Registry = Vmm_obs.Registry
+module Tracer = Vmm_obs.Tracer
 
 module Ports = struct
   let pic = 0x20
@@ -30,6 +32,8 @@ type t = {
   costs : Costs.t;
   trace : Trace.t;
   load : Stats.load;
+  registry : Registry.t;
+  tracer : Tracer.t;
 }
 
 let default_mem_size = 16 * 1024 * 1024
@@ -57,7 +61,65 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
   Nic.set_irq nic (fun () -> Pic.raise_irq pic Irq.nic);
   Nic.attach nic bus ~base:Ports.nic;
   let trace = Trace.create ~capacity:4096 () in
-  { engine; mem; bus; cpu; pic; pit; uart; scsi; nic; costs; trace; load }
+  let registry = Registry.create () in
+  let tracer = Tracer.create ~engine () in
+  Nic.set_tracer nic tracer;
+  Scsi.set_tracer scsi tracer;
+  (* Device metrics (subsystem_name_unit); monitor/link metrics join the
+     same registry when a monitor is installed. *)
+  Pic.set_latency_probe pic
+    ~now:(fun () -> Engine.now engine)
+    ~observe:
+      (let h =
+         Registry.histogram registry "pic_delivery_latency_cycles"
+           ~buckets:64 ~width:2000.0
+       in
+       Stats.observe h);
+  Registry.int_gauge registry "pic_irqs_raised_total" (fun () -> Pic.raises pic);
+  Registry.int_gauge registry "pic_irqs_acked_total" (fun () -> Pic.acks pic);
+  Registry.int_gauge registry "pit_ticks_total" (fun () -> Pit.ticks_fired pit);
+  Registry.int_gauge registry "nic_frames_sent_total" (fun () ->
+      Nic.frames_sent nic);
+  Registry.gauge registry "nic_bytes_sent_bytes" (fun () ->
+      Int64.to_float (Nic.bytes_sent nic));
+  Registry.int_gauge registry "nic_tx_queued_frames" (fun () ->
+      Nic.tx_queued nic);
+  Registry.int_gauge registry "nic_tx_stalls_total" (fun () ->
+      Nic.tx_stalls nic);
+  Registry.gauge registry "nic_tx_stall_cycles_total" (fun () ->
+      Int64.to_float (Nic.stall_cycles nic));
+  Registry.int_gauge registry "nic_tx_overflows_total" (fun () ->
+      Nic.overflows nic);
+  Registry.int_gauge registry "scsi_reads_completed_total" (fun () ->
+      Scsi.reads_completed scsi);
+  Registry.int_gauge registry "scsi_writes_completed_total" (fun () ->
+      Scsi.writes_completed scsi);
+  Registry.gauge registry "scsi_bytes_read_bytes" (fun () ->
+      Int64.to_float (Scsi.bytes_read scsi));
+  Registry.int_gauge registry "scsi_read_errors_total" (fun () ->
+      Scsi.read_errors scsi);
+  Registry.int_gauge registry "scsi_busy_targets" (fun () ->
+      Scsi.busy_targets scsi);
+  Registry.gauge registry "cpu_busy_cycles_total" (fun () ->
+      Int64.to_float (Stats.busy_cycles load));
+  Registry.gauge registry "sim_now_cycles" (fun () ->
+      Int64.to_float (Engine.now engine));
+  {
+    engine;
+    mem;
+    bus;
+    cpu;
+    pic;
+    pit;
+    uart;
+    scsi;
+    nic;
+    costs;
+    trace;
+    load;
+    registry;
+    tracer;
+  }
 
 let cpu t = t.cpu
 let mem t = t.mem
@@ -71,6 +133,8 @@ let scsi t = t.scsi
 let nic t = t.nic
 let trace t = t.trace
 let load t = t.load
+let registry t = t.registry
+let tracer t = t.tracer
 
 let now t = Engine.now t.engine
 

@@ -44,6 +44,16 @@ val nic : t -> Nic.t
 val trace : t -> Vmm_sim.Trace.t
 val load : t -> Vmm_sim.Stats.load
 
+(** [registry t] — the machine-wide metrics registry.  Devices register
+    their gauges at construction; the monitor, debug stub and host
+    debugger add theirs on attach.  Dump with {!Vmm_obs.Registry.dump}. *)
+val registry : t -> Vmm_obs.Registry.t
+
+(** [tracer t] — the machine-wide span tracer (disabled until
+    {!Vmm_obs.Tracer.set_enabled}); devices emit DMA spans into it and
+    the monitor adds trap/interrupt/stub spans. *)
+val tracer : t -> Vmm_obs.Tracer.t
+
 (** [now t] — current simulation time in cycles. *)
 val now : t -> int64
 

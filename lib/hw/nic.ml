@@ -21,6 +21,8 @@ type t = {
   rx : bytes Queue.t;
   mutable rx_addr : int;
   mutable tx_stalls : int;
+  mutable stall_cycles : int64;
+  mutable tracer : Vmm_obs.Tracer.t option;
 }
 
 let create ~engine ~costs ~mem () =
@@ -42,10 +44,13 @@ let create ~engine ~costs ~mem () =
     rx = Queue.create ();
     rx_addr = 0;
     tx_stalls = 0;
+    stall_cycles = 0L;
+    tracer = None;
   }
 
 let set_irq t f = t.irq <- f
 let set_on_frame t f = t.on_frame <- f
+let set_tracer t tracer = t.tracer <- Some tracer
 
 let serialization_cycles t len =
   let seconds = float_of_int (8 * len) /. (t.costs.Costs.nic_gbps *. 1e9) in
@@ -69,6 +74,11 @@ let send t =
     in
     let done_at = Int64.add start (serialization_cycles t (Bytes.length frame)) in
     t.wire_busy_until <- done_at;
+    (match t.tracer with
+     | Some tracer ->
+       Vmm_obs.Tracer.add_complete tracer ~cat:"dma" ~name:"nic_tx" ~start
+         ~stop:done_at ()
+     | None -> ());
     ignore
       (Engine.at t.engine ~time:done_at (fun () ->
            t.queued <- t.queued - 1;
@@ -130,8 +140,20 @@ let overflows t = t.overflow_count
    the guest keeps pushing). *)
 let stall_tx t ~cycles =
   if Int64.compare cycles 0L < 0 then invalid_arg "Nic.stall_tx: negative";
-  let resume = Int64.add (Engine.now t.engine) cycles in
-  if Int64.compare resume t.wire_busy_until > 0 then t.wire_busy_until <- resume;
+  let now = Engine.now t.engine in
+  let resume = Int64.add now cycles in
+  if Int64.compare resume t.wire_busy_until > 0 then begin
+    (* Only the extension beyond already-queued serialization counts as
+       stall time — the rest would have been wire-busy anyway. *)
+    let busy_from =
+      if Int64.compare t.wire_busy_until now > 0 then t.wire_busy_until
+      else now
+    in
+    t.stall_cycles <- Int64.add t.stall_cycles (Int64.sub resume busy_from);
+    t.wire_busy_until <- resume
+  end;
   t.tx_stalls <- t.tx_stalls + 1
 
 let tx_stalls t = t.tx_stalls
+let stall_cycles t = t.stall_cycles
+let tx_queued t = t.queued

@@ -37,6 +37,10 @@ val set_irq : t -> (unit -> unit) -> unit
 (** [set_on_frame t f] — [f frame] runs when a frame finishes on the wire. *)
 val set_on_frame : t -> (bytes -> unit) -> unit
 
+(** [set_tracer t tracer] — emit a ["dma"]-category span per transmitted
+    frame covering its wire serialization window. *)
+val set_tracer : t -> Vmm_obs.Tracer.t -> unit
+
 (** [inject_rx t frame] queues an inbound frame and raises the IRQ. *)
 val inject_rx : t -> bytes -> unit
 
@@ -48,6 +52,10 @@ val frames_sent : t -> int
 val bytes_sent : t -> int64
 val overflows : t -> int
 
+(** [tx_queued t] — frames in the ring not yet off the wire (queue-depth
+    gauge). *)
+val tx_queued : t -> int
+
 (** {2 Fault injection} *)
 
 (** [stall_tx t ~cycles] — the wire refuses to serialize for [cycles];
@@ -56,3 +64,7 @@ val overflows : t -> int
 val stall_tx : t -> cycles:int64 -> unit
 
 val tx_stalls : t -> int
+
+(** [stall_cycles t] — cumulative wire time added by {!stall_tx} beyond
+    serialization that was already queued. *)
+val stall_cycles : t -> int64

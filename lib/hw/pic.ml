@@ -5,6 +5,12 @@ type t = {
   mutable mask : int;
   mutable intr : bool -> unit;
   mutable intr_level : bool;
+  (* delivery-latency probe: raise -> ack time per line *)
+  mutable probe_now : (unit -> int64) option;
+  mutable probe_observe : float -> unit;
+  raised_at : int64 array;
+  mutable raises : int;
+  mutable acks : int;
 }
 
 let lines = 8
@@ -17,7 +23,16 @@ let create ?(vector_base = Isa.vec_irq_base_default) () =
     mask = 0;
     intr = (fun _ -> ());
     intr_level = false;
+    probe_now = None;
+    probe_observe = (fun _ -> ());
+    raised_at = Array.make lines 0L;
+    raises = 0;
+    acks = 0;
   }
+
+let set_latency_probe t ~now ~observe =
+  t.probe_now <- Some now;
+  t.probe_observe <- observe
 
 let lowest_bit v =
   let rec scan i = if i >= lines then None else if v land (1 lsl i) <> 0 then Some i else scan (i + 1) in
@@ -47,6 +62,14 @@ let set_intr t f =
 
 let raise_irq t line =
   if line < 0 || line >= lines then invalid_arg "Pic.raise_irq";
+  t.raises <- t.raises + 1;
+  (* Stamp only a fresh request: re-raising a still-pending line keeps
+     the original time, so latency measures raise-to-ack, not last-kick
+     to ack. *)
+  (match t.probe_now with
+   | Some now when t.request land (1 lsl line) = 0 ->
+     t.raised_at.(line) <- now ()
+   | Some _ | None -> ());
   t.request <- t.request lor (1 lsl line);
   update_intr t
 
@@ -58,6 +81,12 @@ let ack t =
   | Some line ->
     t.request <- t.request land lnot (1 lsl line);
     t.service <- t.service lor (1 lsl line);
+    t.acks <- t.acks + 1;
+    (match t.probe_now with
+     | Some now ->
+       t.probe_observe
+         (Int64.to_float (Int64.sub (now ()) t.raised_at.(line)))
+     | None -> ());
     update_intr t;
     Some (t.vector_base + line)
 
@@ -93,3 +122,5 @@ let attach t bus ~base =
 let requested t = t.request
 let in_service t = t.service
 let mask t = t.mask
+let raises t = t.raises
+let acks t = t.acks

@@ -46,8 +46,21 @@ val io_write : t -> int -> int -> unit
 (** [attach t bus ~base] claims three ports at [base]. *)
 val attach : t -> Io_bus.t -> base:int -> unit
 
+(** [set_latency_probe t ~now ~observe] arms delivery-latency
+    measurement: each {!ack} calls [observe] with the cycles between the
+    line's (first) raise and the acknowledge.  Re-raising a pending line
+    keeps the original timestamp.  [now] supplies the clock — the PIC
+    itself is clockless. *)
+val set_latency_probe : t -> now:(unit -> int64) -> observe:(float -> unit) -> unit
+
 (** Introspection for tests. *)
 val requested : t -> int
 
 val in_service : t -> int
 val mask : t -> int
+
+(** [raises t] / [acks t] — cumulative {!raise_irq} and successful
+    {!ack} counts (metrics feed). *)
+val raises : t -> int
+
+val acks : t -> int

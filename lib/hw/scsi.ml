@@ -24,6 +24,8 @@ type t = {
   mutable inject_read_errors : int;
       (* fault injection: the next N reads fail at the medium *)
   mutable read_errors : int;
+  mutable writes_completed : int;
+  mutable tracer : Vmm_obs.Tracer.t option;
 }
 
 let create ~engine ~costs ~mem ~targets () =
@@ -45,11 +47,14 @@ let create ~engine ~costs ~mem ~targets () =
     bytes_read = 0L;
     inject_read_errors = 0;
     read_errors = 0;
+    writes_completed = 0;
+    tracer = None;
   }
 
 let targets t = Array.length t.target_states
 
 let set_irq t f = t.irq <- f
+let set_tracer t tracer = t.tracer <- Some tracer
 
 let pattern_byte ~target ~offset = (offset + (7 * target) + 13) mod 251
 
@@ -101,6 +106,7 @@ let complete_write t target lba data =
     data;
   ts.busy <- false;
   ts.done_ <- true;
+  t.writes_completed <- t.writes_completed + 1;
   t.irq ()
 
 let start_command t cmd =
@@ -119,7 +125,15 @@ let start_command t cmd =
           let data = Phys_mem.read_bytes t.mem ~addr:dma ~len:count in
           fun () -> complete_write t target lba data
       in
-      ignore (Engine.after t.engine ~delay:(transfer_cycles t count) finish)
+      let delay = transfer_cycles t count in
+      (match t.tracer with
+       | Some tracer ->
+         let start = Engine.now t.engine in
+         Vmm_obs.Tracer.add_complete tracer ~cat:"dma"
+           ~name:(if cmd = 1 then "scsi_read" else "scsi_write")
+           ~start ~stop:(Int64.add start delay) ()
+       | None -> ());
+      ignore (Engine.after t.engine ~delay finish)
     end
   end
 
@@ -164,6 +178,11 @@ let attach t bus ~base =
 
 let reads_completed t = t.reads_completed
 let bytes_read t = t.bytes_read
+let writes_completed t = t.writes_completed
+
+let busy_targets t =
+  Array.fold_left (fun acc ts -> if ts.busy then acc + 1 else acc) 0
+    t.target_states
 
 (* Fault injection: fail the next [n] reads at the medium. *)
 let inject_read_errors t n =

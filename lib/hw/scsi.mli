@@ -34,6 +34,10 @@ val targets : t -> int
 (** [set_irq t f] wires the completion interrupt. *)
 val set_irq : t -> (unit -> unit) -> unit
 
+(** [set_tracer t tracer] — emit a ["dma"]-category span per command
+    covering its media transfer window. *)
+val set_tracer : t -> Vmm_obs.Tracer.t -> unit
+
 (** [pattern_byte ~target ~offset] is the synthetic content of an
     unwritten byte (exposed so tests and the guest can validate data). *)
 val pattern_byte : target:int -> offset:int -> int
@@ -46,6 +50,11 @@ val attach : t -> Io_bus.t -> base:int -> unit
 val reads_completed : t -> int
 
 val bytes_read : t -> int64
+val writes_completed : t -> int
+
+(** [busy_targets t] — targets with a command in flight (queue-depth
+    gauge). *)
+val busy_targets : t -> int
 
 (** {2 Fault injection} *)
 

@@ -1,0 +1,37 @@
+(** Minimal JSON tree, emitter and parser.
+
+    The observability exporters (Chrome trace events, bench telemetry)
+    need structured output and the tests need to re-read it, but the
+    project deliberately carries no external JSON dependency — this is
+    the smallest codec that round-trips what we emit.
+
+    Emission notes: [Float] values that are not finite serialize as
+    [null] (JSON has no NaN/Inf); strings are escaped per RFC 8259. The
+    parser accepts any RFC 8259 document whose numbers fit [int]/[float]
+    and decodes [\uXXXX] escapes below 0x80 directly (others become
+    ['?'] — the exporters never emit them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** [of_string s] parses one JSON document (trailing whitespace allowed;
+    trailing garbage is an error). *)
+val of_string : string -> (t, string) result
+
+(** {2 Accessors (for tests and consumers)} *)
+
+(** [member key json] — field lookup on [Obj]; [None] otherwise. *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+val to_float_opt : t -> float option
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

@@ -1,0 +1,128 @@
+module Stats = Vmm_sim.Stats
+
+type metric =
+  | M_counter of Stats.counter
+  | M_gauge of (unit -> float)
+  | M_histogram of Stats.histogram
+
+type value =
+  | Counter of int64
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      mean : float;
+      p50 : float;
+      p99 : float;
+    }
+
+type t = { table : (string, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let check_name name =
+  if not (valid_name name) then
+    invalid_arg
+      (Printf.sprintf
+         "Registry: metric name %S violates the subsystem_name_unit \
+          convention (lowercase, digits, underscores)"
+         name)
+
+let kind_mismatch name =
+  invalid_arg
+    (Printf.sprintf "Registry: %S already registered with another kind" name)
+
+let counter t name =
+  check_name name;
+  match Hashtbl.find_opt t.table name with
+  | Some (M_counter c) -> c
+  | Some _ -> kind_mismatch name
+  | None ->
+    let c = Stats.counter name in
+    Hashtbl.add t.table name (M_counter c);
+    c
+
+let gauge t name f =
+  check_name name;
+  (match Hashtbl.find_opt t.table name with
+   | Some (M_gauge _) | None -> ()
+   | Some _ -> kind_mismatch name);
+  Hashtbl.replace t.table name (M_gauge f)
+
+let int_gauge t name f = gauge t name (fun () -> float_of_int (f ()))
+
+let histogram t name ~buckets ~width =
+  check_name name;
+  match Hashtbl.find_opt t.table name with
+  | Some (M_histogram h) -> h
+  | Some _ -> kind_mismatch name
+  | None ->
+    let h = Stats.histogram ~buckets ~width in
+    Hashtbl.add t.table name (M_histogram h);
+    h
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (M_histogram h) -> Some h
+  | Some _ | None -> None
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.table []
+  |> List.sort String.compare
+
+let read = function
+  | M_counter c -> Counter (Stats.counter_value c)
+  | M_gauge f -> Gauge (f ())
+  | M_histogram h ->
+    Histogram
+      {
+        count = Stats.histogram_count h;
+        mean = Stats.histogram_mean h;
+        p50 = Stats.percentile h 50.0;
+        p99 = Stats.percentile h 99.0;
+      }
+
+let snapshot t =
+  List.map (fun name -> (name, read (Hashtbl.find t.table name))) (names t)
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let dump t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter c ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s %Ld\n" name c)
+      | Gauge g ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt_float g))
+      | Histogram { count; mean; p50; p99 } ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name count);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_mean %s\n" name (fmt_float mean));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_p50 %s\n" name (fmt_float p50));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_p99 %s\n" name (fmt_float p99)))
+    (snapshot t);
+  Buffer.contents buf
+
+let reset t =
+  Hashtbl.iter
+    (fun _ metric ->
+      match metric with
+      | M_counter c -> Stats.reset_counter c
+      | M_histogram h -> Stats.reset_histogram h
+      | M_gauge _ -> ())
+    t.table

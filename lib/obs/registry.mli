@@ -1,0 +1,69 @@
+(** Metrics registry: named counters, gauges and histograms registered
+    per subsystem, with a stable snapshot API and a Prometheus-style
+    text dump.
+
+    Naming convention: [subsystem_name_unit] in [snake_case] —
+    [scsi_reads_completed_total], [pic_delivery_latency_cycles],
+    [nic_tx_queued_frames] (see docs/OBSERVABILITY.md).  Registration is
+    idempotent: registering an existing name with the same kind returns
+    the existing instrument; a kind mismatch raises [Invalid_argument].
+
+    Counters and histograms are owned by the registry (created on
+    registration); gauges are callbacks sampled at snapshot/dump time,
+    so a subsystem can expose an internal mutable field without handing
+    out state. *)
+
+type t
+
+type value =
+  | Counter of int64
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      mean : float;
+      p50 : float;
+      p99 : float;
+    }
+
+val create : unit -> t
+
+(** [counter t name] registers (or finds) a counter. *)
+val counter : t -> string -> Vmm_sim.Stats.counter
+
+(** [gauge t name f] registers a gauge sampled via [f].  Re-registering
+    replaces the callback (a reattached subsystem supersedes the old
+    one). *)
+val gauge : t -> string -> (unit -> float) -> unit
+
+(** [int_gauge t name f] — convenience wrapper over {!gauge}. *)
+val int_gauge : t -> string -> (unit -> int) -> unit
+
+(** [histogram t name ~buckets ~width] registers (or finds) a histogram
+    covering [[0, buckets*width)] plus an overflow bucket. *)
+val histogram : t -> string -> buckets:int -> width:float -> Vmm_sim.Stats.histogram
+
+(** [find_histogram t name] — the registered histogram, if any. *)
+val find_histogram : t -> string -> Vmm_sim.Stats.histogram option
+
+(** {2 Reading} *)
+
+(** [names t] — registered names, sorted. *)
+val names : t -> string list
+
+(** [snapshot t] — every metric's current value, sorted by name.  Two
+    snapshots with no intervening activity are equal (gauges must be
+    pure reads for this to hold — theirs are). *)
+val snapshot : t -> (string * value) list
+
+(** [dump t] — Prometheus-style text exposition: [# TYPE] comment plus
+    one sample line per metric ([_count]/[_mean]/[_p50]/[_p99] lines for
+    histograms), sorted by name, trailing newline. *)
+val dump : t -> string
+
+(** {2 Reset}
+
+    [reset t] zeroes every counter and histogram.  Gauges are live
+    callbacks into subsystem state and are deliberately left alone — a
+    benchmark that wants a clean interval snapshots before and after
+    instead. *)
+val reset : t -> unit

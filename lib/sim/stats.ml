@@ -10,11 +10,53 @@ let counter_name c = c.name
 let counter_value c = c.value
 let reset_counter c = c.value <- 0L
 
-type load = { mutable busy : int64 }
+type load = {
+  mutable busy : int64;
+  mutable category : string;
+  mutable current : int64 ref; (* cache of by_cat.(category) *)
+  by_cat : (string, int64 ref) Hashtbl.t;
+}
 
-let load () = { busy = 0L }
-let note_busy l cycles = l.busy <- Int64.add l.busy cycles
+let default_category = "guest"
+
+let cat_ref l cat =
+  match Hashtbl.find_opt l.by_cat cat with
+  | Some r -> r
+  | None ->
+    let r = ref 0L in
+    Hashtbl.add l.by_cat cat r;
+    r
+
+let load () =
+  let by_cat = Hashtbl.create 16 in
+  let current = ref 0L in
+  Hashtbl.add by_cat default_category current;
+  { busy = 0L; category = default_category; current; by_cat }
+
+let note_busy l cycles =
+  l.busy <- Int64.add l.busy cycles;
+  l.current := Int64.add !(l.current) cycles
+
 let busy_cycles l = l.busy
+
+let set_category l cat =
+  if not (String.equal cat l.category) then begin
+    l.category <- cat;
+    l.current <- cat_ref l cat
+  end
+
+let category l = l.category
+
+let with_category l cat f =
+  let prev = l.category in
+  set_category l cat;
+  Fun.protect ~finally:(fun () -> set_category l prev) f
+
+let busy_by_category l =
+  Hashtbl.fold
+    (fun cat r acc -> if Int64.equal !r 0L then acc else (cat, !r) :: acc)
+    l.by_cat []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let utilization l ~elapsed =
   if Int64.compare elapsed 0L <= 0 then 0.0
@@ -22,7 +64,9 @@ let utilization l ~elapsed =
     let u = Int64.to_float l.busy /. Int64.to_float elapsed in
     if u < 0.0 then 0.0 else if u > 1.0 then 1.0 else u
 
-let reset_load l = l.busy <- 0L
+let reset_load l =
+  l.busy <- 0L;
+  Hashtbl.iter (fun _ r -> r := 0L) l.by_cat
 
 type histogram = {
   width : float;
@@ -47,6 +91,11 @@ let observe h v =
   h.counts.(index) <- h.counts.(index) + 1;
   h.total <- h.total + 1;
   h.sum <- h.sum +. v
+
+let reset_histogram h =
+  Array.fill h.counts 0 (Array.length h.counts) 0;
+  h.total <- 0;
+  h.sum <- 0.0
 
 let histogram_count h = h.total
 

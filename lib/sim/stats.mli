@@ -20,11 +20,38 @@ val reset_counter : counter -> unit
 
 type load
 
-(** [load ()] is a fresh accumulator with zero busy time. *)
+(** [load ()] is a fresh accumulator with zero busy time, attributing to
+    {!default_category}. *)
 val load : unit -> load
 
-(** [note_busy load cycles] records [cycles] of non-idle execution. *)
+(** [note_busy load cycles] records [cycles] of non-idle execution,
+    attributed to the current category. *)
 val note_busy : load -> int64 -> unit
+
+(** {2 Cycle attribution}
+
+    Every busy cycle lands in exactly one named category (the one
+    current when it is charged), so the per-category totals always sum
+    to {!busy_cycles} — the invariant the Fig 3.1 breakdown relies on.
+    The monitor switches category around its trap handlers; code that
+    never calls {!set_category} books everything to the default. *)
+
+(** ["guest"] — direct guest execution. *)
+val default_category : string
+
+(** [set_category load cat] routes subsequent busy cycles to [cat]. *)
+val set_category : load -> string -> unit
+
+(** [category load] — the current attribution category. *)
+val category : load -> string
+
+(** [with_category load cat f] runs [f] with the category switched to
+    [cat], restoring the previous category even if [f] raises. *)
+val with_category : load -> string -> (unit -> 'a) -> 'a
+
+(** [busy_by_category load] — nonzero per-category busy cycles, sorted
+    by category name.  The values sum to {!busy_cycles}. *)
+val busy_by_category : load -> (string * int64) list
 
 (** [busy_cycles load] is the accumulated busy time. *)
 val busy_cycles : load -> int64
@@ -51,5 +78,14 @@ val histogram_mean : histogram -> float
 val bucket_counts : histogram -> int array
 
 (** [percentile h p] approximates the [p]-th percentile ([0 <= p <= 100])
-    from bucket midpoints; 0 on an empty histogram. *)
+    from bucket midpoints; 0 on an empty histogram.
+
+    The overflow bucket is unbounded, so a percentile landing there is
+    reported as the midpoint of a {e nominal} extra bucket,
+    [(buckets + 0.5) * width] — an underestimate whenever real
+    observations exceed [(buckets + 1) * width].  Size histograms so the
+    percentiles you care about stay out of overflow. *)
 val percentile : histogram -> float -> float
+
+(** [reset_histogram h] zeroes every bucket, the count and the sum. *)
+val reset_histogram : histogram -> unit

@@ -5,6 +5,7 @@ type record = {
   component : string;
   severity : severity;
   message : string;
+  fields : (string * string) list;
 }
 
 type t = {
@@ -13,17 +14,34 @@ type t = {
   mutable next : int;
   mutable stored : int;
   mutable emitted : int;
+  mutable level : severity;
 }
+
+let rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
 
 let create ~capacity () =
   if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
-  { capacity; ring = Array.make capacity None; next = 0; stored = 0; emitted = 0 }
+  {
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    stored = 0;
+    emitted = 0;
+    level = Debug;
+  }
 
-let emit t ~time ~component ~severity message =
-  t.ring.(t.next) <- Some { time; component; severity; message };
-  t.next <- (t.next + 1) mod t.capacity;
-  if t.stored < t.capacity then t.stored <- t.stored + 1;
-  t.emitted <- t.emitted + 1
+let set_level t level = t.level <- level
+let level t = t.level
+
+let emit t ~time ~component ~severity ?(fields = []) message =
+  (* Below-threshold emission is the cheap no-op hot paths rely on: one
+     comparison, no allocation, no ring write, not counted. *)
+  if rank severity >= rank t.level then begin
+    t.ring.(t.next) <- Some { time; component; severity; message; fields };
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.stored < t.capacity then t.stored <- t.stored + 1;
+    t.emitted <- t.emitted + 1
+  end
 
 let records t =
   let start = (t.next - t.stored + t.capacity) mod t.capacity in
@@ -37,8 +55,12 @@ let records t =
   in
   collect (t.stored - 1) []
 
-let find t ~component =
-  List.filter (fun r -> String.equal r.component component) (records t)
+let find ?(min_severity = Debug) t ~component =
+  List.filter
+    (fun r ->
+      String.equal r.component component
+      && rank r.severity >= rank min_severity)
+    (records t)
 
 let count t = t.stored
 
@@ -59,4 +81,5 @@ let severity_to_string = function
 let pp_record fmt r =
   Format.fprintf fmt "[%Ld] %s %s: %s" r.time r.component
     (severity_to_string r.severity)
-    r.message
+    r.message;
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%s" k v) r.fields

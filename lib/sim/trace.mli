@@ -1,8 +1,13 @@
 (** Bounded in-memory event trace.
 
     Components append tagged records (device name, severity, message,
-    timestamp); the ring keeps the most recent [capacity] entries.  Tests and
-    the debugger use it to assert on event ordering without scraping logs. *)
+    timestamp, optional structured fields); the ring keeps the most
+    recent [capacity] entries.  Tests and the debugger use it to assert
+    on event ordering without scraping logs.
+
+    A minimum-severity threshold makes low-severity emission a cheap
+    no-op on hot paths: a filtered [emit] is one comparison — nothing is
+    stored or counted. *)
 
 type severity = Debug | Info | Warn | Error
 
@@ -11,32 +16,52 @@ type record = {
   component : string;
   severity : severity;
   message : string;
+  fields : (string * string) list;
+      (** structured key/value context, e.g. [("port", "0x2C0")] *)
 }
 
 type t
 
-(** [create ~capacity ()] holds at most [capacity] records (>= 1). *)
+(** [create ~capacity ()] holds at most [capacity] records (>= 1) and
+    starts with the threshold at [Debug] (everything recorded). *)
 val create : capacity:int -> unit -> t
 
-(** [emit t ~time ~component ~severity message] appends a record. *)
-val emit : t -> time:int64 -> component:string -> severity:severity -> string -> unit
+(** [set_level t level] — records below [level] are discarded at the
+    emission site from now on. *)
+val set_level : t -> severity -> unit
+
+val level : t -> severity
+
+(** [emit t ~time ~component ~severity ?fields message] appends a record
+    if [severity] is at or above the threshold. *)
+val emit :
+  t ->
+  time:int64 ->
+  component:string ->
+  severity:severity ->
+  ?fields:(string * string) list ->
+  string ->
+  unit
 
 (** [records t] is the retained history, oldest first. *)
 val records : t -> record list
 
-(** [find t ~component] filters retained records by component, oldest
+(** [find ?min_severity t ~component] filters retained records by
+    component and severity (default [Debug]: component only), oldest
     first. *)
-val find : t -> component:string -> record list
+val find : ?min_severity:severity -> t -> component:string -> record list
 
 (** [count t] is the number of retained records. *)
 val count : t -> int
 
-(** [total t] counts every record ever emitted, including evicted ones. *)
+(** [total t] counts every record ever emitted, including evicted ones
+    (but not ones filtered by the severity threshold). *)
 val total : t -> int
 
 val clear : t -> unit
 
 val severity_to_string : severity -> string
 
-(** [pp_record fmt r] prints ["\[time\] component level: message"]. *)
+(** [pp_record fmt r] prints ["\[time\] component level: message"]
+    followed by [" key=value"] per structured field. *)
 val pp_record : Format.formatter -> record -> unit

@@ -220,6 +220,57 @@ let test_stats_histogram () =
     (let p = Stats.percentile h 50.0 in
      p >= 1.0 && p <= 2.0)
 
+let test_stats_percentile_pins () =
+  let empty = Stats.histogram ~buckets:4 ~width:10.0 in
+  check (Alcotest.float 1e-9) "empty histogram" 0.0
+    (Stats.percentile empty 50.0);
+  let one = Stats.histogram ~buckets:4 ~width:10.0 in
+  Stats.observe one 17.0;
+  (* A single sample reports as its bucket's midpoint: 17 lands in
+     [10, 20), midpoint 15. *)
+  check (Alcotest.float 1e-9) "one sample -> bucket midpoint" 15.0
+    (Stats.percentile one 50.0);
+  check (Alcotest.float 1e-9) "every percentile agrees" 15.0
+    (Stats.percentile one 99.0);
+  let over = Stats.histogram ~buckets:4 ~width:10.0 in
+  Stats.observe over 1000.0;
+  (* Overflow reports the documented nominal midpoint (buckets + 0.5) *
+     width — an underestimate, but a pinned one. *)
+  check (Alcotest.float 1e-9) "overflow -> nominal midpoint" 45.0
+    (Stats.percentile over 50.0)
+
+let test_stats_reset_histogram () =
+  let h = Stats.histogram ~buckets:4 ~width:10.0 in
+  List.iter (Stats.observe h) [ 5.0; 15.0; 99.0 ];
+  Stats.reset_histogram h;
+  check int "count zeroed" 0 (Stats.histogram_count h);
+  check int "buckets zeroed" 0 (Array.fold_left ( + ) 0 (Stats.bucket_counts h));
+  check (Alcotest.float 1e-9) "percentile of empty" 0.0
+    (Stats.percentile h 50.0)
+
+let test_stats_categories () =
+  let l = Stats.load () in
+  Stats.note_busy l 10L;
+  Stats.with_category l "mon_cpu" (fun () ->
+      Stats.note_busy l 5L;
+      Stats.with_category l "irq" (fun () -> Stats.note_busy l 3L);
+      Stats.note_busy l 2L);
+  check Alcotest.string "restored" Stats.default_category (Stats.category l);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int64))
+    "per-category totals"
+    [ ("guest", 10L); ("irq", 3L); ("mon_cpu", 7L) ]
+    (Stats.busy_by_category l);
+  check Alcotest.int64 "categories sum to busy" (Stats.busy_cycles l)
+    (List.fold_left
+       (fun acc (_, v) -> Int64.add acc v)
+       0L (Stats.busy_by_category l));
+  (* exception safety: category restored even when the body raises *)
+  (try Stats.with_category l "stub" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.string "restored after raise" Stats.default_category
+    (Stats.category l)
+
 (* -- Trace -- *)
 
 let test_trace_ring () =
@@ -240,6 +291,53 @@ let test_trace_find () =
   Trace.emit t ~time:2L ~component:"pic" ~severity:Trace.Warn "mask";
   Trace.emit t ~time:3L ~component:"nic" ~severity:Trace.Error "drop";
   check int "filtered" 2 (List.length (Trace.find t ~component:"nic"))
+
+let test_trace_level_filter () =
+  let t = Trace.create ~capacity:10 () in
+  Trace.set_level t Trace.Info;
+  Trace.emit t ~time:1L ~component:"dev" ~severity:Trace.Debug "chatty";
+  Trace.emit t ~time:2L ~component:"dev" ~severity:Trace.Info "kept";
+  Trace.emit t ~time:3L ~component:"dev" ~severity:Trace.Error "kept too";
+  (* Below-threshold emission is a no-op: not stored, not even counted. *)
+  check int "stored" 2 (Trace.count t);
+  check int "not counted either" 2 (Trace.total t);
+  Trace.set_level t Trace.Debug;
+  Trace.emit t ~time:4L ~component:"dev" ~severity:Trace.Debug "now kept";
+  check int "debug kept after lowering" 3 (Trace.count t)
+
+let test_trace_find_min_severity () =
+  let t = Trace.create ~capacity:10 () in
+  Trace.emit t ~time:1L ~component:"nic" ~severity:Trace.Debug "d";
+  Trace.emit t ~time:2L ~component:"nic" ~severity:Trace.Warn "w";
+  Trace.emit t ~time:3L ~component:"nic" ~severity:Trace.Error "e";
+  Trace.emit t ~time:4L ~component:"pic" ~severity:Trace.Error "other";
+  check int "warn and up" 2
+    (List.length (Trace.find ~min_severity:Trace.Warn t ~component:"nic"));
+  check int "unfiltered" 3 (List.length (Trace.find t ~component:"nic"))
+
+let test_trace_fields () =
+  let t = Trace.create ~capacity:10 () in
+  Trace.emit t ~time:1L ~component:"mon" ~severity:Trace.Info
+    ~fields:[ ("vector", "32"); ("pc", "0x1000") ]
+    "reflect";
+  match Trace.records t with
+  | [ r ] ->
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+      "fields kept"
+      [ ("vector", "32"); ("pc", "0x1000") ]
+      r.Trace.fields;
+    let rendered = Format.asprintf "%a" Trace.pp_record r in
+    check bool "fields rendered" true
+      (let contains s sub =
+         let n = String.length sub in
+         let rec go i =
+           i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+         in
+         go 0
+       in
+       contains rendered "vector=32" && contains rendered "pc=0x1000")
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -277,10 +375,19 @@ let () =
           Alcotest.test_case "counter" `Quick test_stats_counter;
           Alcotest.test_case "load" `Quick test_stats_load;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "percentile pins" `Quick
+            test_stats_percentile_pins;
+          Alcotest.test_case "reset histogram" `Quick
+            test_stats_reset_histogram;
+          Alcotest.test_case "cycle categories" `Quick test_stats_categories;
         ] );
       ( "trace",
         [
           Alcotest.test_case "ring eviction" `Quick test_trace_ring;
           Alcotest.test_case "find by component" `Quick test_trace_find;
+          Alcotest.test_case "severity filter" `Quick test_trace_level_filter;
+          Alcotest.test_case "find min severity" `Quick
+            test_trace_find_min_severity;
+          Alcotest.test_case "structured fields" `Quick test_trace_fields;
         ] );
     ]
