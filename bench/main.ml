@@ -524,6 +524,86 @@ let ablation_segment () =
     [ 16; 32; 64; 128; 256 ]
 
 (* ---------------------------------------------------------------- *)
+(* sim-speed — host-side throughput of the simulator itself.        *)
+(* ---------------------------------------------------------------- *)
+
+(* Simulated-cycles-per-host-second on the Fig 3.1 workload.  Unlike the
+   experiments above, which measure *simulated* quantities, this target
+   times the interpreter with the host clock so the fast path's effect
+   (and any future regression) is visible in CI.  Knobs:
+     BENCH_SIMSPEED_SIM_S    simulated seconds per system (default 0.2)
+     BENCH_SIMSPEED_MIN_CPS  fail (exit 1) if the lightweight-VMM run
+                             falls below this many sim cycles per host
+                             second *)
+let sim_speed () =
+  section
+    "sim-speed -- simulated cycles per host second (Fig 3.1 workload, 100 Mbps)";
+  let sim_s =
+    match Sys.getenv_opt "BENCH_SIMSPEED_SIM_S" with
+    | Some s -> (try float_of_string (String.trim s) with _ -> 0.2)
+    | None -> 0.2
+  in
+  let measure sys =
+    let config = Kernel.default_config ~rate_mbps:100.0 in
+    let ctx, _program = Workload.prepare sys ~config in
+    let machine = Workload.machine_of ctx in
+    Machine.run_seconds machine 0.05 (* warmup *);
+    let cpu = Machine.cpu machine in
+    let c0 = Machine.now machine in
+    let i0 = Cpu.instructions_retired cpu in
+    let h0 = Unix.gettimeofday () in
+    Machine.run_seconds machine sim_s;
+    let host_s = Unix.gettimeofday () -. h0 in
+    let cycles = Int64.sub (Machine.now machine) c0 in
+    let instrs = Int64.sub (Cpu.instructions_retired cpu) i0 in
+    let cps = Int64.to_float cycles /. host_s in
+    let mips = Int64.to_float instrs /. host_s /. 1e6 in
+    Printf.printf "%-18s %12.3f host_s %10.1f Mcycles/host_s %8.2f host-MIPS\n"
+      (Workload.system_name sys)
+      host_s (cps /. 1e6) mips;
+    ( Workload.system_name sys,
+      Json.Obj
+        [
+          ("system", Json.String (Workload.system_name sys));
+          ("sim_seconds", Json.Float sim_s);
+          ("host_seconds", Json.Float host_s);
+          ("sim_cycles", Json.Int (Int64.to_int cycles));
+          ("instructions", Json.Int (Int64.to_int instrs));
+          ("sim_cycles_per_host_second", Json.Float cps);
+          ("host_mips", Json.Float mips);
+          ( "icache",
+            Json.Obj
+              [
+                ("hits", Json.Int (Cpu.icache_hits cpu));
+                ("misses", Json.Int (Cpu.icache_misses cpu));
+                ("invalidations", Json.Int (Cpu.icache_invalidations cpu));
+              ] );
+        ],
+      cps )
+  in
+  let results =
+    List.map measure [ Workload.Bare_metal; Workload.Lightweight_vmm ]
+  in
+  write_json "BENCH_simspeed.json"
+    (Json.Obj
+       (run_header "sim-speed"
+       @ [ ("workloads", Json.List (List.map (fun (_, j, _) -> j) results)) ]));
+  match Sys.getenv_opt "BENCH_SIMSPEED_MIN_CPS" with
+  | None -> ()
+  | Some floor_s ->
+    let floor = try float_of_string (String.trim floor_s) with _ -> 0.0 in
+    List.iter
+      (fun (name, _, cps) ->
+        if name = Workload.system_name Workload.Lightweight_vmm && cps < floor
+        then begin
+          Printf.eprintf
+            "sim-speed: %s at %.0f cycles/host_s is below the floor %.0f\n"
+            name cps floor;
+          exit 1
+        end)
+      results
+
+(* ---------------------------------------------------------------- *)
 (* M1 — bechamel microbenchmarks.                                   *)
 (* ---------------------------------------------------------------- *)
 
@@ -613,6 +693,7 @@ let targets =
     ("ablation-passthrough", ablation_passthrough);
     ("ablation-usermode", ablation_usermode);
     ("ablation-segment", ablation_segment);
+    ("sim-speed", sim_speed);
     ("micro", micro);
   ]
 

@@ -142,9 +142,8 @@ let guest_read t ~addr ~len =
         let room = min (len - pos) (Mmu.page_size - (vaddr land 0xFFF)) in
         match translate_guest t vaddr with
         | Some paddr ->
-          Bytes.blit
-            (Phys_mem.read_bytes (Machine.mem t.machine) ~addr:paddr ~len:room)
-            0 buf pos room;
+          Phys_mem.blit_to_bytes (Machine.mem t.machine) ~addr:paddr buf
+            ~off:pos ~len:room;
           go (pos + room)
         | None -> None
     in

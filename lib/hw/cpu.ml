@@ -29,6 +29,21 @@ exception Panic of string
 
 exception Fault_exn of fault_kind
 
+(* Decoded-instruction cache slot: physically tagged, validated against the
+   memory write generations captured at fill time and the CPU-wide flush
+   generation.  An 8-byte instruction can touch two generation granules;
+   the sum of both granule generations is stored — generations only grow,
+   so any store under either granule makes the sum diverge for good. *)
+type icache_slot = {
+  mutable itag : int; (* physical address, -1 = invalid *)
+  mutable igen : int; (* summed Phys_mem granule generations at fill *)
+  mutable iflush : int; (* icache_gen at fill *)
+  mutable idecoded : Isa.instr;
+}
+
+let icache_slots = 2048
+let icache_mask = icache_slots - 1
+
 type t = {
   mem : Phys_mem.t;
   bus : Io_bus.t;
@@ -57,6 +72,11 @@ type t = {
   mutable irqs_taken : int64;
   mutable faults : int64;
   fetch_buf : Bytes.t;
+  icache : icache_slot array;
+  mutable icache_gen : int;
+  mutable ic_hits : int;
+  mutable ic_misses : int;
+  mutable ic_inval : int;
 }
 
 let table_entries = 64
@@ -90,6 +110,13 @@ let create ~mem ~bus ~engine ~costs ~load () =
     irqs_taken = 0L;
     faults = 0L;
     fetch_buf = Bytes.make Isa.width '\000';
+    icache =
+      Array.init icache_slots (fun _ ->
+          { itag = -1; igen = 0; iflush = 0; idecoded = Isa.Nop });
+    icache_gen = 0;
+    ic_hits = 0;
+    ic_misses = 0;
+    ic_inval = 0;
   }
 
 let set_pic t ~ack ~pending =
@@ -132,7 +159,12 @@ let iht_base t = t.iht
 let set_iht_base t v = t.iht <- Word.mask v
 let ptb t = t.ptb
 
-let flush_tlb t = Mmu.flush t.mmu
+let flush_tlb t =
+  Mmu.flush t.mmu;
+  (* O(1) whole-icache drop: entries filled under an older generation stop
+     validating.  The monitor flushes on every shadow-table update, so this
+     must not walk the array. *)
+  t.icache_gen <- t.icache_gen + 1
 
 let set_ptb t v =
   t.ptb <- Word.mask v;
@@ -338,7 +370,26 @@ let fetch t =
   let pc = t.pc in
   if pc land 0xFFF <= Mmu.page_size - Isa.width then begin
     let paddr = translate t ~access:Mmu.Exec ~cpl:t.cpl pc in
-    Isa.read t.mem paddr
+    let slot = Array.unsafe_get t.icache ((paddr lsr 3) land icache_mask) in
+    let pgen =
+      Phys_mem.generation t.mem paddr
+      + Phys_mem.generation t.mem (paddr + (Isa.width - 1))
+    in
+    if slot.itag = paddr && slot.iflush = t.icache_gen && slot.igen = pgen
+    then begin
+      t.ic_hits <- t.ic_hits + 1;
+      slot.idecoded
+    end
+    else begin
+      if slot.itag = paddr then t.ic_inval <- t.ic_inval + 1;
+      t.ic_misses <- t.ic_misses + 1;
+      let instr = Isa.read t.mem paddr in
+      slot.itag <- paddr;
+      slot.igen <- pgen;
+      slot.iflush <- t.icache_gen;
+      slot.idecoded <- instr;
+      instr
+    end
   end
   else begin
     for i = 0 to Isa.width - 1 do
@@ -394,11 +445,7 @@ let checksum_block t ~addr ~len =
       let room = Mmu.page_size - (addr land 0xFFF) in
       let chunk = min len room in
       let paddr = translate t ~access:Mmu.Read ~cpl:t.cpl addr in
-      for i = 0 to chunk - 1 do
-        let b = Phys_mem.read_u8 t.mem (paddr + i) in
-        if (!index + i) land 1 = 0 then sum := !sum + b
-        else sum := !sum + (b lsl 8)
-      done;
+      sum := Phys_mem.checksum_add t.mem ~addr:paddr ~len:chunk ~index:!index !sum;
       index := !index + chunk;
       go (Word.add addr chunk) (len - chunk)
     end
@@ -617,8 +664,39 @@ let step t =
   | Isa.Decode_error { opcode; _ } ->
     dispatch_fault t (Undefined opcode) ~return_pc:start_pc
 
+(* Tight stepping loop between event horizons.  The caller has already
+   dispatched due events and polled once, so the first action is a step;
+   the loop preserves the canonical dispatch/poll/step interleaving by
+   construction: while the clock stays short of [horizon] and nothing new
+   is scheduled ([wake] unchanged), a dispatch would be a no-op, so
+   step/poll pairs are exactly what the unbatched loop would execute.  Any
+   exit condition returns control to the dispatcher *between* a step and
+   the next poll — the same point where the unbatched loop runs its
+   dispatch — so cycle accounting, trap ordering and IRQ delivery points
+   are bit-identical. *)
+let run_batch t ~horizon ~wake =
+  let engine = t.engine in
+  let continue = ref true in
+  while !continue do
+    step t;
+    if
+      t.halted || t.stopped
+      || Int64.compare (Engine.now engine) horizon >= 0
+      || Engine.wake_generation engine <> wake
+    then continue := false
+    else begin
+      poll_interrupts t;
+      (* A hook running off the poll may halt or stop the CPU; the
+         unbatched loop would idle-skip here, so hand back. *)
+      if t.halted || t.stopped then continue := false
+    end
+  done
+
 (* -- Introspection -- *)
 
+let icache_hits t = t.ic_hits
+let icache_misses t = t.ic_misses
+let icache_invalidations t = t.ic_inval
 let instructions_retired t = t.retired
 let interrupts_taken t = t.irqs_taken
 let faults_taken t = t.faults

@@ -146,6 +146,15 @@ val poll_interrupts : t -> unit
     returns normally unless the machine panics. *)
 val step : t -> unit
 
+(** [run_batch t ~horizon ~wake] steps the CPU in a tight loop until the
+    clock reaches [horizon], the engine's wake generation moves past
+    [wake] (something scheduled an event), or the CPU halts/stops.  The
+    caller must have dispatched due events and polled interrupts
+    immediately before; the interleaving then matches step-at-a-time
+    execution exactly.  Interrupts are still polled between instructions
+    inside the batch. *)
+val run_batch : t -> horizon:int64 -> wake:int -> unit
+
 (** [deliver t ~table ~vector ~error ~return_pc] runs the interrupt-frame
     protocol against an arbitrary table base — the hardware path uses the
     CPU's own table; the monitor uses it to reflect events into the guest's
@@ -164,6 +173,9 @@ val read_instr : t -> int -> Isa.instr
 
 (** {2 Introspection} *)
 
+val icache_hits : t -> int
+val icache_misses : t -> int
+val icache_invalidations : t -> int
 val instructions_retired : t -> int64
 val interrupts_taken : t -> int64
 val faults_taken : t -> int64

@@ -171,17 +171,7 @@ let encode i =
   Bytes.set buf 7 (Char.chr ((imm lsr 24) land 0xFF));
   buf
 
-let decode ~addr b ~off =
-  let opcode = Char.code (Bytes.get b off) in
-  let ab = Char.code (Bytes.get b (off + 1)) in
-  let a = ab lsr 4 and bb = ab land 0xF in
-  let c = Char.code (Bytes.get b (off + 2)) land 0xF in
-  let imm =
-    Char.code (Bytes.get b (off + 4))
-    lor (Char.code (Bytes.get b (off + 5)) lsl 8)
-    lor (Char.code (Bytes.get b (off + 6)) lsl 16)
-    lor (Char.code (Bytes.get b (off + 7)) lsl 24)
-  in
+let decode_fields ~addr ~opcode ~a ~bb ~c ~imm =
   match opcode with
   | o when o = op_nop -> Nop
   | o when o = op_hlt -> Hlt
@@ -233,9 +223,27 @@ let decode ~addr b ~off =
   | o when o = op_brk -> Brk
   | opcode -> raise (Decode_error { addr; opcode })
 
+let decode ~addr b ~off =
+  let opcode = Char.code (Bytes.get b off) in
+  let ab = Char.code (Bytes.get b (off + 1)) in
+  let a = ab lsr 4 and bb = ab land 0xF in
+  let c = Char.code (Bytes.get b (off + 2)) land 0xF in
+  let imm =
+    Char.code (Bytes.get b (off + 4))
+    lor (Char.code (Bytes.get b (off + 5)) lsl 8)
+    lor (Char.code (Bytes.get b (off + 6)) lsl 16)
+    lor (Char.code (Bytes.get b (off + 7)) lsl 24)
+  in
+  decode_fields ~addr ~opcode ~a ~bb ~c ~imm
+
+(* Decode from two aligned word reads — no intermediate buffer, so the
+   fetch path allocates nothing beyond the [instr] value itself. *)
 let read mem addr =
-  let b = Phys_mem.read_bytes mem ~addr ~len:width in
-  decode ~addr b ~off:0
+  let lo = Phys_mem.read_u32 mem addr in
+  let imm = Phys_mem.read_u32 mem (addr + 4) in
+  let ab = (lo lsr 8) land 0xFF in
+  decode_fields ~addr ~opcode:(lo land 0xFF) ~a:(ab lsr 4) ~bb:(ab land 0xF)
+    ~c:((lo lsr 16) land 0xF) ~imm
 
 let write mem addr i = Phys_mem.load_bytes mem ~addr (encode i)
 

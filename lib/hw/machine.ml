@@ -100,6 +100,12 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
       Scsi.read_errors scsi);
   Registry.int_gauge registry "scsi_busy_targets" (fun () ->
       Scsi.busy_targets scsi);
+  Registry.int_gauge registry "cpu_icache_hits_total" (fun () ->
+      Cpu.icache_hits cpu);
+  Registry.int_gauge registry "cpu_icache_misses_total" (fun () ->
+      Cpu.icache_misses cpu);
+  Registry.int_gauge registry "cpu_icache_invalidations_total" (fun () ->
+      Cpu.icache_invalidations cpu);
   Registry.gauge registry "cpu_busy_cycles_total" (fun () ->
       Int64.to_float (Stats.busy_cycles load));
   Registry.gauge registry "sim_now_cycles" (fun () ->
@@ -160,7 +166,18 @@ let run_until t ~time =
         Engine.run_until t.engine ~time:target
       | None -> Engine.run_until t.engine ~time
     end
-    else Cpu.step t.cpu
+    else begin
+      (* Event-horizon batch: nothing can fire before the next scheduled
+         event, so step in a tight loop up to it (or to [time]); the wake
+         generation snaps the batch shut if an instruction schedules
+         something new (device kick, monitor timer). *)
+      let horizon =
+        match Engine.next_event_time t.engine with
+        | Some te when Int64.compare te time < 0 -> te
+        | Some _ | None -> time
+      in
+      Cpu.run_batch t.cpu ~horizon ~wake:(Engine.wake_generation t.engine)
+    end
   done
 
 let run_for t ~cycles = run_until t ~time:(Int64.add (now t) cycles)

@@ -38,6 +38,7 @@ type tlb_entry = {
   mutable writable : bool;
   mutable user : bool;
   mutable pte_addr : int;
+  mutable dirty : bool; (* PTE dirty bit already set via this entry *)
 }
 
 type t = {
@@ -54,7 +55,14 @@ let create costs =
   {
     tlb =
       Array.init tlb_slots (fun _ ->
-          { vpn = -1; frame = 0; writable = false; user = false; pte_addr = 0 });
+          {
+            vpn = -1;
+            frame = 0;
+            writable = false;
+            user = false;
+            pte_addr = 0;
+            dirty = false;
+          });
     tlb_mask = tlb_slots - 1;
     costs;
     hits = 0L;
@@ -91,9 +99,14 @@ let translate t mem ~ptb ~cpl access vaddr =
     if entry.vpn = vpn then begin
       t.hits <- Int64.add t.hits 1L;
       check_perms ~cpl ~access ~writable:entry.writable ~user:entry.user ~vaddr;
-      if access = Write then begin
+      (* Write-hit fast path: once this entry has set the PTE dirty bit,
+         later write hits skip the PTE read-modify-write entirely.  A flush
+         (LPTB/TLBFLUSH) drops the entry, so table edits behave as on real
+         hardware, where stale dirty state also requires a flush. *)
+      if access = Write && not entry.dirty then begin
         let pte = Phys_mem.read_u32 mem entry.pte_addr in
-        Phys_mem.write_u32 mem entry.pte_addr (pte lor pte_dirty)
+        Phys_mem.write_u32 mem entry.pte_addr (pte lor pte_dirty);
+        entry.dirty <- true
       end;
       (entry.frame lor (vaddr land 0xFFF), 0)
     end
@@ -112,6 +125,7 @@ let translate t mem ~ptb ~cpl access vaddr =
       entry.writable <- writable;
       entry.user <- user;
       entry.pte_addr <- pte_addr;
+      entry.dirty <- access = Write;
       (frame_of pte lor (vaddr land 0xFFF), t.costs.tlb_miss)
     end
   end

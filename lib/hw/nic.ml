@@ -18,6 +18,8 @@ type t = {
   mutable bytes_sent : int64;
   mutable irq : unit -> unit;
   mutable on_frame : bytes -> unit;
+  mutable has_consumer : bool;
+  pool : Bytes.t Stack.t; (* recycled TX frame buffers, each mtu bytes *)
   rx : bytes Queue.t;
   mutable rx_addr : int;
   mutable tx_stalls : int;
@@ -41,6 +43,8 @@ let create ~engine ~costs ~mem () =
     bytes_sent = 0L;
     irq = (fun () -> ());
     on_frame = (fun _ -> ());
+    has_consumer = false;
+    pool = Stack.create ();
     rx = Queue.create ();
     rx_addr = 0;
     tx_stalls = 0;
@@ -49,7 +53,10 @@ let create ~engine ~costs ~mem () =
   }
 
 let set_irq t f = t.irq <- f
-let set_on_frame t f = t.on_frame <- f
+
+let set_on_frame t f =
+  t.on_frame <- f;
+  t.has_consumer <- true
 let set_tracer t tracer = t.tracer <- Some tracer
 
 let serialization_cycles t len =
@@ -65,14 +72,22 @@ let send t =
     t.overflow_count <- t.overflow_count + 1
   end
   else begin
-    (* DMA the frame out immediately; serialization happens on the wire. *)
-    let frame = Phys_mem.read_bytes t.mem ~addr:t.tx_addr ~len:t.tx_len in
+    (* DMA the frame out immediately into a recycled buffer; serialization
+       happens on the wire.  The ring bounds in-flight frames, so the pool
+       stays at most [tx_ring_slots] buffers deep. *)
+    let len = t.tx_len in
+    let buf =
+      match Stack.pop_opt t.pool with
+      | Some b -> b
+      | None -> Bytes.create mtu
+    in
+    Phys_mem.blit_to_bytes t.mem ~addr:t.tx_addr buf ~off:0 ~len;
     t.queued <- t.queued + 1;
     let now = Engine.now t.engine in
     let start =
       if Int64.compare t.wire_busy_until now > 0 then t.wire_busy_until else now
     in
-    let done_at = Int64.add start (serialization_cycles t (Bytes.length frame)) in
+    let done_at = Int64.add start (serialization_cycles t len) in
     t.wire_busy_until <- done_at;
     (match t.tracer with
      | Some tracer ->
@@ -84,8 +99,11 @@ let send t =
            t.queued <- t.queued - 1;
            t.completions <- t.completions + 1;
            t.frames_sent <- t.frames_sent + 1;
-           t.bytes_sent <- Int64.add t.bytes_sent (Int64.of_int (Bytes.length frame));
-           t.on_frame frame;
+           t.bytes_sent <- Int64.add t.bytes_sent (Int64.of_int len);
+           (* Consumers may retain the frame, so they get a right-sized
+              copy; benches never register one and pay no allocation. *)
+           if t.has_consumer then t.on_frame (Bytes.sub buf 0 len);
+           Stack.push buf t.pool;
            t.irq ()))
   end
 

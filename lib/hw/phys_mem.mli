@@ -13,6 +13,22 @@ val create : size:int -> t
 
 val size : t -> int
 
+(** {2 Write generations}
+
+    Every store bumps a generation counter for each [1 lsl granule_bits]-
+    byte granule it touches.  Physically tagged caches — the CPU's
+    decoded-instruction cache — validate an entry by comparing the
+    generation captured at fill time against {!generation}, so guest
+    stores, DMA, breakpoint patching and program loading all invalidate
+    without explicit hooks.  Granules are finer than MMU pages so data
+    kept adjacent to code does not thrash the instruction cache. *)
+
+val granule_bits : int
+
+(** [generation t addr] is the current write generation of the granule
+    containing physical address [addr] (which must be in range). *)
+val generation : t -> int -> int
+
 (** 8-bit access; value in [0, 255]. *)
 val read_u8 : t -> int -> int
 
@@ -34,6 +50,16 @@ val load_bytes : t -> addr:int -> bytes -> unit
 (** [read_bytes t ~addr ~len] copies a region out. *)
 val read_bytes : t -> addr:int -> len:int -> bytes
 
+(** [blit_to_bytes t ~addr dst ~off ~len] copies a region out into a
+    caller-supplied buffer — the allocation-free form of {!read_bytes}
+    used by the DMA device models. *)
+val blit_to_bytes : t -> addr:int -> bytes -> off:int -> len:int -> unit
+
+(** [write_bytes t ~addr src ~off ~len] copies [len] bytes of [src]
+    starting at [off] into memory at [addr] — the counterpart of
+    {!blit_to_bytes} for device-to-memory DMA. *)
+val write_bytes : t -> addr:int -> bytes -> off:int -> len:int -> unit
+
 (** [blit t ~src ~dst ~len] copies within physical memory (used by the DMA
     engine and the COPY instruction); handles overlap like [Bytes.blit]. *)
 val blit : t -> src:int -> dst:int -> len:int -> unit
@@ -41,6 +67,12 @@ val blit : t -> src:int -> dst:int -> len:int -> unit
 (** [checksum t ~addr ~len] is the ones'-complement 16-bit sum used by the
     guest's UDP stack (and by tests to validate transmitted frames). *)
 val checksum : t -> addr:int -> len:int -> int
+
+(** [checksum_add t ~addr ~len ~index sum] accumulates the region into a
+    running ones'-complement sum, where [index] is the byte offset of
+    [addr] within the overall message (it fixes 16-bit pairing parity).
+    Fold the result with [checksum]-style carry wrapping when done. *)
+val checksum_add : t -> addr:int -> len:int -> index:int -> int -> int
 
 (** [fill t ~addr ~len v] sets a region to byte [v]. *)
 val fill : t -> addr:int -> len:int -> int -> unit

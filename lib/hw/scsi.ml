@@ -5,7 +5,8 @@ let sector_size = 512
 type target_state = {
   mutable busy : bool;
   mutable done_ : bool;
-  written : (int, int) Hashtbl.t; (* byte offset -> value *)
+  sectors : (int, Bytes.t) Hashtbl.t; (* sector index -> sector_size block *)
+  mutable staging : Bytes.t; (* reusable write-command latch buffer *)
 }
 
 type t = {
@@ -36,7 +37,12 @@ let create ~engine ~costs ~mem ~targets () =
     mem;
     target_states =
       Array.init targets (fun _ ->
-          { busy = false; done_ = false; written = Hashtbl.create 64 });
+          {
+            busy = false;
+            done_ = false;
+            sectors = Hashtbl.create 64;
+            staging = Bytes.create 0;
+          });
     sel_target = 0;
     sel_lba = 0;
     sel_count = 0;
@@ -57,6 +63,27 @@ let set_irq t f = t.irq <- f
 let set_tracer t tracer = t.tracer <- Some tracer
 
 let pattern_byte ~target ~offset = (offset + (7 * target) + 13) mod 251
+
+(* The pattern has period 251, so any run of up to a sector is a contiguous
+   slice of this table: byte [offset] of target [tg] is
+   [pattern_table.((offset + 7*tg + 13) mod 251 + k)] for consecutive [k].
+   That turns synthetic-medium reads into blits instead of per-byte math. *)
+let pattern_table =
+  Bytes.init (251 + sector_size) (fun j -> Char.chr (j mod 251))
+
+let pattern_start ~target ~offset = (offset + (7 * target) + 13) mod 251
+
+(* Backing block for one sector, created on first write and pre-filled with
+   the synthetic pattern so partially written sectors read back exactly as
+   the per-byte store did. *)
+let sector_block ~target ts sector =
+  match Hashtbl.find_opt ts.sectors sector with
+  | Some b -> b
+  | None ->
+    let j0 = pattern_start ~target ~offset:(sector * sector_size) in
+    let b = Bytes.sub pattern_table j0 sector_size in
+    Hashtbl.add ts.sectors sector b;
+    b
 
 let transfer_cycles t bytes =
   let seconds =
@@ -80,13 +107,19 @@ let complete_read t target lba count dma =
   end
   else begin
   let base = lba * sector_size in
-  for i = 0 to count - 1 do
-    let v =
-      match Hashtbl.find_opt ts.written (base + i) with
-      | Some v -> v
-      | None -> pattern_byte ~target ~offset:(base + i)
-    in
-    Phys_mem.write_u8 t.mem (dma + i) v
+  let pos = ref 0 in
+  while !pos < count do
+    let off = base + !pos in
+    let sector = off / sector_size in
+    let s_off = off land (sector_size - 1) in
+    let chunk = min (count - !pos) (sector_size - s_off) in
+    (match Hashtbl.find_opt ts.sectors sector with
+     | Some b -> Phys_mem.write_bytes t.mem ~addr:(dma + !pos) b ~off:s_off ~len:chunk
+     | None ->
+       let j0 = pattern_start ~target ~offset:off in
+       Phys_mem.write_bytes t.mem ~addr:(dma + !pos) pattern_table ~off:j0
+         ~len:chunk);
+    pos := !pos + chunk
   done;
   ts.busy <- false;
   ts.done_ <- true;
@@ -98,12 +131,18 @@ let complete_read t target lba count dma =
 (* Write data is latched when the command is issued (the controller DMAs
    it out immediately); completion only signals that the medium has it.
    This keeps a single staging buffer in the guest race-free. *)
-let complete_write t target lba data =
+let complete_write t target lba count =
   let ts = t.target_states.(target) in
   let base = lba * sector_size in
-  Bytes.iteri
-    (fun i byte -> Hashtbl.replace ts.written (base + i) (Char.code byte))
-    data;
+  let pos = ref 0 in
+  while !pos < count do
+    let off = base + !pos in
+    let sector = off / sector_size in
+    let s_off = off land (sector_size - 1) in
+    let chunk = min (count - !pos) (sector_size - s_off) in
+    Bytes.blit ts.staging !pos (sector_block ~target ts sector) s_off chunk;
+    pos := !pos + chunk
+  done;
   ts.busy <- false;
   ts.done_ <- true;
   t.writes_completed <- t.writes_completed + 1;
@@ -122,8 +161,12 @@ let start_command t cmd =
         match cmd with
         | 1 -> fun () -> complete_read t target lba count dma
         | _ ->
-          let data = Phys_mem.read_bytes t.mem ~addr:dma ~len:count in
-          fun () -> complete_write t target lba data
+          (* Latch outgoing data into the target's staging buffer now; the
+             [busy] guard keeps it exclusive until completion. *)
+          if Bytes.length ts.staging < count then
+            ts.staging <- Bytes.create count;
+          Phys_mem.blit_to_bytes t.mem ~addr:dma ts.staging ~off:0 ~len:count;
+          fun () -> complete_write t target lba count
       in
       let delay = transfer_cycles t count in
       (match t.tracer with

@@ -1,11 +1,14 @@
 type t = {
   mutable clock : int64;
   queue : (unit -> unit) Event_queue.t;
+  mutable wake : int;
 }
 
-let create () = { clock = 0L; queue = Event_queue.create () }
+let create () = { clock = 0L; queue = Event_queue.create (); wake = 0 }
 
 let now t = t.clock
+
+let wake_generation t = t.wake
 
 let advance t cycles =
   if Int64.compare cycles 0L < 0 then invalid_arg "Engine.advance: negative";
@@ -13,6 +16,7 @@ let advance t cycles =
 
 let at t ~time f =
   let time = if Int64.compare time t.clock < 0 then t.clock else time in
+  t.wake <- t.wake + 1;
   Event_queue.add t.queue ~time f
 
 let after t ~delay f = at t ~time:(Int64.add t.clock delay) f

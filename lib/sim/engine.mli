@@ -31,6 +31,13 @@ val cancel : t -> Event_queue.handle -> bool
 (** [next_event_time engine] is the timestamp of the next pending event. *)
 val next_event_time : t -> int64 option
 
+(** [wake_generation engine] increments every time something is scheduled.
+    A batched run loop captures it before entering a tight stepping loop and
+    re-checks it each iteration: any change means the event horizon it
+    computed may be stale (e.g. a port write scheduled an earlier event),
+    so the batch must fall back to the dispatcher. *)
+val wake_generation : t -> int
+
 (** [dispatch_due engine] runs every event whose time is [<= now], in order.
     Returns the number of events dispatched. *)
 val dispatch_due : t -> int

@@ -75,10 +75,32 @@ let add q ~time payload =
   sift_up q (q.size - 1);
   live
 
+(* Rebuild the heap from its live cells.  The compaction in [cancel] keeps
+   heavy cancel traffic (ARQ retransmit timers) from leaving the array
+   mostly dead, which would make every sift walk over garbage. *)
+let compact q =
+  let heap = q.heap in
+  let j = ref 0 in
+  for i = 0 to q.size - 1 do
+    match heap.(i) with
+    | Some c when !(c.live) ->
+      heap.(!j) <- Some c;
+      incr j
+    | _ -> ()
+  done;
+  for i = !j to q.size - 1 do
+    heap.(i) <- None
+  done;
+  q.size <- !j;
+  for i = (q.size / 2) - 1 downto 0 do
+    sift_down q i
+  done
+
 let cancel q h =
   if !h then begin
     h := false;
     q.live_count <- q.live_count - 1;
+    if q.size >= 32 && q.size - q.live_count > q.size / 2 then compact q;
     true
   end
   else false

@@ -578,6 +578,33 @@ let test_mmu_probe () =
    | None -> Alcotest.fail "expected mapping");
   check bool "unmapped probe" true (Mmu.probe mem ~ptb:0x4000 0x600000 = None)
 
+let test_mmu_write_hit_dirty_cached () =
+  (* The TLB caches the dirty state: after the first write marks the PTE,
+     later write hits must not re-read or re-write it.  Pin that by clearing
+     the PTE's dirty bit behind the TLB's back — a write hit must leave it
+     clear, and only a flush (which drops the cached state) re-sets it. *)
+  let costs = Costs.default in
+  let mem = Phys_mem.create ~size:(2 * 1024 * 1024) in
+  let mmu = Mmu.create costs in
+  build_identity_tables mem ~pd:0x4000 ~pt:0x5000 ~mbytes:1 ~user:false;
+  let pte_addr = 0x5000 + 4 (* vpn 1 *) in
+  let pte_dirty () = Phys_mem.read_u32 mem pte_addr land Mmu.pte_dirty <> 0 in
+  let _, fill = Mmu.translate mmu mem ~ptb:0x4000 ~cpl:0 Mmu.Read 0x1000 in
+  check bool "fill charged" true (fill > 0);
+  check bool "read fill leaves clean" false (pte_dirty ());
+  let _, hit = Mmu.translate mmu mem ~ptb:0x4000 ~cpl:0 Mmu.Write 0x1004 in
+  check int "write hit free" 0 hit;
+  check bool "first write sets dirty" true (pte_dirty ());
+  Phys_mem.write_u32 mem pte_addr
+    (Phys_mem.read_u32 mem pte_addr land lnot Mmu.pte_dirty);
+  ignore (Mmu.translate mmu mem ~ptb:0x4000 ~cpl:0 Mmu.Write 0x1008);
+  check bool "later write hits skip the PTE" false (pte_dirty ());
+  Mmu.flush mmu;
+  let _, refill = Mmu.translate mmu mem ~ptb:0x4000 ~cpl:0 Mmu.Write 0x100C in
+  check bool "miss after flush" true (refill > 0);
+  check bool "dirty re-set after flush" true (pte_dirty ());
+  check bool "hits counted" true (Int64.compare (Mmu.tlb_hits mmu) 2L >= 0)
+
 let test_cpu_page_fault_delivery () =
   (* Enable paging, then touch an unmapped page; #PF handler records the
      faulting address from the error slot. *)
@@ -1066,6 +1093,138 @@ let test_machine_busy_loop () =
   let u = Machine.utilization m ~since:t0 ~since_busy:b0 in
   check bool "fully busy" true (u > 0.99)
 
+(* -- Decoded-instruction cache -- *)
+
+let test_icache_self_modifying () =
+  (* The guest overwrites an instruction it already executed; the refetch
+     must observe the store and re-decode, not replay the cached decode. *)
+  let enc = Isa.encode (Isa.Movi (1, 99)) in
+  let word off =
+    Char.code (Bytes.get enc off)
+    lor (Char.code (Bytes.get enc (off + 1)) lsl 8)
+    lor (Char.code (Bytes.get enc (off + 2)) lsl 16)
+    lor (Char.code (Bytes.get enc (off + 3)) lsl 24)
+  in
+  let m, _ =
+    run_program (fun a ->
+        (* a few store-free iterations first, so some refetches hit *)
+        Asm.movi a 3 (Asm.imm 0);
+        Asm.label a "warm";
+        Asm.addi a 3 3 (Asm.imm 1);
+        Asm.cmpi a 3 (Asm.imm 3);
+        Asm.jnz a (Asm.lbl "warm");
+        Asm.movi a 5 (Asm.imm 0);
+        Asm.label a "patchme";
+        Asm.movi a 1 (Asm.imm 1);
+        Asm.addi a 5 5 (Asm.imm 1);
+        Asm.cmpi a 5 (Asm.imm 2);
+        Asm.jz a (Asm.lbl "done");
+        Asm.movi a 6 (Asm.imm (word 0));
+        Asm.movi a 7 (Asm.imm (word 4));
+        Asm.movi a 8 (Asm.lbl "patchme");
+        Asm.st a 8 0 6;
+        Asm.st a 8 4 7;
+        Asm.jmp a (Asm.lbl "patchme");
+        Asm.label a "done";
+        Asm.hlt a)
+  in
+  let cpu = Machine.cpu m in
+  check int "patched instruction executed" 99 (reg m 1);
+  check bool "invalidation counted" true (Cpu.icache_invalidations cpu >= 1);
+  check bool "straight-line refetches hit" true (Cpu.icache_hits cpu > 0)
+
+let test_icache_breakpoint_patch () =
+  (* Host-side text patching — exactly what the debug stub's breakpoint
+     plant/remove does — must invalidate the cached decode both ways. *)
+  let m = fresh_machine () in
+  let mem = Machine.mem m and cpu = Machine.cpu m in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 2 (Asm.imm 0);
+  Asm.label a "loop";
+  Asm.addi a 2 2 (Asm.imm 1);
+  Asm.jmp a (Asm.lbl "loop");
+  Asm.label a "handler";
+  Asm.movi a 9 (Asm.imm 1);
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  write_gate mem ~table:0x2000 ~vector:Isa.vec_breakpoint
+    ~handler:(Asm.symbol p "handler") ~ring:0 ~dpl:0;
+  ignore (Machine.run_steps m 50) (* warm the cache on the loop body *);
+  let site = Asm.symbol p "loop" in
+  let saved = Phys_mem.read_bytes mem ~addr:site ~len:Isa.width in
+  let inval0 = Cpu.icache_invalidations cpu in
+  Isa.write mem site Isa.Brk;
+  check bool "halted in handler" true (Machine.run_until_halted ~limit:100 m);
+  check int "breakpoint handler ran" 1 (reg m 9);
+  check bool "plant invalidated cached decode" true
+    (Cpu.icache_invalidations cpu > inval0);
+  let count_at_bp = reg m 2 in
+  Phys_mem.load_bytes mem ~addr:site saved;
+  Cpu.set_pc cpu site;
+  Cpu.set_halted cpu false;
+  ignore (Machine.run_steps m 10);
+  check bool "loop resumed after removal" true (reg m 2 > count_at_bp)
+
+let test_icache_dma_invalidation () =
+  (* SCSI DMA lands byte-identical data on top of executing code: the
+     generation bump must force a re-decode even though nothing changed,
+     and the program must keep running unperturbed. *)
+  let m = fresh_machine () in
+  let cpu = Machine.cpu m and bus = Machine.bus m in
+  let base = Machine.Ports.scsi in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.label a "loop";
+  Asm.movi a 1 (Asm.imm 1);
+  Asm.jmp a (Asm.lbl "loop");
+  Machine.boot m (Asm.assemble a) ~entry:0x1000;
+  ignore (Machine.run_steps m 40) (* warm the cache *);
+  let issue cmd =
+    Io_bus.write bus base 0 (* target *);
+    Io_bus.write bus (base + 1) 7 (* lba *);
+    Io_bus.write bus (base + 2) 512 (* bytes *);
+    Io_bus.write bus (base + 3) 0x1000 (* dma over the loop's text *);
+    Io_bus.write bus (base + 4) cmd;
+    ignore (Engine.run_until_idle (Machine.engine m));
+    Io_bus.write bus (base + 6) 3 (* ack *)
+  in
+  issue 2 (* write: latch the code bytes onto the disk *);
+  let inval0 = Cpu.icache_invalidations cpu in
+  issue 1 (* read: DMA the same bytes back over the cached text *);
+  ignore (Machine.run_steps m 20);
+  check bool "dma invalidated cached text" true
+    (Cpu.icache_invalidations cpu > inval0);
+  check int "program unperturbed" 1 (reg m 1)
+
+let test_icache_set_ptb_remap () =
+  (* Same virtual pc, different physical frame after a PTB reload: the
+     physically-tagged cache must miss and decode the new frame's bytes. *)
+  let m = fresh_machine () in
+  let mem = Machine.mem m and cpu = Machine.cpu m in
+  build_identity_tables mem ~pd:0x40000 ~pt:0x41000 ~mbytes:1 ~user:false;
+  let vaddr = 0x8000 in
+  let pte_addr = 0x41000 + (4 * (vaddr / 4096)) in
+  let place frame value =
+    Phys_mem.write_u32 mem pte_addr
+      (Mmu.make_pte ~frame ~writable:true ~user:false);
+    Isa.write mem frame (Isa.Movi (1, value));
+    Isa.write mem (frame + Isa.width) (Isa.Jmp vaddr)
+  in
+  place 0x10000 11;
+  Cpu.set_ptb cpu 0x40000;
+  Cpu.set_pc cpu vaddr;
+  ignore (Machine.run_steps m 20);
+  check int "old frame's code" 11 (reg m 1);
+  let misses0 = Cpu.icache_misses cpu in
+  place 0x11000 22;
+  Cpu.set_ptb cpu 0x40000 (* the guest's lptb remap idiom *);
+  ignore (Machine.run_steps m 20);
+  check int "new frame's code" 22 (reg m 1);
+  check bool "remap re-decoded" true (Cpu.icache_misses cpu > misses0)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1133,6 +1292,8 @@ let () =
           Alcotest.test_case "translate + bits" `Quick test_mmu_translate_and_bits;
           Alcotest.test_case "faults" `Quick test_mmu_faults;
           Alcotest.test_case "probe" `Quick test_mmu_probe;
+          Alcotest.test_case "write hit caches dirty" `Quick
+            test_mmu_write_hit_dirty_cached;
         ] );
       ( "pic",
         [
@@ -1170,6 +1331,16 @@ let () =
           Alcotest.test_case "idle accounting" `Quick test_machine_idle_vs_busy;
           Alcotest.test_case "busy loop" `Quick test_machine_busy_loop;
           Alcotest.test_case "determinism" `Quick test_machine_determinism;
+        ] );
+      ( "icache",
+        [
+          Alcotest.test_case "self-modifying code" `Quick
+            test_icache_self_modifying;
+          Alcotest.test_case "breakpoint plant/remove" `Quick
+            test_icache_breakpoint_patch;
+          Alcotest.test_case "dma invalidation" `Quick
+            test_icache_dma_invalidation;
+          Alcotest.test_case "set_ptb remap" `Quick test_icache_set_ptb_remap;
         ] );
       ( "properties",
         qsuite [ prop_mmu_probe_agrees_with_translate; prop_disassembly_roundtrip ] );

@@ -90,6 +90,89 @@ let prop_queue_conserves =
       let rec drain n = match Event_queue.pop q with None -> n | Some _ -> drain (n + 1) in
       drain 0 = List.length times)
 
+(* Model-based test: the heap must agree with a naive list reference under
+   arbitrary interleavings of add/cancel/pop/clear — including the in-place
+   compaction that [cancel] triggers once most cells are dead.  Payloads are
+   insertion ids, so FIFO tie-breaking is "smallest id wins" in the model. *)
+let prop_queue_model =
+  QCheck.Test.make ~name:"heap agrees with reference model" ~count:300
+    QCheck.(list (pair (int_bound 5) (int_bound 1000)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let handles = ref [] in (* (handle, id), newest first; never pruned *)
+      let model = ref [] in (* live (time, id) *)
+      let next_id = ref 0 in
+      let ok = ref true in
+      let expect b = if not b then ok := false in
+      let drop id = model := List.filter (fun (_, i) -> i <> id) !model in
+      let min_live () =
+        List.fold_left
+          (fun acc e ->
+            match acc with
+            | Some best when best < e -> acc
+            | _ -> Some e)
+          None !model
+      in
+      let pop_and_check () =
+        match Event_queue.pop q with
+        | None -> expect (!model = [])
+        | Some (t, id) ->
+          expect (min_live () = Some (Int64.to_int t, id));
+          drop id
+      in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 | 1 | 2 ->
+            let id = !next_id in
+            incr next_id;
+            let h = Event_queue.add q ~time:(Int64.of_int x) id in
+            handles := (h, id) :: !handles;
+            model := (x, id) :: !model
+          | 3 -> (
+            (* cancel an arbitrary handle, possibly already dead — the
+               return value must report whether it was still live *)
+            match !handles with
+            | [] -> ()
+            | hs ->
+              let h, id = List.nth hs (x mod List.length hs) in
+              let was_live = List.exists (fun (_, i) -> i = id) !model in
+              expect (Event_queue.cancel q h = was_live);
+              drop id)
+          | 4 -> pop_and_check ()
+          | _ ->
+            Event_queue.clear q;
+            model := [])
+        ops;
+      expect (Event_queue.length q = List.length !model);
+      while not (Event_queue.is_empty q) do
+        pop_and_check ()
+      done;
+      expect (!model = []);
+      !ok)
+
+(* Deterministic compaction stress: cancelling 90 of 100 events crosses the
+   mostly-dead threshold and rebuilds the heap in place; the survivors must
+   still pop in order and dead handles must stay dead. *)
+let test_queue_compaction () =
+  let q = Event_queue.create () in
+  let handles =
+    Array.init 100 (fun i -> Event_queue.add q ~time:(Int64.of_int i) i)
+  in
+  for i = 0 to 89 do
+    ignore (Event_queue.cancel q handles.(i))
+  done;
+  check int "live length" 10 (Event_queue.length q);
+  for i = 90 to 99 do
+    match Event_queue.pop q with
+    | Some (t, v) ->
+      check int "payload order" i v;
+      check Alcotest.int64 "time order" (Int64.of_int i) t
+    | None -> Alcotest.fail "queue drained early"
+  done;
+  check bool "empty after drain" true (Event_queue.is_empty q);
+  check bool "dead handle stays dead" false (Event_queue.cancel q handles.(0))
+
 (* -- Engine -- *)
 
 let test_engine_run_until () =
@@ -351,8 +434,9 @@ let () =
           Alcotest.test_case "cancellation" `Quick test_queue_cancel;
           Alcotest.test_case "peek" `Quick test_queue_peek;
           Alcotest.test_case "clear" `Quick test_queue_clear;
+          Alcotest.test_case "compaction" `Quick test_queue_compaction;
         ]
-        @ qsuite [ prop_queue_sorted; prop_queue_conserves ] );
+        @ qsuite [ prop_queue_sorted; prop_queue_conserves; prop_queue_model ] );
       ( "engine",
         [
           Alcotest.test_case "run_until horizon" `Quick test_engine_run_until;
