@@ -366,30 +366,40 @@ let dispatch_soft t ~vector ~next_pc =
 
 (* -- Fetch -- *)
 
+let fetch_cached t paddr =
+  let slot = Array.unsafe_get t.icache ((paddr lsr 3) land icache_mask) in
+  let pgen =
+    Phys_mem.generation t.mem paddr
+    + Phys_mem.generation t.mem (paddr + (Isa.width - 1))
+  in
+  if slot.itag = paddr && slot.iflush = t.icache_gen && slot.igen = pgen
+  then begin
+    t.ic_hits <- t.ic_hits + 1;
+    slot.idecoded
+  end
+  else begin
+    if slot.itag = paddr then t.ic_inval <- t.ic_inval + 1;
+    t.ic_misses <- t.ic_misses + 1;
+    let instr = Isa.read t.mem paddr in
+    slot.itag <- paddr;
+    slot.igen <- pgen;
+    slot.iflush <- t.icache_gen;
+    slot.idecoded <- instr;
+    instr
+  end
+
 let fetch t =
   let pc = t.pc in
   if pc land 0xFFF <= Mmu.page_size - Isa.width then begin
     let paddr = translate t ~access:Mmu.Exec ~cpl:t.cpl pc in
-    let slot = Array.unsafe_get t.icache ((paddr lsr 3) land icache_mask) in
-    let pgen =
-      Phys_mem.generation t.mem paddr
-      + Phys_mem.generation t.mem (paddr + (Isa.width - 1))
-    in
-    if slot.itag = paddr && slot.iflush = t.icache_gen && slot.igen = pgen
-    then begin
-      t.ic_hits <- t.ic_hits + 1;
-      slot.idecoded
-    end
-    else begin
-      if slot.itag = paddr then t.ic_inval <- t.ic_inval + 1;
-      t.ic_misses <- t.ic_misses + 1;
-      let instr = Isa.read t.mem paddr in
-      slot.itag <- paddr;
-      slot.igen <- pgen;
-      slot.iflush <- t.icache_gen;
-      slot.idecoded <- instr;
-      instr
-    end
+    if paddr >= 0 && paddr + Isa.width <= Phys_mem.size t.mem then
+      fetch_cached t paddr
+    else
+      (* Translation does not bound physical addresses (identity map when
+         paging is off, PTE frames above RAM), and the generation probe in
+         [fetch_cached] is unchecked — take the checked read, which raises
+         Bus_error and becomes a guest machine check. *)
+      Isa.read t.mem paddr
   end
   else begin
     for i = 0 to Isa.width - 1 do

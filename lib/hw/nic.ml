@@ -57,6 +57,10 @@ let set_irq t f = t.irq <- f
 let set_on_frame t f =
   t.on_frame <- f;
   t.has_consumer <- true
+
+let clear_on_frame t =
+  t.on_frame <- (fun _ -> ());
+  t.has_consumer <- false
 let set_tracer t tracer = t.tracer <- Some tracer
 
 let serialization_cycles t len =

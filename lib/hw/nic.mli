@@ -34,8 +34,15 @@ val create :
 
 val set_irq : t -> (unit -> unit) -> unit
 
-(** [set_on_frame t f] — [f frame] runs when a frame finishes on the wire. *)
+(** [set_on_frame t f] — [f frame] runs when a frame finishes on the wire.
+    Registering a consumer costs a per-frame copy (consumers may retain
+    the frame); detach with {!clear_on_frame} to get the copy-free path
+    back. *)
 val set_on_frame : t -> (bytes -> unit) -> unit
+
+(** [clear_on_frame t] detaches the consumer, so completions stop paying
+    the per-frame copy that {!set_on_frame} enables. *)
+val clear_on_frame : t -> unit
 
 (** [set_tracer t tracer] — emit a ["dma"]-category span per transmitted
     frame covering its wire serialization window. *)

@@ -835,6 +835,28 @@ let test_nic_wire_rate () =
     check bool "serialization gap" true (abs_float (gap -. expected) /. expected < 0.2)
   | _ -> Alcotest.fail "expected two frames"
 
+let test_nic_clear_on_frame () =
+  (* Detaching the consumer must stop the callback (and the per-frame copy
+     it forces); re-attaching brings it back. *)
+  let m = fresh_machine () in
+  let nic = Machine.nic m and bus = Machine.bus m in
+  let calls = ref 0 in
+  Nic.set_on_frame nic (fun _ -> incr calls);
+  Nic.clear_on_frame nic;
+  let base = Machine.Ports.nic in
+  let send () =
+    Io_bus.write bus base 0x50000;
+    Io_bus.write bus (base + 1) 100;
+    Io_bus.write bus (base + 2) 1;
+    ignore (Engine.run_until_idle (Machine.engine m))
+  in
+  send ();
+  check int "detached consumer not called" 0 !calls;
+  Nic.set_on_frame nic (fun _ -> incr calls);
+  send ();
+  check int "re-attached consumer called" 1 !calls;
+  check int "both frames sent" 2 (Nic.frames_sent nic)
+
 let test_nic_rx () =
   let m = fresh_machine () in
   let nic = Machine.nic m and bus = Machine.bus m and mem = Machine.mem m in
@@ -1225,6 +1247,29 @@ let test_icache_set_ptb_remap () =
   check int "new frame's code" 22 (reg m 1);
   check bool "remap re-decoded" true (Cpu.icache_misses cpu > misses0)
 
+let test_fetch_beyond_ram_machine_check () =
+  (* A jump past the end of physical memory (identity map: paging off) must
+     deliver a machine check, exactly as before the decoded-instruction
+     cache — the icache generation probe must never read out-of-range
+     granules. *)
+  let m = fresh_machine () in
+  let mem = Machine.mem m in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 9 (Asm.imm 0);
+  Asm.jmp a (Asm.imm 0x400000) (* 4 MiB: past the machine's 2 MiB of RAM *);
+  Asm.label a "handler";
+  Asm.movi a 9 (Asm.imm 1);
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  write_gate mem ~table:0x2000 ~vector:Isa.vec_machine_check
+    ~handler:(Asm.symbol p "handler") ~ring:0 ~dpl:0;
+  check bool "halted in handler" true (Machine.run_until_halted ~limit:100 m);
+  check int "machine check delivered" 1 (reg m 9)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1319,6 +1364,7 @@ let () =
         [
           Alcotest.test_case "tx" `Quick test_nic_tx;
           Alcotest.test_case "wire rate" `Quick test_nic_wire_rate;
+          Alcotest.test_case "clear_on_frame" `Quick test_nic_clear_on_frame;
           Alcotest.test_case "rx" `Quick test_nic_rx;
         ] );
       ( "io_bus",
@@ -1341,6 +1387,8 @@ let () =
           Alcotest.test_case "dma invalidation" `Quick
             test_icache_dma_invalidation;
           Alcotest.test_case "set_ptb remap" `Quick test_icache_set_ptb_remap;
+          Alcotest.test_case "fetch beyond RAM" `Quick
+            test_fetch_beyond_ram_machine_check;
         ] );
       ( "properties",
         qsuite [ prop_mmu_probe_agrees_with_translate; prop_disassembly_roundtrip ] );
