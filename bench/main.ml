@@ -4,6 +4,7 @@
      dune exec bench/main.exe -- fig3.1       -- the paper's figure
      dune exec bench/main.exe -- headline     -- 5.4x / 26% numbers
      dune exec bench/main.exe -- stability    -- E3 fault-injection matrix
+     dune exec bench/main.exe -- gauntlet     -- randomized multi-fault campaigns
      dune exec bench/main.exe -- customize    -- E4 environment comparison
      dune exec bench/main.exe -- debugload    -- E5 debugging under load
      dune exec bench/main.exe -- ablation-trap         -- E6
@@ -305,6 +306,303 @@ let stability () =
   Printf.printf
     "\nExpected: the monitor's stub survives every fault (paper claim 1);\n\
      the embedded debugger dies whenever its resources are touched.\n"
+
+(* ---------------------------------------------------------------- *)
+(* Gauntlet — randomized multi-fault campaigns with recovery.       *)
+(* ---------------------------------------------------------------- *)
+
+(* Each campaign boots a fresh streaming guest under the monitor with
+   the watchdog armed, then throws 2-4 overlapping fault classes at it
+   from a seeded schedule.  Survival means the stub keeps answering
+   probes within the timeout through the whole campaign and, after
+   recovery (reconnects for link damage, a warm restart for a crashed
+   or wedged guest), a full debug round-trip still works.  The embedded
+   baseline faces an equivalent per-campaign fault mix and is expected
+   to die whenever guest faults touch its resources.  Knobs:
+     BENCH_GAUNTLET_N     campaigns (default 50)
+     BENCH_GAUNTLET_SEED  base seed (campaign i uses base + i)          *)
+
+module Plan = Vmm_fault.Plan
+module Chaos = Vmm_fault.Chaos
+module Rng = Vmm_sim.Rng
+
+let gauntlet_n =
+  match Sys.getenv_opt "BENCH_GAUNTLET_N" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 50)
+  | None -> 50
+
+let gauntlet_base_seed =
+  match Sys.getenv_opt "BENCH_GAUNTLET_SEED" with
+  | Some s -> (try Int64.of_string (String.trim s) with _ -> 0xC0FFEEL)
+  | None -> 0xC0FFEEL
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> nan
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* Pick [k] distinct classes from [Plan.all] with the campaign rng. *)
+let pick_classes rng k =
+  let pool = ref Plan.all in
+  let picked = ref [] in
+  for _ = 1 to k do
+    let n = List.length !pool in
+    if n > 0 then begin
+      let i = Rng.int rng n in
+      let cls = List.nth !pool i in
+      picked := cls :: !picked;
+      pool := List.filter (fun c -> c <> cls) !pool
+    end
+  done;
+  List.rev !picked
+
+type campaign_result = {
+  g_seed : int64;
+  g_classes : Plan.fault_class list;
+  g_lw_survived : bool;
+  g_embedded_survived : bool;
+  g_reconnects : int;
+  g_restarted : bool;
+  g_crashed : bool;
+  g_wedge_breakins : int;
+  g_probe_cycles : float list;  (** sim cycles per answered probe *)
+}
+
+let gauntlet_campaign ~seed =
+  let rng = Rng.create ~seed in
+  let cyc s = Costs.cycles_of_seconds bench_costs s in
+  (* -- lightweight VMM under fire -- *)
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:bench_costs () in
+  let mon = Monitor.install m in
+  let program = Kernel.build (Kernel.default_config ~rate_mbps:20.0) in
+  Monitor.boot_guest mon program ~entry:Kernel.entry;
+  Monitor.watchdog_start mon;
+  Machine.run_seconds m 0.01;
+  let plan = Plan.create ~seed ~engine:(Machine.engine m) in
+  let chaos = Plan.chaos plan in
+  let session =
+    Session.attach ~wrap_to_target:(Vmm_fault.Chaos.wrap chaos)
+      ~wrap_to_host:(Vmm_fault.Chaos.wrap chaos) m
+  in
+  let classes = pick_classes rng (2 + Rng.int rng 3) in
+  let now = Machine.now m in
+  List.iter
+    (fun cls ->
+      let at = Int64.add now (cyc (0.002 +. Rng.float rng 0.02)) in
+      let until = Int64.add at (cyc (0.02 +. Rng.float rng 0.04)) in
+      Plan.arm plan ~monitor:mon cls ~at ~until)
+    classes;
+  let probe_cycles = ref [] in
+  let reconnects = ref 0 in
+  let probes_answered = ref 0 in
+  let probes_sent = ref 0 in
+  let probe ?(timeout_s = 1.0) () =
+    incr probes_sent;
+    match Session.read_registers ~timeout_s session with
+    | Some _ ->
+      incr probes_answered;
+      probe_cycles :=
+        (Session.last_latency_s session *. bench_costs.Costs.cpu_hz)
+        :: !probe_cycles;
+      true
+    | None ->
+      if not (Session.link_up session) then begin
+        incr reconnects;
+        ignore (Session.reconnect ~timeout_s:1.0 session)
+      end;
+      false
+  in
+  (* drive probes through the fault windows *)
+  for _ = 1 to 16 do
+    ignore (probe ~timeout_s:0.5 ());
+    Machine.run_seconds m 0.005
+  done;
+  (* past the windows: recover the link deterministically *)
+  let rec recover tries =
+    probe () || (tries > 0 && (incr reconnects;
+                               ignore (Session.reconnect ~timeout_s:1.0 session);
+                               recover (tries - 1)))
+  in
+  let link_ok = recover 8 in
+  (* a crashed guest refuses resume: warm-restart it; a wedged one was
+     parked by the watchdog and restarts the same way *)
+  let crashed = Monitor.crashed mon in
+  let wedges = (Monitor.stats mon).Monitor.wedge_breakins in
+  let restarted =
+    if crashed || wedges > 0 then
+      Session.restart ~timeout_s:2.0 session = Session.Restarted
+    else false
+  in
+  (* the paper's claim, post-recovery: a full debug round-trip works *)
+  let roundtrip =
+    Session.insert_breakpoint session Kernel.entry
+    && Session.read_memory session ~addr:Kernel.entry ~len:16 <> None
+    && Session.remove_breakpoint session Kernel.entry
+    && (Session.continue_ session;
+        Session.is_running session <> None)
+    && probe ()
+  in
+  let lw_survived =
+    link_ok && roundtrip && ((not (crashed || wedges > 0)) || restarted)
+  in
+  (* -- embedded baseline under the equivalent mix -- *)
+  let embedded_survived =
+    let m2 =
+      Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:bench_costs ()
+    in
+    let agent = Embedded.attach m2 ~region:0x80000 in
+    let bug =
+      (* the first guest class maps to the closest self-hosted bug; a
+         campaign of pure link/device faults boots the healthy kernel *)
+      List.find_map
+        (fun cls ->
+          match cls with
+          | Plan.Guest_wild_jump -> Some (buggy_guest `Jump_void)
+          | Plan.Guest_wild_store -> Some (buggy_guest `Wild_store)
+          | Plan.Guest_iht_clobber | Plan.Guest_ptb_clobber ->
+            Some (buggy_guest `Corrupt_iht)
+          | Plan.Guest_irq_storm | Plan.Guest_wedge ->
+            Some (buggy_guest `Mask_interrupts)
+          | _ -> None)
+        classes
+    in
+    (match bug with
+     | Some program -> Machine.boot m2 program ~entry:0x1000
+     | None ->
+       Machine.boot m2 (Kernel.build (Kernel.default_config ~rate_mbps:20.0))
+         ~entry:Kernel.entry);
+    (try Machine.run_seconds m2 0.05
+     with Cpu.Panic _ -> Embedded.mark_machine_dead agent);
+    (* link classes damage the unprotected wire the same way *)
+    let chaos2 =
+      Chaos.create ~engine:(Machine.engine m2)
+        ~rng:(Rng.create ~seed:(Int64.add seed 0x10000L))
+        ()
+    in
+    let has_link =
+      List.exists
+        (fun c ->
+          match c with
+          | Plan.Link_drop | Plan.Link_corrupt | Plan.Link_dup
+          | Plan.Link_delay ->
+            true
+          | _ -> false)
+        classes
+    in
+    if has_link then begin
+      Chaos.set_profile chaos2
+        { Chaos.quiet with Chaos.drop_p = 0.04; Chaos.corrupt_p = 0.04 };
+      Chaos.set_active chaos2 true
+    end;
+    let sink =
+      Chaos.wrap chaos2 (fun b -> Uart.inject_rx (Machine.uart m2) b)
+    in
+    String.iter
+      (fun c -> sink (Char.code c))
+      (Packet.frame (Command.command_to_wire Command.Read_registers));
+    (* flush chaos-delayed bytes; a panicked machine stays panicked *)
+    (try Machine.run_seconds m2 0.01
+     with Cpu.Panic _ -> Embedded.mark_machine_dead agent);
+    Embedded.service agent > 0
+  in
+  {
+    g_seed = seed;
+    g_classes = classes;
+    g_lw_survived = lw_survived;
+    g_embedded_survived = embedded_survived;
+    g_reconnects = !reconnects;
+    g_restarted = restarted;
+    g_crashed = crashed;
+    g_wedge_breakins = wedges;
+    g_probe_cycles = !probe_cycles;
+  }
+
+let gauntlet () =
+  section
+    (Printf.sprintf
+       "Gauntlet -- %d randomized multi-fault campaigns (base seed %Ld)"
+       gauntlet_n gauntlet_base_seed);
+  Printf.printf "%10s %-44s %6s %9s %8s\n" "seed" "classes" "lw" "embedded"
+    "recovery";
+  let results =
+    List.init gauntlet_n (fun i ->
+        let seed = Int64.add gauntlet_base_seed (Int64.of_int i) in
+        let r = gauntlet_campaign ~seed in
+        let recovery =
+          (if r.g_restarted then "restart " else "")
+          ^ if r.g_reconnects > 0 then Printf.sprintf "resync×%d" r.g_reconnects
+            else ""
+        in
+        Printf.printf "%10Ld %-44s %6s %9s %8s\n" r.g_seed
+          (String.concat "," (List.map Plan.name r.g_classes))
+          (if r.g_lw_survived then "OK" else "DEAD")
+          (if r.g_embedded_survived then "alive" else "dead")
+          (if recovery = "" then "-" else recovery);
+        r)
+  in
+  let lw_ok = List.length (List.filter (fun r -> r.g_lw_survived) results) in
+  let emb_ok =
+    List.length (List.filter (fun r -> r.g_embedded_survived) results)
+  in
+  let latencies =
+    List.concat_map (fun r -> r.g_probe_cycles) results |> Array.of_list
+  in
+  Array.sort compare latencies;
+  let p50 = percentile latencies 0.50
+  and p95 = percentile latencies 0.95
+  and p99 = percentile latencies 0.99 in
+  Printf.printf
+    "\nlightweight VMM survived %d/%d campaigns; embedded baseline %d/%d\n"
+    lw_ok gauntlet_n emb_ok gauntlet_n;
+  Printf.printf
+    "probe latency (sim cycles): p50 %.0f  p95 %.0f  p99 %.0f  (%d probes)\n"
+    p50 p95 p99 (Array.length latencies);
+  write_json "BENCH_gauntlet.json"
+    (Json.Obj
+       (run_header "gauntlet"
+       @ [
+           ("campaigns", Json.Int gauntlet_n);
+           ("base_seed", Json.Int (Int64.to_int gauntlet_base_seed));
+           ("lw_survivals", Json.Int lw_ok);
+           ("embedded_survivals", Json.Int emb_ok);
+           ("probe_count", Json.Int (Array.length latencies));
+           ("probe_latency_p50_cycles", Json.Float p50);
+           ("probe_latency_p95_cycles", Json.Float p95);
+           ("probe_latency_p99_cycles", Json.Float p99);
+           ( "results",
+             Json.List
+               (List.map
+                  (fun r ->
+                    Json.Obj
+                      [
+                        ("seed", Json.Int (Int64.to_int r.g_seed));
+                        ( "classes",
+                          Json.List
+                            (List.map
+                               (fun c -> Json.String (Plan.name c))
+                               r.g_classes) );
+                        ("lw_survived", Json.Bool r.g_lw_survived);
+                        ("embedded_survived", Json.Bool r.g_embedded_survived);
+                        ("reconnects", Json.Int r.g_reconnects);
+                        ("restarted", Json.Bool r.g_restarted);
+                        ("crashed", Json.Bool r.g_crashed);
+                        ("wedge_breakins", Json.Int r.g_wedge_breakins);
+                      ])
+                  results) );
+         ]));
+  if lw_ok < gauntlet_n then begin
+    List.iter
+      (fun r ->
+        if not r.g_lw_survived then
+          Printf.eprintf
+            "gauntlet: campaign seed %Ld (%s) did not survive -- replay with \
+             BENCH_GAUNTLET_SEED=%Ld BENCH_GAUNTLET_N=1\n"
+            r.g_seed
+            (String.concat "," (List.map Plan.name r.g_classes))
+            r.g_seed)
+      results;
+    exit 1
+  end
 
 (* ---------------------------------------------------------------- *)
 (* E4 — customizability: what each environment needs per device.    *)
@@ -687,6 +985,7 @@ let targets =
     ("fig3.1", fig3_1);
     ("headline", headline);
     ("stability", stability);
+    ("gauntlet", gauntlet);
     ("customize", customize);
     ("debugload", debugload);
     ("ablation-trap", ablation_trap);

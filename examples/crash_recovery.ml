@@ -1,0 +1,84 @@
+(* Crash recovery: the guest-lifecycle tour as a watchable demo.
+
+   Act 1 — the guest wedges (interrupts off + halt) and goes silent; the
+   monitor's watchdog notices the missing progress and forces a break-in
+   (T07), so the debugger gets a stopped target at the wedge pc instead
+   of a dead wire.
+
+   Act 2 — the guest destroys its own interrupt-handler table and
+   crashes unrecoverably; the monitor quarantines it.  The stub stays
+   fully responsive (memory, registers, qW all answer) but refuses to
+   resume the corpse (E03).
+
+   Act 3 — a warm restart (R) reboots the guest from its boot snapshot
+   without dropping the session, and the streaming workload runs to a
+   healthy cadence again.
+
+   Run with: dune exec examples/crash_recovery.exe *)
+
+module Machine = Vmm_hw.Machine
+module Costs = Vmm_hw.Costs
+module Command = Vmm_proto.Command
+module Monitor = Core.Monitor
+module Kernel = Vmm_guest.Kernel
+module Session = Vmm_debugger.Session
+
+let costs = { Costs.default with Costs.uart_cycles_per_byte = 2000 }
+
+let show_qw session =
+  match Session.query_watchdog session with
+  | Some (text, _) -> Printf.printf "   qW: %s\n%!" text
+  | None -> Printf.printf "   qW: (no answer)\n%!"
+
+let () =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs () in
+  let mon = Monitor.install m in
+  let program = Kernel.build (Kernel.default_config ~rate_mbps:20.0) in
+  Monitor.boot_guest mon program ~entry:Kernel.entry;
+  Monitor.watchdog_start mon;
+  let session = Session.attach m in
+  Machine.run_seconds m 0.01;
+
+  Printf.printf "== act 1: silent wedge, watchdog break-in ==\n%!";
+  Monitor.inject mon Monitor.Guest_wedge;
+  (match Session.wait_stop ~timeout_s:0.1 session with
+   | Some (Command.Wedged pc) ->
+     Printf.printf "   watchdog broke in at pc=0x%x\n%!" pc
+   | Some _ | None -> Printf.printf "   (no break-in?)\n%!");
+  show_qw session;
+  (* A wedge leaves the guest with interrupts off; resuming it would
+     only wedge again.  The cure is a warm restart. *)
+  (match Session.restart session with
+   | Session.Restarted -> Printf.printf "   un-wedged by warm restart\n%!"
+   | Session.Refused | Session.No_answer ->
+     Printf.printf "   restart failed\n%!");
+  Machine.run_seconds m 0.02;
+
+  Printf.printf "== act 2: unrecoverable crash, quarantine ==\n%!";
+  Monitor.inject mon Monitor.Iht_clobber;
+  Machine.run_seconds m 0.02;
+  Printf.printf "   crashed=%b; memory still readable=%b\n%!"
+    (Monitor.crashed mon)
+    (Session.read_memory session ~addr:Kernel.entry ~len:32 <> None);
+  show_qw session;
+  Session.continue_ session;
+  Printf.printf "   resume refused=%b (E03)\n%!"
+    (Session.is_running session = Some false);
+
+  Printf.printf "== act 3: warm restart, back to streaming ==\n%!";
+  (match Session.restart session with
+   | Session.Restarted -> Printf.printf "   restarted from boot snapshot\n%!"
+   | Session.Refused | Session.No_answer ->
+     Printf.printf "   restart failed\n%!");
+  Machine.run_seconds m 0.25;
+  let c = Kernel.read_counters (Machine.mem m) program in
+  let s = Monitor.stats mon in
+  Printf.printf
+    "   after reboot: %d ticks, %d segments done, %d frames sent\n"
+    c.Kernel.ticks c.Kernel.segments_done c.Kernel.frames_sent;
+  Printf.printf
+    "== lifecycle: %d break-ins, %d crashes, %d restarts; crashed=%b ==\n"
+    s.Monitor.wedge_breakins s.Monitor.crashes s.Monitor.restarts
+    (Monitor.crashed mon);
+  if s.Monitor.restarts <> 2 || s.Monitor.crashes <> 1 || Monitor.crashed mon
+  then exit 1

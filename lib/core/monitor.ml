@@ -9,6 +9,8 @@ module Io_bus = Vmm_hw.Io_bus
 module Phys_mem = Vmm_hw.Phys_mem
 module Costs = Vmm_hw.Costs
 module Asm = Vmm_hw.Asm
+module Scsi = Vmm_hw.Scsi
+module Nic = Vmm_hw.Nic
 
 type passthrough = { base : int; count : int }
 
@@ -35,7 +37,25 @@ type stats = {
   link_resets : int;
   link_downs : int;
   injected_faults : int;
+  (* lifecycle & recovery *)
+  wedge_breakins : int;
+  crashes : int;
+  restarts : int;
 }
+
+(* Crash containment: when reflection cannot hand a fault to the guest
+   (double fault, unmapped stack, machine check, ...) the guest moves to
+   [Crashed] — frozen, quarantined, but fully inspectable.  The report
+   keeps the faulting context; [chain] lists the nested delivery
+   attempts (vector, pc) that led here, innermost last. *)
+type crash_report = {
+  cause : string;
+  vector : int;
+  pc : int;
+  chain : (int * int) list;
+}
+
+type lifecycle = Healthy | Crashed of crash_report
 
 type t = {
   machine : Machine.t;
@@ -63,6 +83,12 @@ type t = {
       (* page to step across when the stub resumes after a watch hit *)
   console_buf : Buffer.t;
   mutable shutdown : bool;
+  (* lifecycle & recovery *)
+  mutable lifecycle : lifecycle;
+  mutable snapshot : Snapshot.t option;
+  mutable watchdog : Watchdog.t option;
+  mutable last_wedge : (int * int) option;
+      (* (pc, stalled periods) of the most recent watchdog break-in *)
   (* counters *)
   mutable c_world : int;
   mutable c_pic : int;
@@ -74,6 +100,8 @@ type t = {
   mutable c_hyper : int;
   mutable c_escal : int;
   mutable c_inject : int;
+  mutable c_crashes : int;
+  mutable c_restarts : int;
 }
 
 let real_ring_of_vring vring = if vring land 3 = 3 then 3 else 1
@@ -200,12 +228,24 @@ let set_guest_flags t w =
   t.v_cpl <- (w lsr 12) land 3;
   Cpu.set_cpl t.cpu (real_ring_of_vring t.v_cpl)
 
-(* -- Escalation: the guest is beyond saving; keep the debugger alive -- *)
+(* -- Escalation: the guest is beyond saving; keep the debugger alive --
 
-let escalate t ~vector ~pc =
+   Classify the failure, quarantine the guest in [Crashed] (first report
+   wins — later faults of an already-dead guest add no information) and
+   hand control to the stub.  The stub stays fully responsive: registers,
+   memory and the [qW] report remain readable; only resume is refused
+   until a warm restart. *)
+
+let escalate ?(cause = "unrecoverable_fault") ?(chain = []) t ~vector ~pc =
   t.c_escal <- t.c_escal + 1;
+  (match t.lifecycle with
+   | Crashed _ -> ()
+   | Healthy ->
+     t.c_crashes <- t.c_crashes + 1;
+     t.lifecycle <- Crashed { cause; vector; pc; chain });
   trace t Vmm_sim.Trace.Error
-    (Printf.sprintf "guest unrecoverable: vector %d at 0x%x; stopped for debug"
+    (Printf.sprintf
+       "guest unrecoverable (%s): vector %d at 0x%x; stopped for debug" cause
        vector pc);
   Stub.on_guest_fault (get_stub t) ~vector ~pc
 
@@ -220,20 +260,27 @@ let read_guest_gate t vector =
       Some (handler, (info lsr 1) land 3, (info lsr 3) land 3)
     | _ -> None
 
-let rec reflect ?(check_dpl = false) t ~vector ~error ~return_pc ~depth =
+let rec reflect ?(check_dpl = false) ?(chain = []) t ~vector ~error ~return_pc
+    ~depth =
   span t "irq" "reflect" @@ fun () ->
   t.c_fault <- t.c_fault + 1;
+  (* [chain] records each delivery attempt (vector, pc), innermost last,
+     so a crash report shows the whole nested-exception cascade. *)
+  let chain = chain @ [ (vector, return_pc) ] in
   match read_guest_gate t vector with
   | None ->
     if depth > 0 || vector = Isa.vec_protection then
       (* Guest double/triple fault: stop it, tell the debugger. *)
-      escalate t ~vector ~pc:return_pc
-    else reflect t ~vector:Isa.vec_protection ~error:vector ~return_pc
+      escalate t
+        ~cause:(if depth > 0 then "double_fault" else "no_fault_gate")
+        ~chain ~vector ~pc:return_pc
+    else
+      reflect ~chain t ~vector:Isa.vec_protection ~error:vector ~return_pc
         ~depth:(depth + 1)
   | Some (_, _, dpl) when check_dpl && dpl < t.v_cpl ->
     (* Software interrupt through a gate the caller may not use: #GP,
        like the hardware path. *)
-    reflect t ~vector:Isa.vec_protection ~error:vector ~return_pc
+    reflect ~chain t ~vector:Isa.vec_protection ~error:vector ~return_pc
       ~depth:(depth + 1)
   | Some (handler, target_vring, _dpl) ->
     let sp0 =
@@ -263,7 +310,7 @@ let rec reflect ?(check_dpl = false) t ~vector ~error ~return_pc ~depth =
        charge t t.costs.Costs.interrupt_delivery
      | None ->
        (* The guest's stack is unmapped: unrecoverable from its side. *)
-       escalate t ~vector ~pc:return_pc)
+       escalate t ~cause:"stack_unmapped" ~chain ~vector ~pc:return_pc)
 
 (* -- Virtual interrupt delivery -- *)
 
@@ -342,7 +389,7 @@ let emulate_privileged t instr pc =
        Cpu.write_reg t.cpu Isa.sp old_sp;
        Cpu.set_pc t.cpu return_pc;
        kick t
-     | _ -> escalate t ~vector:Isa.vec_protection ~pc)
+     | _ -> escalate t ~cause:"bad_iret_frame" ~vector:Isa.vec_protection ~pc)
   | Isa.Liht r ->
     t.v_iht <- reg r;
     Cpu.set_pc t.cpu next
@@ -682,9 +729,11 @@ let handle_fault t kind pc =
     world_switch t;
     reflect t ~vector:Isa.vec_undefined ~error:opcode ~return_pc:pc ~depth:0
   | Cpu.Machine_check _ ->
+    (* A fetch or access beyond physical memory — the signature of a wild
+       jump outside anything mapped. *)
     span t "mon_cpu" "machine_check" @@ fun () ->
     world_switch t;
-    escalate t ~vector:Isa.vec_machine_check ~pc
+    escalate t ~cause:"machine_check" ~vector:Isa.vec_machine_check ~pc
 
 let hook t _cpu event =
   (match event with
@@ -705,6 +754,134 @@ let profile t =
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
 let clear_profile t = Hashtbl.reset t.samples
+
+(* -- Lifecycle: watchdog, crash reporting, warm restart -- *)
+
+let lifecycle t = t.lifecycle
+let crashed t = match t.lifecycle with Crashed _ -> true | Healthy -> false
+
+let watchdog_sample t () =
+  {
+    Watchdog.retired = Cpu.instructions_retired t.cpu;
+    irq_acks = Pic.acks t.vpic;
+    interruptible = t.v_if;
+    halted = t.v_halted;
+    suspended = Cpu.stopped t.cpu || t.shutdown || crashed t;
+  }
+
+(* Watchdog verdict: the guest made no progress for the whole stall
+   budget.  Force a break-in exactly like a debugger stop and tell the
+   host why ([Wedged]); the full context stays readable via [qW]. *)
+let on_wedge t ~stalled_periods =
+  let pc = Cpu.pc t.cpu in
+  t.last_wedge <- Some (pc, stalled_periods);
+  trace t Vmm_sim.Trace.Warn
+    (Printf.sprintf
+       "watchdog: no guest progress for %d periods; break-in at 0x%x"
+       stalled_periods pc);
+  Stub.on_wedge (get_stub t) ~pc
+
+let watchdog_start ?period_cycles ?max_stalled_periods t =
+  (match t.watchdog with Some w -> Watchdog.stop w | None -> ());
+  let config =
+    {
+      Watchdog.period_cycles =
+        (match period_cycles with
+         | Some c -> c
+         | None -> Costs.cycles_of_seconds t.costs 0.001);
+      max_stalled_periods = Option.value max_stalled_periods ~default:5;
+    }
+  in
+  let w =
+    Watchdog.create ~config
+      ~engine:(Machine.engine t.machine)
+      ~sample:(watchdog_sample t)
+      ~on_wedge:(fun ~stalled_periods -> on_wedge t ~stalled_periods)
+      ()
+  in
+  t.watchdog <- Some w;
+  Watchdog.start w
+
+let watchdog_stop t =
+  match t.watchdog with Some w -> Watchdog.stop w | None -> ()
+
+let watchdog t = t.watchdog
+
+(* The [qW] payload: flat [key=value] pairs, single tokens only, so the
+   host side needs no quoting rules. *)
+let watchdog_report t =
+  let b = Buffer.create 128 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  (match t.lifecycle with
+   | Healthy -> add "lifecycle=healthy"
+   | Crashed { cause; vector; pc; chain } ->
+     add "lifecycle=crashed cause=%s vector=%d pc=0x%x" cause vector pc;
+     if chain <> [] then
+       add " chain=%s"
+         (String.concat ","
+            (List.map (fun (v, p) -> Printf.sprintf "%d@0x%x" v p) chain)));
+  (match t.watchdog with
+   | None -> add " watchdog=off"
+   | Some w ->
+     add " watchdog=%s checks=%d stalled=%d stalled_total=%d breakins=%d"
+       (if Watchdog.running w then "on" else "stopped")
+       (Watchdog.checks w)
+       (Watchdog.stalled_periods w)
+       (Watchdog.stalled_total w) (Watchdog.breakins w));
+  (match t.last_wedge with
+   | Some (pc, periods) -> add " wedge_pc=0x%x wedge_periods=%d" pc periods
+   | None -> ());
+  add " restarts=%d" t.c_restarts;
+  Buffer.contents b
+
+(* Warm restart: put guest-visible state back to the boot snapshot while
+   the debug plane — stub, reliable link, watchpoint table, host session
+   — stays exactly as it is.  Mirrors [boot_guest] plus the device and
+   virtual-interrupt state a reboot would reset. *)
+let restart_guest t =
+  match t.snapshot with
+  | None -> false
+  | Some snap ->
+    trace t Vmm_sim.Trace.Info
+      (Printf.sprintf "warm restart: reloading guest image, entry 0x%x"
+         (Snapshot.entry snap));
+    Snapshot.restore snap ~mem:(Machine.mem t.machine);
+    Scsi.reset (Machine.scsi t.machine);
+    Nic.reset (Machine.nic t.machine);
+    Pic.reset t.vpic;
+    Pit.io_write (get_vpit t) 2 0;
+    Buffer.clear t.console_buf;
+    Hashtbl.reset t.samples;
+    for i = 0 to 15 do
+      Cpu.write_reg t.cpu i 0
+    done;
+    t.v_if <- false;
+    t.v_iht <- 0;
+    t.v_ptb <- 0;
+    t.v_cpl <- 0;
+    Array.fill t.v_stacks 0 (Array.length t.v_stacks) 0;
+    t.v_halted <- false;
+    t.shutdown <- false;
+    t.lifecycle <- Healthy;
+    t.reprotect_page <- None;
+    t.mon_step_only <- false;
+    t.watch_resume <- None;
+    Shadow.clear t.shadow;
+    Cpu.set_ptb t.cpu (Shadow.root t.shadow);
+    Cpu.set_cpl t.cpu 1;
+    Cpu.set_interrupts_enabled t.cpu true;
+    Cpu.set_trap_flag t.cpu false;
+    Cpu.set_pc t.cpu (Snapshot.entry snap);
+    Cpu.set_halted t.cpu false;
+    Cpu.set_stopped t.cpu false;
+    t.c_restarts <- t.c_restarts + 1;
+    (match t.watchdog with Some w -> Watchdog.note_reset w | None -> ());
+    (* The restore overwrote planted BRK bytes with boot-image bytes;
+       the stub re-plants its breakpoints and forgets any stop state. *)
+    Stub.note_restart (get_stub t);
+    true
+
+let snapshot t = t.snapshot
 
 (* -- Stub target -- *)
 
@@ -775,6 +952,9 @@ let make_target t =
         charge t t.costs.Costs.port_io;
         Uart.io_write (Machine.uart t.machine) 0 byte);
     charge = (fun cycles -> with_cat t "stub" (fun () -> charge t cycles));
+    query_watchdog = (fun () -> watchdog_report t);
+    restart = (fun () -> restart_guest t);
+    crashed = (fun () -> crashed t);
   }
 
 (* -- Construction -- *)
@@ -807,6 +987,10 @@ let install ?(passthrough = default_passthrough) machine =
       watch_resume = None;
       console_buf = Buffer.create 256;
       shutdown = false;
+      lifecycle = Healthy;
+      snapshot = None;
+      watchdog = None;
+      last_wedge = None;
       c_world = 0;
       c_pic = 0;
       c_pit = 0;
@@ -817,6 +1001,8 @@ let install ?(passthrough = default_passthrough) machine =
       c_hyper = 0;
       c_escal = 0;
       c_inject = 0;
+      c_crashes = 0;
+      c_restarts = 0;
     }
   in
   t.vpit <-
@@ -873,6 +1059,17 @@ let install ?(passthrough = default_passthrough) machine =
        Vmm_sim.Stats.observe h);
   g "vpic_irqs_raised_total" (fun () -> Pic.raises t.vpic);
   g "vpic_irqs_acked_total" (fun () -> Pic.acks t.vpic);
+  (* Lifecycle & recovery: is the guest quarantined, has the watchdog
+     fired, how many warm restarts — the gauntlet's vital signs. *)
+  g "monitor_crashes_total" (fun () -> t.c_crashes);
+  g "monitor_restarts_total" (fun () -> t.c_restarts);
+  g "monitor_lifecycle_crashed" (fun () -> if crashed t then 1 else 0);
+  g "watchdog_checks_total" (fun () ->
+      match t.watchdog with Some w -> Watchdog.checks w | None -> 0);
+  g "watchdog_stalled_periods_total" (fun () ->
+      match t.watchdog with Some w -> Watchdog.stalled_total w | None -> 0);
+  g "watchdog_breakins_total" (fun () ->
+      match t.watchdog with Some w -> Watchdog.breakins w | None -> 0);
   (* Open direct device access; everything else traps. *)
   List.iter
     (fun { base; count } ->
@@ -904,6 +1101,8 @@ let boot_guest t program ~entry =
   t.v_cpl <- 0;
   t.v_halted <- false;
   t.shutdown <- false;
+  t.lifecycle <- Healthy;
+  t.last_wedge <- None;
   Shadow.clear t.shadow;
   Cpu.set_ptb t.cpu (Shadow.root t.shadow);
   Cpu.set_cpl t.cpu 1;
@@ -912,6 +1111,12 @@ let boot_guest t program ~entry =
   Cpu.set_pc t.cpu entry;
   Cpu.set_halted t.cpu false;
   Cpu.set_stopped t.cpu false;
+  (* Capture the warm-restart snapshot now: the image is loaded, the
+     registers are zero, the devices idle — exactly the state a restart
+     must reproduce. *)
+  t.snapshot <-
+    Some (Snapshot.capture ~mem:(Machine.mem t.machine) ~layout:t.layout ~entry);
+  (match t.watchdog with Some w -> Watchdog.note_reset w | None -> ());
   trace t Vmm_sim.Trace.Info
     (Printf.sprintf "guest booted at 0x%x (ring 1, shadow paging)" entry)
 
@@ -947,6 +1152,10 @@ let stats t =
     link_resets = (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.link_resets;
     link_downs = Stub.link_downs (get_stub t);
     injected_faults = t.c_inject;
+    wedge_breakins =
+      (match t.watchdog with Some w -> Watchdog.breakins w | None -> 0);
+    crashes = t.c_crashes;
+    restarts = t.c_restarts;
   }
 
 let console t = Buffer.contents t.console_buf

@@ -43,7 +43,27 @@ type stats = {
   link_resets : int;
   link_downs : int;
   injected_faults : int;
+  wedge_breakins : int;
+  crashes : int;
+  restarts : int;
 }
+
+(** {2 Guest lifecycle}
+
+    A guest the monitor cannot reflect a fault into — double fault,
+    unmapped exception stack, wild jump beyond mapped memory — is moved
+    to [Crashed]: frozen and quarantined, but fully inspectable through
+    the stub.  Resume is refused ([E03]) until a {!restart_guest}. *)
+
+type crash_report = {
+  cause : string;  (** single-token classification, e.g. [double_fault] *)
+  vector : int;
+  pc : int;
+  chain : (int * int) list;
+      (** nested delivery attempts (vector, pc), innermost last *)
+}
+
+type lifecycle = Healthy | Crashed of crash_report
 
 (** [install ?passthrough machine] takes ownership of the machine:
     registers the hypervisor hook, opens pass-through ports, unmasks the
@@ -128,3 +148,34 @@ type injected_fault =
 (** [inject t fault] perturbs the running guest.  The guest may crash —
     that is the point — but the monitor must not. *)
 val inject : t -> injected_fault -> unit
+
+(** {2 Lifecycle & recovery} *)
+
+val lifecycle : t -> lifecycle
+val crashed : t -> bool
+
+(** [watchdog_start ?period_cycles ?max_stalled_periods t] arms the
+    monitor-owned watchdog (default: 1 ms periods, 5 progress-free
+    periods to a break-in).  Runs on the monitor's timer — a periodic
+    engine event, never the physical PIT — and charges no guest cycles,
+    so workload telemetry is unchanged.  Restarting replaces any
+    previous watchdog. *)
+val watchdog_start :
+  ?period_cycles:int64 -> ?max_stalled_periods:int -> t -> unit
+
+val watchdog_stop : t -> unit
+val watchdog : t -> Watchdog.t option
+
+(** [watchdog_report t] — the [qW] payload: flat [key=value] pairs
+    covering lifecycle, crash context (cause, vector, pc, nested-fault
+    chain), watchdog counters and restart count. *)
+val watchdog_report : t -> string
+
+(** [restart_guest t] reloads the boot snapshot and reboots the guest
+    without touching the stub, the reliable link or the watchpoint
+    table; planted breakpoints are re-applied over the restored image.
+    False when no guest was ever booted. *)
+val restart_guest : t -> bool
+
+(** [snapshot t] — the boot snapshot captured by {!boot_guest}. *)
+val snapshot : t -> Snapshot.t option

@@ -1,0 +1,21 @@
+module Phys_mem = Vmm_hw.Phys_mem
+
+type t = { entry : int; image : Bytes.t }
+
+(* The guest owns everything below [monitor_base]; registers are all zero
+   at boot (boot_guest clears them) and device queues are empty, so the
+   guest-visible machine state at boot is exactly this byte image plus
+   the entry point.  Device power-on state is re-established at restore
+   time by the per-device [reset] functions the monitor calls. *)
+let capture ~mem ~layout ~entry =
+  {
+    entry;
+    image =
+      Phys_mem.read_bytes mem ~addr:0 ~len:layout.Vm_layout.monitor_base;
+  }
+
+(* Restoring goes through the normal store path, so write generations
+   bump and the CPU's decoded-instruction cache invalidates itself. *)
+let restore t ~mem = Phys_mem.load_bytes mem ~addr:0 t.image
+let entry t = t.entry
+let image_bytes t = Bytes.length t.image

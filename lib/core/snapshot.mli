@@ -1,0 +1,25 @@
+(** Boot-time snapshot of guest-visible machine state, for warm restart.
+
+    Captured by the monitor immediately after loading a guest image:
+    every guest-owned physical byte (the region below the monitor
+    reservation) plus the entry point.  Registers are architecturally
+    zero at boot and device queues empty, so image + entry is the whole
+    guest-visible state; the monitor re-establishes device power-on
+    state via the per-device [reset] hooks when it restores.
+
+    Restore writes through the normal store path, so physically tagged
+    caches (the CPU's decoded-instruction cache) invalidate without
+    explicit flushes. *)
+
+type t
+
+(** [capture ~mem ~layout ~entry] copies the guest-owned region out. *)
+val capture : mem:Vmm_hw.Phys_mem.t -> layout:Vm_layout.t -> entry:int -> t
+
+(** [restore t ~mem] writes the captured image back. *)
+val restore : t -> mem:Vmm_hw.Phys_mem.t -> unit
+
+val entry : t -> int
+
+(** [image_bytes t] — size of the captured image (metrics/tests). *)
+val image_bytes : t -> int

@@ -18,6 +18,9 @@ type target = {
   read_profile : unit -> (int * int) list;
   send_byte : int -> unit;
   charge : int -> unit;
+  query_watchdog : unit -> string;
+  restart : unit -> bool;
+  crashed : unit -> bool;
 }
 
 type run_state =
@@ -208,12 +211,31 @@ and handle_command t command =
     if t.target.clear_watch ~addr ~len then send_reply t Command.Ok_reply
     else send_reply t (Command.Error 0x0E)
   | Command.Continue ->
+    (* [c] and [s] always answer exactly once, immediately: OK when the
+       resume is accepted (stop reports still arrive separately as [T]
+       notifications), an error code when refused.  The host sends them
+       fire-and-forget, so without a guaranteed ack a refusal would land
+       in the middle of some later command's reply window and shift the
+       positional command/reply pairing. *)
     (match t.state with
-     | Stopped _ -> continue_guest t
-     | Running | Step_over _ | Client_step _ -> ())
+     | Stopped _ ->
+       (* A quarantined guest must not run again until restarted: its
+          state is exactly what the crash left, and resuming it would
+          only re-enter the fault.  E03 tells the host to restart. *)
+       if t.target.crashed () then send_reply t (Command.Error 0x03)
+       else begin
+         send_reply t Command.Ok_reply;
+         continue_guest t
+       end
+     | Running | Step_over _ | Client_step _ -> send_reply t Command.Ok_reply)
   | Command.Step ->
     (match t.state with
-     | Stopped _ -> step_guest t
+     | Stopped _ ->
+       if t.target.crashed () then send_reply t (Command.Error 0x03)
+       else begin
+         send_reply t Command.Ok_reply;
+         step_guest t
+       end
      | Running | Step_over _ | Client_step _ ->
        send_reply t (Command.Error 0x02))
   | Command.Halt ->
@@ -226,6 +248,14 @@ and handle_command t command =
        notify t (Command.Halt_requested pc))
   | Command.Read_console ->
     send_reply t (Command.Memory (t.target.read_console ()))
+  | Command.Query_watchdog ->
+    send_reply t (Command.Memory (t.target.query_watchdog ()))
+  | Command.Restart ->
+    (* The monitor reloads the snapshot and calls [note_restart] below
+       before returning, so by the time OK goes out the breakpoints are
+       re-planted and the guest is running from its entry point. *)
+    if t.target.restart () then send_reply t Command.Ok_reply
+    else send_reply t (Command.Error 0x0F)
   | Command.Read_profile ->
     (* textual payload: "pc,count;pc,count;..." in hex *)
     let text =
@@ -298,6 +328,22 @@ let on_guest_fault t ~vector ~pc =
   t.target.set_step false;
   stop_with t (Command.Faulted { vector; pc });
   notify t (Command.Faulted { vector; pc })
+
+let on_wedge t ~pc =
+  t.target.set_step false;
+  stop_with t (Command.Wedged pc);
+  notify t (Command.Wedged pc)
+
+(* Called by the monitor from inside a warm restart, after the snapshot
+   restore overwrote guest memory: re-plant every breakpoint (the saved
+   bytes still match — they are the boot-image bytes the restore just
+   wrote back) and forget any stop state; the guest is running again. *)
+let note_restart t =
+  List.iter
+    (fun addr -> ignore (t.target.write_memory ~addr ~data:brk_bytes))
+    (Breakpoints.addresses t.breakpoints);
+  t.target.set_step false;
+  t.state <- Running
 
 let stopped t = match t.state with Stopped _ -> true | Running | Step_over _ | Client_step _ -> false
 let endpoint t = get_endpoint t

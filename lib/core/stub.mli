@@ -29,6 +29,13 @@ type target = {
       (** the monitor's pc-sampling histogram, hottest first *)
   send_byte : int -> unit;  (** transmit on the debug link *)
   charge : int -> unit;  (** book monitor cycles *)
+  query_watchdog : unit -> string;
+      (** the monitor's lifecycle/watchdog report for [qW] *)
+  restart : unit -> bool;
+      (** warm-restart the guest from its boot snapshot; false when no
+          snapshot exists *)
+  crashed : unit -> bool;
+      (** the guest is quarantined ([Crashed]); resume must be refused *)
 }
 
 type t
@@ -65,6 +72,15 @@ val on_watchpoint : t -> pc:int -> addr:int -> unit
     (e.g. triple fault); the guest is stopped and the host notified — the
     paper's stability property in action. *)
 val on_guest_fault : t -> vector:int -> pc:int -> unit
+
+(** [on_wedge t ~pc] — the monitor's watchdog saw no guest progress and
+    forced a break-in; the host is notified with a [Wedged] stop. *)
+val on_wedge : t -> pc:int -> unit
+
+(** [note_restart t] — the monitor completed a warm restart: re-plant
+    breakpoints over the restored image and return to [Running].  Called
+    from inside {!target.restart}; the link state is untouched. *)
+val note_restart : t -> unit
 
 (** {2 State} *)
 

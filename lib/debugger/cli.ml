@@ -70,6 +70,9 @@ let stop_to_string t reason =
     Printf.sprintf "watchpoint on %s hit at %s"
       (Symbols.format_addr t.symbols addr)
       (Symbols.format_addr t.symbols pc)
+  | Command.Wedged addr ->
+    Printf.sprintf "watchdog break-in (no guest progress) at %s"
+      (Symbols.format_addr t.symbols addr)
 
 let disassemble t ~addr ~count =
   match Session.read_memory t.session ~addr ~len:(count * Isa.width) with
@@ -92,7 +95,7 @@ let usage =
   "commands: regs | reg <n> <value> | x <addr> <len> | w <addr> <hex> | \
    disas <addr> <n> | break <addr> | delete <addr> | watch <addr> [len] | \
    unwatch <addr> [len] | continue | step | halt | status | wait | \
-   console | profile [n] | symbols | help"
+   restart | watchdog | console | profile [n] | symbols | help"
 
 let with_addr t token f =
   match parse_address t token with
@@ -209,6 +212,15 @@ let execute t line =
                   (Symbols.format_addr t.symbols pc)))
          samples;
        Buffer.contents buf)
+  | [ "restart" ] ->
+    (match Session.restart t.session with
+     | Session.Restarted -> "guest restarted from boot snapshot"
+     | Session.Refused -> "error: target has no boot snapshot"
+     | Session.No_answer -> "error: no response")
+  | [ "watchdog" ] ->
+    (match Session.query_watchdog t.session with
+     | Some (text, _) -> text
+     | None -> "error: no response")
   | [ "console" ] ->
     (match Session.read_console t.session with
      | Some "" -> "(console empty)"

@@ -15,6 +15,17 @@ type t = {
   stale : int ref;
       (** replies still owed to commands whose wait was abandoned; they
           must be discarded on arrival, not matched to a later command *)
+  awaiting : int ref;
+      (** reply-bearing commands currently waiting; a non-stop payload
+          arriving when this is zero was not asked for and must not
+          enter the positional reply queue *)
+  discards : int ref;
+      (** acks owed to fire-and-forget sends: the stub answers [c]/[s]
+          exactly once (OK or an error code), so each such send owns one
+          reply slot that is consumed and dropped on arrival — error
+          codes among them (a crashed target refusing resume with E03)
+          are tallied in [unsolicited] *)
+  unsolicited : int ref;
   mutable last_latency_s : float;
   mutable link_downs : int;
 }
@@ -34,6 +45,9 @@ let attach ?link_config ?(wrap_to_target = fun sink -> sink)
   let stops = Queue.create () in
   let received = ref 0 in
   let stale = ref 0 in
+  let awaiting = ref 0 in
+  let discards = ref 0 in
+  let unsolicited = ref 0 in
   let deliver payload =
     incr received;
     let stop =
@@ -47,8 +61,16 @@ let attach ?link_config ?(wrap_to_target = fun sink -> sink)
     | Some reason -> Queue.add reason stops
     | None ->
       (* Replies pair with commands positionally, so a reply owed to an
-         abandoned wait must never satisfy a later command. *)
-      if !stale > 0 then decr stale else Queue.add payload replies
+         abandoned wait or to a fire-and-forget send must never satisfy
+         a later command. *)
+      if !stale > 0 then decr stale
+      else if !discards > 0 then begin
+        decr discards;
+        if String.length payload = 3 && payload.[0] = 'E' then
+          incr unsolicited
+      end
+      else if !awaiting = 0 then incr unsolicited
+      else Queue.add payload replies
   in
   let link_config =
     match link_config with
@@ -74,6 +96,9 @@ let attach ?link_config ?(wrap_to_target = fun sink -> sink)
       sent = 0;
       received;
       stale;
+      awaiting;
+      discards;
+      unsolicited;
       last_latency_s = 0.0;
       link_downs = 0;
     }
@@ -106,7 +131,9 @@ let pump_until t ~timeout_s ready =
 let transact ?(timeout_s = default_timeout_s) t command =
   let start = Machine.now t.machine in
   send t command;
+  incr t.awaiting;
   let got = pump_until t ~timeout_s (fun () -> not (Queue.is_empty t.replies)) in
+  decr t.awaiting;
   let costs = Machine.costs t.machine in
   t.last_latency_s <-
     Costs.seconds_of_cycles costs (Int64.sub (Machine.now t.machine) start);
@@ -174,6 +201,40 @@ let read_profile ?timeout_s t =
      | None -> None)
   | None -> None
 
+(* The [qW] payload is textual [key=value] pairs, hex-encoded on the
+   wire like the console; parse into an assoc list, raw text first. *)
+let query_watchdog ?timeout_s t =
+  match transact ?timeout_s t Command.Query_watchdog with
+  | Some payload ->
+    (match Packet.of_hex payload with
+     | Some text ->
+       let fields =
+         List.filter_map
+           (fun tok ->
+             match String.index_opt tok '=' with
+             | Some i ->
+               Some
+                 ( String.sub tok 0 i,
+                   String.sub tok (i + 1) (String.length tok - i - 1) )
+             | None -> None)
+           (String.split_on_char ' ' text)
+       in
+       Some (text, fields)
+     | None -> None)
+  | None -> None
+
+(* Warm restart: distinguish "restarted" from "refused" (E0F: the target
+   has no boot snapshot) and "no answer". *)
+type restart_result = Restarted | Refused | No_answer
+
+let restart ?timeout_s t =
+  match transact ?timeout_s t Command.Restart with
+  | Some "OK" -> Restarted
+  | Some payload when String.length payload = 3 && payload.[0] = 'E' ->
+    Refused
+  | Some _ -> No_answer
+  | None -> No_answer
+
 let insert_watchpoint ?timeout_s t ~addr ~len =
   expect_ok ?timeout_s t (Command.Insert_watchpoint { addr; len })
 
@@ -181,25 +242,33 @@ let remove_watchpoint ?timeout_s t ~addr ~len =
   expect_ok ?timeout_s t (Command.Remove_watchpoint { addr; len })
 
 (* Stop replies to '?' land in the stop queue like asynchronous
-   notifications; a query therefore waits for either queue. *)
+   notifications.  A notification already pending answers the query
+   without any wire traffic — sending '?' anyway would orphan its reply,
+   and a stopped target answers '?' with a T payload that lands in the
+   stop queue, not the positional reply queue, so marking the orphan
+   stale would eat the next genuine reply instead. *)
 let query_raw ?(timeout_s = default_timeout_s) t =
-  send t Command.Query_stop;
-  let ready () =
-    (not (Queue.is_empty t.replies)) || not (Queue.is_empty t.stops)
-  in
-  if pump_until t ~timeout_s ready then
-    match Queue.take_opt t.stops with
-    | Some reason ->
-      (* Answered from the stop queue — the ['?'] reply is still owed
-         and must not satisfy the next transact. *)
-      if Queue.is_empty t.replies then incr t.stale
-      else ignore (Queue.pop t.replies);
-      Some (Error reason)
-    | None -> Some (Ok (Queue.pop t.replies))
-  else begin
-    incr t.stale;
-    None
-  end
+  match Queue.take_opt t.stops with
+  | Some reason -> Some (Error reason)
+  | None ->
+    send t Command.Query_stop;
+    incr t.awaiting;
+    let ready () =
+      (not (Queue.is_empty t.replies)) || not (Queue.is_empty t.stops)
+    in
+    let got = pump_until t ~timeout_s ready in
+    decr t.awaiting;
+    if got then
+      match Queue.take_opt t.stops with
+      | Some reason ->
+        (* The ['?'] reply itself: a stopped target answers with its
+           stop reason. *)
+        Some (Error reason)
+      | None -> Some (Ok (Queue.pop t.replies))
+    else begin
+      incr t.stale;
+      None
+    end
 
 let query ?timeout_s t =
   match query_raw ?timeout_s t with
@@ -216,10 +285,16 @@ let wait_stop ?(timeout_s = default_timeout_s) t =
   let got = pump_until t ~timeout_s (fun () -> not (Queue.is_empty t.stops)) in
   if got then Some (Queue.pop t.stops) else None
 
-let continue_ t = send t Command.Continue
+(* [c] and [s] are fire-and-forget on this side, but the stub acks each
+   exactly once (OK or an error code): reserve the discard slot so that
+   ack never shifts the positional pairing of later commands. *)
+let continue_ t =
+  send t Command.Continue;
+  incr t.discards
 
 let step ?timeout_s t =
   send t Command.Step;
+  incr t.discards;
   wait_stop ?timeout_s t
 
 let halt ?timeout_s t =
@@ -238,6 +313,9 @@ let reconnect ?(timeout_s = default_timeout_s) t =
   Reliable.reset t.endpoint;
   Queue.clear t.replies;
   t.stale := 0;
+  (* Acks owed by the dead incarnation will never arrive; forgetting
+     them keeps the discard filter from eating post-resync replies. *)
+  t.discards := 0;
   (* Resync travels as a plain (unsequenced) frame: the stub delivers
      those without the duplicate filter, so it gets through even when the
      stale sequence spaces disagree about everything. *)
@@ -254,10 +332,13 @@ let reconnect ?(timeout_s = default_timeout_s) t =
     done;
     !synced
   in
+  incr t.awaiting;
   ignore (pump_until t ~timeout_s ready : bool);
+  decr t.awaiting;
   !synced
 
 let pending_stop t = Queue.take_opt t.stops
+let unsolicited_errors t = !(t.unsolicited)
 let link_stats t = Reliable.stats t.endpoint
 let retransmissions t = (link_stats t).Reliable.retransmits
 let link_downs t = t.link_downs

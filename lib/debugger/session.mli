@@ -44,6 +44,22 @@ val read_console : ?timeout_s:float -> t -> string option
     hottest first. *)
 val read_profile : ?timeout_s:float -> t -> (int * int) list option
 
+(** [query_watchdog t] — the monitor's lifecycle/watchdog report ([qW]):
+    the raw text plus its parsed [key=value] fields.  Keys include
+    [lifecycle], [cause]/[vector]/[pc]/[chain] when crashed, the
+    [watchdog]/[checks]/[breakins] counters and [restarts]. *)
+val query_watchdog :
+  ?timeout_s:float -> t -> (string * (string * string) list) option
+
+type restart_result =
+  | Restarted
+  | Refused  (** the target has no boot snapshot ([E0F]) *)
+  | No_answer
+
+(** [restart t] — warm-restart the guest from its boot snapshot ([R]).
+    The session, the reliable link and planted breakpoints survive. *)
+val restart : ?timeout_s:float -> t -> restart_result
+
 (** Write watchpoints: the target stops when the guest stores into
     [addr, addr+len). *)
 val insert_watchpoint : ?timeout_s:float -> t -> addr:int -> len:int -> bool
@@ -59,7 +75,10 @@ val is_running : ?timeout_s:float -> t -> bool option
 
 (** {2 Execution control} *)
 
-(** [continue_ t] resumes the target; returns immediately. *)
+(** [continue_ t] resumes the target; returns immediately.  The stub's
+    single ack (OK, or E03 from a crashed target) is absorbed when it
+    arrives and never disturbs later command/reply pairing; refusals
+    show up in {!unsolicited_errors}. *)
 val continue_ : t -> unit
 
 (** [step ?timeout_s t] single-steps and waits for the stop report. *)
@@ -92,6 +111,11 @@ val reconnect : ?timeout_s:float -> t -> bool
 
 (** [pending_stop t] — a stop notification that arrived unsolicited. *)
 val pending_stop : t -> Vmm_proto.Command.stop_reason option
+
+(** [unsolicited_errors t] — error replies to fire-and-forget commands:
+    a crashed target refusing resume answers [c]/[s] with [E03], which
+    must not shift the positional command/reply pairing. *)
+val unsolicited_errors : t -> int
 
 val packets_sent : t -> int
 val packets_received : t -> int

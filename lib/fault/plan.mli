@@ -2,11 +2,21 @@
 
     One plan owns one {!Vmm_sim.Rng} stream (split per armed fault so
     classes do not perturb each other) and one {!Chaos} wire.  {!arm}
-    translates a fault class into concrete Engine events: a chaos window
+    translates a fault class into concrete Engine events: a link window
     for link classes, a {!Core.Monitor.inject} for adversarial-guest
     classes, a device hook for the rest.  Everything is a function of
     (seed, schedule), so a failing stability run reproduces from the seed
-    printed by the test. *)
+    printed by the test.
+
+    The plan owns all scheduling through cancellable Engine handles, so
+    an arming can be withdrawn with {!disarm} before — or, for link
+    windows, while — it fires.
+
+    Overlap semantics: at most one live arming per class.  Re-arming a
+    class disarms its predecessor first (last-writer-wins).  Distinct
+    link classes whose windows overlap merge field-wise — each
+    probability is the max over the active windows — so a drop window
+    overlapping a dup window yields a wire that does both. *)
 
 type fault_class =
   | Link_drop  (** bytes vanish from the debug wire *)
@@ -39,9 +49,25 @@ val chaos : t -> Chaos.t
 
 (** [arm t ~monitor fault ~at ~until] schedules [fault] (sim-time cycles).
     Link classes are active over [[at, until)]; guest and device classes
-    trigger at [at] ([until] additionally sizes the NIC stall). *)
+    trigger at [at] ([until] additionally sizes the NIC stall).  An
+    earlier live arming of the same class is disarmed first. *)
 val arm :
   t -> monitor:Core.Monitor.t -> fault_class -> at:int64 -> until:int64 -> unit
 
-(** [armed t] — faults scheduled so far. *)
+(** [disarm t cls] withdraws every live arming of [cls]: pending
+    triggers are cancelled and an in-progress link window deactivates
+    immediately.  Effects already delivered (an injected fault, a device
+    hook that ran) stand.  True when something live was disarmed. *)
+val disarm : t -> fault_class -> bool
+
+(** [armed_classes t] — classes with a live arming: armed, not
+    disarmed, and not yet spent (fired / window elapsed), in arm
+    order. *)
+val armed_classes : t -> fault_class list
+
+(** [armed t] — faults scheduled so far (cumulative, disarms included). *)
 val armed : t -> int
+
+(** [disarms t] — live armings withdrawn via {!disarm} or superseded by
+    a re-arm. *)
+val disarms : t -> int

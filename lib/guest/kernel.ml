@@ -43,6 +43,20 @@ let off_tx_acked = 28
 let off_next_disk = 32
 let off_lba0 = 36
 let off_pending = 48
+let off_retry0 = 64  (* per-disk retries of the in-flight segment, 3 words *)
+let off_backoff0 = 76  (* per-disk cumulative backoff iterations, 3 words *)
+let off_scsi_retries = 88
+let off_scsi_drops = 92
+let off_nic_resets = 96
+
+(* Driver recovery tuning.  The retry budget is per segment (the pacing
+   tick resets it when it issues a fresh read).  The NIC spin budget must
+   sit far above the healthy worst case — one full serialization wait for
+   a ring slot is ~1.6k iterations at gigabit — and far below the
+   multi-millisecond stalls the fault plan arms. *)
+let scsi_max_retries = 3
+let scsi_backoff_unit = 64
+let nic_spin_limit = 20_000
 
 (* Ports. *)
 let pit = Machine.Ports.pit
@@ -92,6 +106,62 @@ let bump a ~scratch1 ~scratch2 off =
   Asm.ld a scratch2 scratch1 off;
   Asm.addi a scratch2 scratch2 (Asm.imm 1);
   Asm.st a scratch1 off scratch2
+
+(* The completion handlers' error path: disk r2 was just acked with the
+   medium-error flag up.  Retry the read up to [scsi_max_retries] times,
+   spinning a linear backoff first; past the budget the segment is
+   dropped and the pacing moves on.  The lba rewind undoes the advance
+   the pacing tick did at issue time, so a retry re-reads the same
+   segment.  Clobbers r5-r9 and r11; jumps to [next] when done. *)
+let emit_scsi_error_path a config ~next =
+  Asm.label a "scsi_error";
+  Asm.movi a 11 (Asm.lbl "counters");
+  Asm.movi a 5 (Asm.imm 4);
+  Asm.mul a 5 2 5;
+  Asm.add a 5 5 11 (* r5 = &counters + 4*disk *);
+  Asm.ld a 6 5 off_retry0;
+  Asm.addi a 6 6 (Asm.imm 1);
+  Asm.cmpi a 6 (Asm.imm (scsi_max_retries + 1));
+  Asm.jae a (Asm.lbl "scsi_drop");
+  Asm.st a 5 off_retry0 6;
+  Asm.ld a 7 11 off_scsi_retries;
+  Asm.addi a 7 7 (Asm.imm 1);
+  Asm.st a 11 off_scsi_retries 7;
+  (* linear backoff: retry * unit iterations, accounted per disk *)
+  Asm.movi a 7 (Asm.imm scsi_backoff_unit);
+  Asm.mul a 7 6 7;
+  Asm.ld a 8 5 off_backoff0;
+  Asm.add a 8 8 7;
+  Asm.st a 5 off_backoff0 8;
+  Asm.movi a 8 (Asm.imm 1);
+  Asm.label a "scsi_backoff";
+  Asm.cmpi a 7 (Asm.imm 0);
+  Asm.jz a (Asm.lbl "scsi_reissue");
+  Asm.sub a 7 7 8;
+  Asm.jmp a (Asm.lbl "scsi_backoff");
+  Asm.label a "scsi_reissue";
+  Asm.ld a 7 5 off_lba0;
+  Asm.movi a 8 (Asm.imm (config.segment_bytes / 512));
+  Asm.sub a 7 7 8;
+  Asm.st a 5 off_lba0 7;
+  Asm.outi a (Asm.imm scsi_target) 2;
+  Asm.outi a (Asm.imm scsi_lba) 7;
+  Asm.movi a 8 (Asm.imm config.segment_bytes);
+  Asm.outi a (Asm.imm scsi_count) 8;
+  Asm.movi a 8 (Asm.imm disk_buffer_stride);
+  Asm.mul a 8 2 8;
+  Asm.addi a 8 8 (Asm.imm disk_buffer_base);
+  Asm.outi a (Asm.imm scsi_dma) 8;
+  Asm.movi a 8 (Asm.imm 1);
+  Asm.outi a (Asm.imm scsi_cmd) 8;
+  Asm.jmp a (Asm.lbl next);
+  Asm.label a "scsi_drop";
+  Asm.movi a 6 (Asm.imm 0);
+  Asm.st a 5 off_retry0 6;
+  Asm.ld a 7 11 off_scsi_drops;
+  Asm.addi a 7 7 (Asm.imm 1);
+  Asm.st a 11 off_scsi_drops 7;
+  Asm.jmp a (Asm.lbl next)
 
 let emit_iht a ~gates =
   Asm.align a 8;
@@ -300,6 +370,9 @@ let build config =
   Asm.outi a (Asm.imm scsi_dma) 5;
   Asm.movi a 5 (Asm.imm 1);
   Asm.outi a (Asm.imm scsi_cmd) 5;
+  (* a fresh segment gets a fresh retry budget *)
+  Asm.movi a 5 (Asm.imm 0);
+  Asm.st a 6 off_retry0 5;
   Asm.ld a 1 7 off_segs_issued;
   Asm.addi a 1 1 (Asm.imm 1);
   Asm.st a 7 off_segs_issued 1;
@@ -325,8 +398,10 @@ let build config =
   Asm.label a "scsi_handler";
   if config.user_mode then begin
     (* hand finished segments to the application: mark them pending and
-       let the blocked wait-segment syscall pick them up *)
-    List.iter (Asm.push a) [ 1; 2; 3; 4; 5 ];
+       let the blocked wait-segment syscall pick them up.  A medium
+       error never reaches the app: it is retried (bounded, with
+       backoff) and past the budget the segment is dropped. *)
+    List.iter (Asm.push a) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 11 ];
     Asm.ini a 1 (Asm.imm scsi_status);
     Asm.movi a 2 (Asm.imm 0);
     Asm.label a "scsi_loop";
@@ -334,7 +409,13 @@ let build config =
     Asm.shl a 3 3 2;
     Asm.and_ a 4 1 3;
     Asm.jz a (Asm.lbl "scsi_next");
+    (* fresh status for the error flag — the ack below clears it *)
+    Asm.ini a 4 (Asm.imm scsi_status);
+    Asm.movi a 5 (Asm.imm 31);
+    Asm.shr a 4 4 5;
     Asm.outi a (Asm.imm scsi_ack) 2;
+    Asm.cmpi a 4 (Asm.imm 0);
+    Asm.jnz a (Asm.lbl "scsi_error");
     Asm.movi a 4 (Asm.lbl "counters");
     Asm.ld a 5 4 off_pending;
     Asm.or_ a 5 5 3;
@@ -342,17 +423,21 @@ let build config =
     Asm.ld a 5 4 off_segs_done;
     Asm.addi a 5 5 (Asm.imm 1);
     Asm.st a 4 off_segs_done 5;
+    Asm.jmp a (Asm.lbl "scsi_next");
+    emit_scsi_error_path a config ~next:"scsi_next";
     Asm.label a "scsi_next";
     Asm.addi a 2 2 (Asm.imm 1);
     Asm.cmpi a 2 (Asm.imm config.disks);
     Asm.jb a (Asm.lbl "scsi_loop");
     Asm.movi a 1 (Asm.imm 0x20);
     Asm.outi a (Asm.imm pic) 1;
-    List.iter (Asm.pop a) [ 5; 4; 3; 2; 1 ];
+    List.iter (Asm.pop a) [ 11; 9; 8; 7; 6; 5; 4; 3; 2; 1 ];
     Asm.iret a
   end
   else begin
-    (* kernel-mode: transmit each done segment right here *)
+    (* kernel-mode: transmit each done segment right here; a medium
+       error is retried (bounded, with backoff) before the segment is
+       given up *)
     List.iter (Asm.push a) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ];
     Asm.ini a 1 (Asm.imm scsi_status);
     Asm.movi a 2 (Asm.imm 0);
@@ -361,7 +446,13 @@ let build config =
     Asm.shl a 3 3 2;
     Asm.and_ a 4 1 3;
     Asm.jz a (Asm.lbl "scsi_next");
+    (* fresh status for the error flag — the ack below clears it *)
+    Asm.ini a 4 (Asm.imm scsi_status);
+    Asm.movi a 5 (Asm.imm 31);
+    Asm.shr a 4 4 5;
     Asm.outi a (Asm.imm scsi_ack) 2;
+    Asm.cmpi a 4 (Asm.imm 0);
+    Asm.jnz a (Asm.lbl "scsi_error");
     Asm.movi a 5 (Asm.imm disk_buffer_stride);
     Asm.mul a 5 2 5;
     Asm.addi a 5 5 (Asm.imm disk_buffer_base);
@@ -370,6 +461,8 @@ let build config =
     Asm.ld a 6 11 off_segs_done;
     Asm.addi a 6 6 (Asm.imm 1);
     Asm.st a 11 off_segs_done 6;
+    Asm.jmp a (Asm.lbl "scsi_next");
+    emit_scsi_error_path a config ~next:"scsi_next";
     Asm.label a "scsi_next";
     Asm.addi a 2 2 (Asm.imm 1);
     Asm.cmpi a 2 (Asm.imm config.disks);
@@ -403,13 +496,25 @@ let build config =
   Asm.label a "syscall_send";
   Asm.push a 8;
   Asm.push a 9;
+  Asm.push a 3;
+  Asm.movi a 3 (Asm.imm nic_spin_limit);
   Asm.label a "nic_spin";
   Asm.ini a 8 (Asm.imm nic_status);
   Asm.movi a 9 (Asm.imm 1);
   Asm.and_ a 8 8 9;
   Asm.jz a (Asm.lbl "nic_ready");
   bump a ~scratch1:8 ~scratch2:9 off_nic_spins;
-  Asm.jmp a (Asm.lbl "nic_spin");
+  Asm.movi a 9 (Asm.imm 1);
+  Asm.sub a 3 3 9;
+  Asm.cmpi a 3 (Asm.imm 0);
+  Asm.jnz a (Asm.lbl "nic_spin");
+  (* spin budget exhausted: the wire is wedged.  Reset the transmit
+     ring, drop this frame and return — the stream degrades instead of
+     hanging the kernel inside a syscall forever. *)
+  Asm.movi a 8 (Asm.imm 3);
+  Asm.outi a (Asm.imm nic_cmd) 8;
+  bump a ~scratch1:8 ~scratch2:9 off_nic_resets;
+  Asm.jmp a (Asm.lbl "nic_out");
   Asm.label a "nic_ready";
   Asm.outi a (Asm.imm nic_tx_addr) 10;
   Asm.addi a 8 7 (Asm.imm Netfmt.header_bytes);
@@ -424,6 +529,8 @@ let build config =
   Asm.ld a 9 8 off_bytes;
   Asm.add a 9 9 7;
   Asm.st a 8 off_bytes 9;
+  Asm.label a "nic_out";
+  Asm.pop a 3;
   Asm.pop a 9;
   Asm.pop a 8;
   Asm.iret a;
@@ -483,7 +590,7 @@ let build config =
   (* ---- kernel data ---- *)
   Asm.align a 8;
   Asm.label a "counters";
-  Asm.space a 64;
+  Asm.space a 128;
   Asm.label a "header_template";
   Asm.bytes a
     (Bytes.of_string
@@ -541,6 +648,9 @@ type counters = {
   reads_skipped : int;
   nic_full_spins : int;
   tx_acked : int;
+  scsi_retries : int;
+  scsi_drops : int;
+  nic_tx_resets : int;
 }
 
 let read_counters mem program =
@@ -555,6 +665,9 @@ let read_counters mem program =
     reads_skipped = word off_skipped;
     nic_full_spins = word off_nic_spins;
     tx_acked = word off_tx_acked;
+    scsi_retries = word off_scsi_retries;
+    scsi_drops = word off_scsi_drops;
+    nic_tx_resets = word off_nic_resets;
   }
 
 let interesting_symbols =

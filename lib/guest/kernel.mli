@@ -46,6 +46,12 @@ type counters = {
   reads_skipped : int;  (** pacing ticks that found the disk still busy *)
   nic_full_spins : int;  (** transmit-ring backpressure iterations *)
   tx_acked : int;
+  scsi_retries : int;
+      (** failed reads re-issued (bounded per segment, linear backoff) *)
+  scsi_drops : int;  (** segments abandoned after the retry budget *)
+  nic_tx_resets : int;
+      (** transmit-ring resets after an exhausted spin budget (the
+          driver's escape from a stalled wire; the frame is dropped) *)
 }
 
 (** [read_counters mem program] snapshots the guest's counter block. *)

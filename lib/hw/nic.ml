@@ -25,6 +25,10 @@ type t = {
   mutable tx_stalls : int;
   mutable stall_cycles : int64;
   mutable tracer : Vmm_obs.Tracer.t option;
+  mutable epoch : int;
+      (* bumped by [tx_reset]/[reset]; in-flight completion events compare
+         their captured epoch and only recycle their buffer afterwards *)
+  mutable tx_resets : int;
 }
 
 let create ~engine ~costs ~mem () =
@@ -50,6 +54,8 @@ let create ~engine ~costs ~mem () =
     tx_stalls = 0;
     stall_cycles = 0L;
     tracer = None;
+    epoch = 0;
+    tx_resets = 0;
   }
 
 let set_irq t f = t.irq <- f
@@ -98,18 +104,36 @@ let send t =
        Vmm_obs.Tracer.add_complete tracer ~cat:"dma" ~name:"nic_tx" ~start
          ~stop:done_at ()
      | None -> ());
+    let epoch = t.epoch in
     ignore
       (Engine.at t.engine ~time:done_at (fun () ->
-           t.queued <- t.queued - 1;
-           t.completions <- t.completions + 1;
-           t.frames_sent <- t.frames_sent + 1;
-           t.bytes_sent <- Int64.add t.bytes_sent (Int64.of_int len);
-           (* Consumers may retain the frame, so they get a right-sized
-              copy; benches never register one and pay no allocation. *)
-           if t.has_consumer then t.on_frame (Bytes.sub buf 0 len);
-           Stack.push buf t.pool;
-           t.irq ()))
+           if t.epoch = epoch then begin
+             t.queued <- t.queued - 1;
+             t.completions <- t.completions + 1;
+             t.frames_sent <- t.frames_sent + 1;
+             t.bytes_sent <- Int64.add t.bytes_sent (Int64.of_int len);
+             (* Consumers may retain the frame, so they get a right-sized
+                copy; benches never register one and pay no allocation. *)
+             if t.has_consumer then t.on_frame (Bytes.sub buf 0 len);
+             t.irq ()
+           end;
+           (* The buffer is recycled either way — a reset emptied the ring
+              but the frame is no longer referenced. *)
+           Stack.push buf t.pool))
   end
+
+(* Guest-visible TX-ring reset (command 3): drop every queued frame (their
+   completion events are epoch-guarded no-ops now), clear pending
+   completions and the overflow flag.  The wire itself is untouched — an
+   armed stall keeps the wire busy; the reset just gives the driver an
+   empty ring to refill behind it.  This is the driver's escape hatch from
+   a TX stall that filled the ring. *)
+let tx_reset t =
+  t.epoch <- t.epoch + 1;
+  t.queued <- 0;
+  t.completions <- 0;
+  t.overflow <- false;
+  t.tx_resets <- t.tx_resets + 1
 
 let receive_into_buffer t =
   match Queue.take_opt t.rx with
@@ -141,6 +165,7 @@ let io_write t offset v =
     (match v land 3 with
      | 1 -> send t
      | 2 -> receive_into_buffer t
+     | 3 -> tx_reset t
      | _ -> ())
   | 4 ->
     if v land 1 <> 0 && t.completions > 0 then
@@ -179,3 +204,19 @@ let stall_tx t ~cycles =
 let tx_stalls t = t.tx_stalls
 let stall_cycles t = t.stall_cycles
 let tx_queued t = t.queued
+let tx_ring_resets t = t.tx_resets
+
+(* Warm-restart support: everything [tx_reset] drops plus the DMA/RX
+   registers and any waiting inbound frames — power-on state, without
+   counting a driver-initiated ring reset.  [wire_busy_until] survives on
+   purpose: an armed stall is a property of the wire (the fault plan), not
+   of the guest being rebooted.  Cumulative counters survive too. *)
+let reset t =
+  t.epoch <- t.epoch + 1;
+  t.queued <- 0;
+  t.completions <- 0;
+  t.overflow <- false;
+  t.tx_addr <- 0;
+  t.tx_len <- 0;
+  t.rx_addr <- 0;
+  Queue.clear t.rx

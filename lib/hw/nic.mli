@@ -15,7 +15,9 @@
     Port map (offsets):
     - +0 TX frame physical address (write)
     - +1 TX frame length in bytes (write)
-    - +2 command (write): 1 = send, 2 = receive-into-buffer
+    - +2 command (write): 1 = send, 2 = receive-into-buffer, 3 = TX-ring
+      reset (drop queued frames and pending completions, clear overflow;
+      the wire itself — including an armed stall — is untouched)
     - +3 status (read): bit 0 ring full, bit 1 completions pending,
       bit 2 overflow happened, bit 3 rx frame waiting
     - +4 acknowledge (write): 1 = consume one tx completion, 2 = clear
@@ -75,3 +77,12 @@ val tx_stalls : t -> int
 (** [stall_cycles t] — cumulative wire time added by {!stall_tx} beyond
     serialization that was already queued. *)
 val stall_cycles : t -> int64
+
+(** [tx_ring_resets t] — driver-issued TX-ring resets (command 3). *)
+val tx_ring_resets : t -> int
+
+(** [reset t] returns the controller to power-on state for a warm
+    restart: queued frames and pending completions are dropped, DMA/RX
+    registers clear, waiting inbound frames discarded.  An armed wire
+    stall and the cumulative counters are preserved. *)
+val reset : t -> unit

@@ -27,6 +27,9 @@ type t = {
   mutable read_errors : int;
   mutable writes_completed : int;
   mutable tracer : Vmm_obs.Tracer.t option;
+  mutable epoch : int;
+      (* bumped by [reset]; in-flight completion events compare their
+         captured epoch and become no-ops after a warm restart *)
 }
 
 let create ~engine ~costs ~mem ~targets () =
@@ -55,6 +58,7 @@ let create ~engine ~costs ~mem ~targets () =
     read_errors = 0;
     writes_completed = 0;
     tracer = None;
+    epoch = 0;
   }
 
 let targets t = Array.length t.target_states
@@ -176,7 +180,10 @@ let start_command t cmd =
            ~name:(if cmd = 1 then "scsi_read" else "scsi_write")
            ~start ~stop:(Int64.add start delay) ()
        | None -> ());
-      ignore (Engine.after t.engine ~delay finish)
+      let epoch = t.epoch in
+      ignore
+        (Engine.after t.engine ~delay (fun () ->
+             if t.epoch = epoch then finish ()))
     end
   end
 
@@ -226,6 +233,26 @@ let writes_completed t = t.writes_completed
 let busy_targets t =
   Array.fold_left (fun acc ts -> if ts.busy then acc + 1 else acc) 0
     t.target_states
+
+(* Warm-restart support: abandon in-flight commands (their completion
+   events are epoch-guarded no-ops now), drop completion/error state and
+   guest-written sectors, and clear the selection registers — power-on
+   state.  Cumulative counters and armed fault injections survive: the
+   former are monitor-side telemetry, the latter belong to the fault
+   plan, not the guest. *)
+let reset t =
+  t.epoch <- t.epoch + 1;
+  Array.iter
+    (fun ts ->
+      ts.busy <- false;
+      ts.done_ <- false;
+      Hashtbl.reset ts.sectors)
+    t.target_states;
+  t.sel_target <- 0;
+  t.sel_lba <- 0;
+  t.sel_count <- 0;
+  t.sel_dma <- 0;
+  t.error <- false
 
 (* Fault injection: fail the next [n] reads at the medium. *)
 let inject_read_errors t n =

@@ -56,6 +56,13 @@ val writes_completed : t -> int
     gauge). *)
 val busy_targets : t -> int
 
+(** [reset t] returns the controller to power-on state for a warm
+    restart: in-flight commands are abandoned (their completion events
+    become no-ops), completion/error state and guest-written sectors are
+    dropped, selection registers clear.  Cumulative counters and armed
+    fault injections are preserved. *)
+val reset : t -> unit
+
 (** {2 Fault injection} *)
 
 (** [inject_read_errors t n] — the next [n] reads fail at the medium: the

@@ -15,6 +15,8 @@ type command =
   | Query_stop
   | Read_console
   | Read_profile
+  | Query_watchdog
+  | Restart
   | Detach
   | Resync
       (** reset the reliable-link endpoints on both sides after a
@@ -26,6 +28,7 @@ type stop_reason =
   | Faulted of { vector : int; pc : int }
   | Halt_requested of int
   | Watch_hit of { pc : int; addr : int }
+  | Wedged of int
 
 type reply =
   | Ok_reply
@@ -61,6 +64,8 @@ let command_to_wire = function
   | Query_stop -> "?"
   | Read_console -> "qC"
   | Read_profile -> "qP"
+  | Query_watchdog -> "qW"
+  | Restart -> "R"
   | Detach -> "D"
   | Resync -> "!"
 
@@ -86,7 +91,9 @@ let command_of_wire s =
     | 'q' ->
       if s = "qC" then Some Read_console
       else if s = "qP" then Some Read_profile
+      else if s = "qW" then Some Query_watchdog
       else None
+    | 'R' -> Some Restart
     | 'D' -> Some Detach
     | '!' -> Some Resync
     | 'P' ->
@@ -139,6 +146,7 @@ let code_step = 0x01
 let code_fault = 0x0B
 let code_halt = 0x02
 let code_watch = 0x06
+let code_wedge = 0x07
 
 let stop_to_wire = function
   | Break addr -> Printf.sprintf "T%s;%s" (hex code_break ~width:2) (hex addr ~width:8)
@@ -152,6 +160,8 @@ let stop_to_wire = function
   | Watch_hit { pc; addr } ->
     Printf.sprintf "T%s;%s;%s" (hex code_watch ~width:2) (hex pc ~width:8)
       (hex addr ~width:8)
+  | Wedged addr ->
+    Printf.sprintf "T%s;%s" (hex code_wedge ~width:2) (hex addr ~width:8)
 
 let reply_to_wire = function
   | Ok_reply -> "OK"
@@ -181,6 +191,9 @@ let parse_stop s =
   | c, [ a ] when c = code_halt ->
     let* addr = Packet.int_of_hex a in
     Some (Halt_requested addr)
+  | c, [ a ] when c = code_wedge ->
+    let* addr = Packet.int_of_hex a in
+    Some (Wedged addr)
   | c, [ a; v ] when c = code_fault ->
     let* pc = Packet.int_of_hex a in
     let* vector = Packet.int_of_hex v in
@@ -228,6 +241,8 @@ let pp_stop_reason fmt = function
   | Halt_requested addr -> Format.fprintf fmt "halted at 0x%x" addr
   | Watch_hit { pc; addr } ->
     Format.fprintf fmt "watchpoint on 0x%x hit at 0x%x" addr pc
+  | Wedged addr ->
+    Format.fprintf fmt "watchdog: no guest progress, stopped at 0x%x" addr
 
 let pp_reply fmt = function
   | Ok_reply -> Format.pp_print_string fmt "OK"

@@ -24,6 +24,12 @@ type command =
   | Query_stop  (** [?] *)
   | Read_console  (** [qC] — drain the target-side console buffer *)
   | Read_profile  (** [qP] — fetch the monitor's pc-sampling profile *)
+  | Query_watchdog
+      (** [qW] — fetch the monitor's lifecycle/watchdog report (textual
+          [key=value] pairs, hex-encoded on the wire like [qC]) *)
+  | Restart
+      (** [R] — warm-restart the guest from its boot snapshot without
+          dropping the debug session or the reliable-link state *)
   | Detach  (** [D] *)
   | Resync
       (** [!] — restart the reliable-link state on the target after the
@@ -37,6 +43,9 @@ type stop_reason =
   | Halt_requested of int  (** host asked; stopped at address *)
   | Watch_hit of { pc : int; addr : int }
       (** a watched location was written *)
+  | Wedged of int
+      (** the monitor's watchdog saw no guest progress and forced a
+          break-in; stopped at address *)
 
 type reply =
   | Ok_reply  (** [OK] *)

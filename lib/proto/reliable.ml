@@ -15,8 +15,12 @@
      timeout (Engine events), with capped exponential backoff; after
      [max_retries] the endpoint gives up, drops its queue and reports
      Link_down instead of hanging;
-   - a frame carrying an already-seen sequence number is re-acked and
-     dropped, so retransmission never re-executes a command.
+   - the receiver accepts only frames whose sequence number lies in the
+     half-window ahead of the last accepted one (serial-number
+     arithmetic, so wraparound is handled); retransmissions and
+     delay-displaced copies of older frames land in the half-window
+     behind and are re-acked but dropped, so a command is never
+     re-executed and reordering never delivers stale data.
 
    For compatibility with peers that speak the bare protocol (the
    embedded-debugger baseline, hand-rolled test hosts), an endpoint
@@ -252,7 +256,21 @@ let on_packet t payload =
   | Some (seq, body) ->
     t.sequenced <- true;
     send_ack t seq;
-    if seq = t.last_rx_seq then
+    (* Serial-number window test (cf. RFC 1982): with a stop-and-wait peer
+       the sequence space only ever moves forward, so a frame whose number
+       sits in the half-window {e behind} the last accepted one can only be
+       a retransmission or a delay-displaced copy of an older frame — it is
+       re-acked above (so the peer stops resending it) and dropped here.
+       Frames ahead of the window edge are delivered even across a gap:
+       refusing them would wedge the receiver forever if the peer ever
+       advanced on an ack we never delivered for. *)
+    let behind =
+      t.last_rx_seq >= 0
+      &&
+      let delta = (seq - t.last_rx_seq) land 0xFF in
+      delta = 0 || delta > 128
+    in
+    if behind then
       t.counters.duplicates_dropped <- t.counters.duplicates_dropped + 1
     else begin
       t.last_rx_seq <- seq;

@@ -15,8 +15,12 @@
       timeout, with capped exponential backoff; after [max_retries] the
       endpoint gives up, drops its queue and reports link-down instead of
       hanging;
-    - a frame carrying an already-seen sequence number is re-acked and
-      dropped, so retransmission never re-executes a command.
+    - the receiver accepts only frames whose sequence number lies in the
+      half-window ahead of the last accepted one (serial-number
+      arithmetic, wraparound-safe); retransmissions and delay-displaced
+      copies of older frames fall behind the window edge and are
+      re-acked but dropped, so a command is never re-executed and
+      reordering never delivers stale data.
 
     For compatibility with peers that speak the bare protocol (the
     embedded-debugger baseline, hand-rolled test hosts), an endpoint

@@ -458,12 +458,18 @@ let test_stub_breakpoint_cycle () =
   (* single step: executes the addi *)
   send_command host Command.Step;
   (match next_reply m host with
+   | Some Command.Ok_reply -> ()
+   | _ -> Alcotest.fail "expected step ack");
+  (match next_reply m host with
    | Some (Command.Stopped (Command.Step_done addr)) ->
      check int "stepped past" (marker + Isa.width) addr;
      check int "tick counted by step" (ticks + 1) (reg m 7)
    | _ -> Alcotest.fail "expected step notification");
   (* continue: must hit the breakpoint again on the next tick *)
   send_command host Command.Continue;
+  (match next_reply m host with
+   | Some Command.Ok_reply -> ()
+   | _ -> Alcotest.fail "expected continue ack");
   (match next_reply m host with
    | Some (Command.Stopped (Command.Break addr)) ->
      check int "hit again" marker addr

@@ -208,6 +208,153 @@ let test_stale_reply_no_desync () =
   check bool "debuggable after resync" true
     (Session.read_registers ~timeout_s:1.0 session <> None)
 
+(* -- Plan arming surface: overlap, disarm, introspection -- *)
+
+let test_plan_disarm_and_overlap () =
+  let m, mon, plan, session = rig ~seed:81L in
+  let now = Machine.now m in
+  let at = Int64.add now (cyc 0.002) and until = Int64.add now (cyc 0.5) in
+  Plan.arm plan ~monitor:mon Plan.Link_drop ~at ~until;
+  Plan.arm plan ~monitor:mon Plan.Link_delay ~at ~until;
+  check (Alcotest.list Alcotest.string) "both armings live"
+    [ Plan.name Plan.Link_drop; Plan.name Plan.Link_delay ]
+    (List.map Plan.name (Plan.armed_classes plan));
+  (* Re-arming a live class replaces it (last-writer-wins), never stacks. *)
+  Plan.arm plan ~monitor:mon Plan.Link_drop ~at ~until;
+  check int "still two armings" 2 (List.length (Plan.armed_classes plan));
+  check bool "disarm hits the live arming" true
+    (Plan.disarm plan Plan.Link_drop);
+  check bool "second disarm is a no-op" false
+    (Plan.disarm plan Plan.Link_drop);
+  check (Alcotest.list Alcotest.string) "only delay remains"
+    [ Plan.name Plan.Link_delay ]
+    (List.map Plan.name (Plan.armed_classes plan));
+  check bool "disarm the rest" true (Plan.disarm plan Plan.Link_delay);
+  check int "disarms counted (incl. the replacement)" 3 (Plan.disarms plan);
+  (* Everything was disarmed before the window opened: the wire stays
+     clean through what would have been the fault window. *)
+  for _ = 1 to 5 do
+    check bool "clean read" true
+      (Session.read_memory ~timeout_s:0.5 session ~addr:Kernel.entry ~len:32
+      <> None)
+  done;
+  check int "no retransmissions" 0 (Session.retransmissions session)
+
+(* -- Lifecycle: watchdog break-in, crash containment, warm restart -- *)
+
+module Command = Vmm_proto.Command
+
+let test_watchdog_breakin () =
+  let m, mon, _plan, session = rig ~seed:82L in
+  Monitor.watchdog_start mon;
+  Monitor.inject mon Monitor.Guest_wedge;
+  Machine.run_seconds m 0.02;
+  check bool "break-in counted" true
+    ((Monitor.stats mon).Monitor.wedge_breakins >= 1);
+  (match Session.wait_stop ~timeout_s:1.0 session with
+   | Some (Command.Wedged _) -> ()
+   | _ -> Alcotest.fail "expected a wedged (T07) stop");
+  match Session.query_watchdog session with
+  | Some (_, fields) ->
+    check Alcotest.string "watchdog running" "on"
+      (List.assoc "watchdog" fields);
+    check bool "break-ins reported" true
+      (int_of_string (List.assoc "breakins" fields) >= 1);
+    check bool "wedge context recorded" true (List.mem_assoc "wedge_pc" fields)
+  | None -> Alcotest.fail "no qW reply"
+
+let test_crash_containment () =
+  let m, mon, _plan, session = rig ~seed:83L in
+  Monitor.inject mon Monitor.Iht_clobber;
+  Machine.run_seconds m 0.02;
+  check bool "guest crashed" true (Monitor.crashed mon);
+  (* Quarantined, not dead: the stub answers everything. *)
+  check bool "registers readable" true (Session.read_registers session <> None);
+  check bool "memory readable" true
+    (Session.read_memory session ~addr:Kernel.entry ~len:16 <> None);
+  (match Session.query_watchdog session with
+   | Some (_, fields) ->
+     check Alcotest.string "lifecycle reported" "crashed"
+       (List.assoc "lifecycle" fields);
+     check bool "cause recorded" true (List.mem_assoc "cause" fields)
+   | None -> Alcotest.fail "no qW reply");
+  (* Resume is refused (E03): the target stays stopped. *)
+  Session.continue_ session;
+  check (Alcotest.option bool) "still stopped" (Some false)
+    (Session.is_running session);
+  ignore (Session.step ~timeout_s:1.0 session);
+  check (Alcotest.option bool) "still stopped after step" (Some false)
+    (Session.is_running session);
+  (* Both refusals (E03 to [c] and to [s]) are absorbed by the
+     fire-and-forget discard slots and tallied, never shifting the
+     command/reply pairing. *)
+  check bool "refusals counted" true (Session.unsolicited_errors session >= 2);
+  (* The only way out is a warm restart. *)
+  (match Session.restart session with
+   | Session.Restarted -> ()
+   | _ -> Alcotest.fail "restart should succeed");
+  check bool "healthy after restart" false (Monitor.crashed mon);
+  Machine.run_seconds m 0.02;
+  check (Alcotest.option bool) "running again" (Some true)
+    (Session.is_running session)
+
+let test_warm_restart_preserves_session () =
+  let m, mon, _plan, session = rig ~seed:84L in
+  let program = Kernel.build (Kernel.default_config ~rate_mbps:20.0) in
+  let target = Vmm_hw.Asm.symbol program "scsi_handler" in
+  check bool "insert" true (Session.insert_breakpoint session target);
+  (match Session.wait_stop ~timeout_s:1.0 session with
+   | Some (Command.Break a) -> check int "hit before restart" target a
+   | _ -> Alcotest.fail "expected a breakpoint hit");
+  (match Session.restart session with
+   | Session.Restarted -> ()
+   | _ -> Alcotest.fail "restart failed");
+  check int "restart counted" 1 (Monitor.stats mon).Monitor.restarts;
+  (* Same session, same reliable link — no reconnect needed. *)
+  check bool "registers after restart" true
+    (Session.read_registers session <> None);
+  check int "no link resets" 0
+    (Session.link_stats session).Vmm_proto.Reliable.link_resets;
+  (* The planted breakpoint was re-applied over the restored image. *)
+  (match Session.wait_stop ~timeout_s:1.0 session with
+   | Some (Command.Break a) -> check int "hit again on fresh boot" target a
+   | _ -> Alcotest.fail "breakpoint should survive the restart");
+  check bool "remove" true (Session.remove_breakpoint session target);
+  Session.continue_ session;
+  Machine.run_seconds m 0.1;
+  let c = Kernel.read_counters (Machine.mem m) program in
+  check bool "workload streams after restart" true (c.Kernel.frames_sent > 0)
+
+(* Warm restart really is a reboot: the same workload slice after a
+   restart produces the same telemetry as a fresh boot (modulo the
+   sub-slice phase at which the restart lands). *)
+let test_restart_matches_fresh_boot () =
+  let close_enough label a b =
+    let tol = max 3 (a / 10) in
+    check bool (Printf.sprintf "%s: fresh=%d restarted=%d" label a b) true
+      (abs (a - b) <= tol)
+  in
+  let program = Kernel.build (Kernel.default_config ~rate_mbps:20.0) in
+  let reference =
+    let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:test_costs () in
+    let mon = Monitor.install m in
+    Monitor.boot_guest mon program ~entry:Kernel.entry;
+    Machine.run_seconds m 0.25;
+    Kernel.read_counters (Machine.mem m) program
+  in
+  let m, _mon, _plan, session = rig ~seed:85L in
+  Machine.run_seconds m 0.1;
+  (match Session.restart session with
+   | Session.Restarted -> ()
+   | _ -> Alcotest.fail "restart failed");
+  Machine.run_seconds m 0.25;
+  let after = Kernel.read_counters (Machine.mem m) program in
+  close_enough "ticks" reference.Kernel.ticks after.Kernel.ticks;
+  close_enough "segments done" reference.Kernel.segments_done
+    after.Kernel.segments_done;
+  close_enough "frames sent" reference.Kernel.frames_sent
+    after.Kernel.frames_sent
+
 let () =
   let stability_cases =
     List.map
@@ -226,5 +373,17 @@ let () =
           Alcotest.test_case "link down and back" `Quick test_link_down_and_back;
           Alcotest.test_case "stale reply no desync" `Quick
             test_stale_reply_no_desync;
+          Alcotest.test_case "plan disarm + overlap" `Quick
+            test_plan_disarm_and_overlap;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "watchdog break-in" `Quick test_watchdog_breakin;
+          Alcotest.test_case "crash containment" `Quick
+            test_crash_containment;
+          Alcotest.test_case "warm restart preserves session" `Quick
+            test_warm_restart_preserves_session;
+          Alcotest.test_case "restart matches fresh boot" `Quick
+            test_restart_matches_fresh_boot;
         ] );
     ]
