@@ -9,14 +9,14 @@
      dune exec bench/main.exe -- debugload    -- E5 debugging under load
      dune exec bench/main.exe -- ablation-trap         -- E6
      dune exec bench/main.exe -- ablation-passthrough  -- E7
-     dune exec bench/main.exe -- micro        -- M1 bechamel microbenches *)
+     dune exec bench/main.exe -- micro        -- M1 bechamel microbenches
+     dune exec bench/main.exe -- analysis     -- M3 static-verifier throughput *)
 
 module Machine = Vmm_hw.Machine
 module Cpu = Vmm_hw.Cpu
 module Asm = Vmm_hw.Asm
 module Isa = Vmm_hw.Isa
 module Costs = Vmm_hw.Costs
-module Phys_mem = Vmm_hw.Phys_mem
 module Uart = Vmm_hw.Uart
 module Packet = Vmm_proto.Packet
 module Command = Vmm_proto.Command
@@ -902,6 +902,95 @@ let sim_speed () =
       results
 
 (* ---------------------------------------------------------------- *)
+(* M3 — static-verifier throughput (host wall time).                *)
+(* ---------------------------------------------------------------- *)
+
+(* BENCH_ANALYSIS_ITERS=50 widens the sample for lower variance; the
+   default keeps the no-argument bench run fast. *)
+let analysis () =
+  section "M3 -- static verifier throughput (CFG + abstract interpretation)";
+  let iters =
+    match Sys.getenv_opt "BENCH_ANALYSIS_ITERS" with
+    | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 10)
+    | None -> 10
+  in
+  let layout = Core.Vm_layout.default ~mem_size:(16 * 1024 * 1024) in
+  let cfg =
+    {
+      Vmm_analysis.Verifier.guest_owns = Core.Vm_layout.guest_owns layout;
+      allowed_ports = Vmm_analysis.Verifier.default_ports;
+      entry_ring = 0;
+    }
+  in
+  let variants =
+    [
+      ("kernel", Kernel.default_config ~rate_mbps:50.0);
+      ( "kernel-user-mode",
+        { (Kernel.default_config ~rate_mbps:50.0) with Kernel.user_mode = true }
+      );
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, kcfg) ->
+        let program = Kernel.build kcfg in
+        let report =
+          ref (Vmm_analysis.Verifier.verify cfg ~entry:Kernel.entry program)
+        in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          report := Vmm_analysis.Verifier.verify cfg ~entry:Kernel.entry program
+        done;
+        let dt = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+        let r = !report in
+        let ips =
+          if dt > 0.0 then float_of_int r.Vmm_analysis.Verifier.instructions /. dt
+          else 0.0
+        in
+        Printf.printf "%-18s %4d instrs  %3d blocks  %.3f ms/verify  %.0f instrs/s  %s\n"
+          name r.Vmm_analysis.Verifier.instructions
+          r.Vmm_analysis.Verifier.blocks (dt *. 1000.0) ips
+          (if r.Vmm_analysis.Verifier.clean then "clean" else "DIRTY");
+        (name, r, dt, ips))
+      variants
+  in
+  write_json "BENCH_analysis.json"
+    (Json.Obj
+       (run_header "analysis"
+       @ [
+           ("iterations", Json.Int iters);
+           ( "programs",
+             Json.List
+               (List.map
+                  (fun (name, r, dt, ips) ->
+                    Json.Obj
+                      [
+                        ("program", Json.String name);
+                        ("clean", Json.Bool r.Vmm_analysis.Verifier.clean);
+                        ( "diagnostics",
+                          Json.Int
+                            (List.length r.Vmm_analysis.Verifier.diagnostics) );
+                        ( "instructions",
+                          Json.Int r.Vmm_analysis.Verifier.instructions );
+                        ("blocks", Json.Int r.Vmm_analysis.Verifier.blocks);
+                        ("functions", Json.Int r.Vmm_analysis.Verifier.functions);
+                        ("roots", Json.Int r.Vmm_analysis.Verifier.roots);
+                        ("seconds_per_verify", Json.Float dt);
+                        ("instructions_per_second", Json.Float ips);
+                      ])
+                  results) );
+         ]));
+  List.iter
+    (fun (name, r, _, _) ->
+      if not r.Vmm_analysis.Verifier.clean then begin
+        Printf.eprintf "analysis: shipped program '%s' has diagnostics:\n%s\n"
+          name
+          (Vmm_analysis.Verifier.render r);
+        exit 1
+      end)
+    results
+
+(* ---------------------------------------------------------------- *)
 (* M1 — bechamel microbenchmarks.                                   *)
 (* ---------------------------------------------------------------- *)
 
@@ -993,6 +1082,7 @@ let targets =
     ("ablation-usermode", ablation_usermode);
     ("ablation-segment", ablation_segment);
     ("sim-speed", sim_speed);
+    ("analysis", analysis);
     ("micro", micro);
   ]
 

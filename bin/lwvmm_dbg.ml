@@ -15,7 +15,16 @@
      quit
 
    Usage: dune exec bin/lwvmm_dbg.exe -- [--rate MBPS] [--fast-uart]
-          [--lossy SEED] [--script 'cmd;cmd;...'] *)
+          [--lossy SEED] [--script 'cmd;cmd;...']
+
+   Batch mode for CI:
+
+     lwvmm_dbg lint [IMAGE] [--origin ADDR] [--entry ADDR]
+
+   runs the static verifier (lib/analysis) over the shipped guest
+   kernel — both kernel- and user-mode builds — or over a raw image
+   file, under the monitor's default memory/port policy, and exits
+   non-zero on any diagnostic. *)
 
 module Machine = Vmm_hw.Machine
 module Costs = Vmm_hw.Costs
@@ -25,6 +34,8 @@ module Session = Vmm_debugger.Session
 module Symbols = Vmm_debugger.Symbols
 module Cli = Vmm_debugger.Cli
 module Chaos = Vmm_fault.Chaos
+module Verifier = Vmm_analysis.Verifier
+module Vm_layout = Core.Vm_layout
 
 let run rate fast_uart lossy script =
   let costs =
@@ -150,6 +161,48 @@ let run rate fast_uart lossy script =
     in
     repl ()
 
+(* -- lint: batch verification with an exit code, for CI -- *)
+
+(* The monitor's policy on the default 16 MiB machine: guest memory
+   below monitor_base, emulated PIC/PIT/UART plus passed-through
+   SCSI/NIC ports. *)
+let lint_config () =
+  let layout = Vm_layout.default ~mem_size:(16 * 1024 * 1024) in
+  {
+    Verifier.guest_owns = Vm_layout.guest_owns layout;
+    allowed_ports = Verifier.default_ports;
+    entry_ring = 0;
+  }
+
+let lint image_file origin entry =
+  let cfg = lint_config () in
+  let reports =
+    match image_file with
+    | Some path ->
+      let ic = open_in_bin path in
+      let image = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+      close_in ic;
+      let origin = Option.value origin ~default:0x1000 in
+      [ (path, None, Verifier.verify_image cfg ~origin ?entry image) ]
+    | None ->
+      List.map
+        (fun (name, kcfg) ->
+          let p = Kernel.build kcfg in
+          ( name,
+            Some (Symbols.of_program p),
+            Verifier.verify cfg ~entry:Kernel.entry p ))
+        [
+          ("guest kernel (kernel mode)", Kernel.default_config ~rate_mbps:50.0);
+          ( "guest kernel (user mode)",
+            { (Kernel.default_config ~rate_mbps:50.0) with Kernel.user_mode = true } );
+        ]
+  in
+  List.iter
+    (fun (name, symbols, r) ->
+      Printf.printf "%s: %s\n" name (Verifier.render ?symbols r))
+    reports;
+  if List.exists (fun (_, _, r) -> not r.Verifier.clean) reports then 1 else 0
+
 open Cmdliner
 
 let rate =
@@ -174,9 +227,40 @@ let script =
   let doc = "Run a semicolon-separated command list instead of a REPL." in
   Arg.(value & opt (some string) None & info [ "script" ] ~docv:"CMDS" ~doc)
 
+let image_file =
+  let doc =
+    "Raw LWM-32 image file to lint instead of the shipped guest kernel."
+  in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc)
+
+let origin_arg =
+  let doc = "Load address of the raw image (default 0x1000)." in
+  Arg.(value & opt (some int) None & info [ "origin" ] ~docv:"ADDR" ~doc)
+
+let entry_arg =
+  let doc = "Entry point of the raw image (default: its origin)." in
+  Arg.(value & opt (some int) None & info [ "entry" ] ~docv:"ADDR" ~doc)
+
+let run' rate fast_uart lossy script =
+  run rate fast_uart lossy script;
+  0
+
+let run_term = Term.(const run' $ rate $ fast_uart $ lossy $ script)
+
+let lint_cmd =
+  let doc =
+    "statically verify a guest image (CFG + abstract interpretation); \
+     exits non-zero on any diagnostic"
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint $ image_file $ origin_arg $ entry_arg)
+
+let run_cmd =
+  let doc = "boot the guest under the monitor and open the debug REPL" in
+  Cmd.v (Cmd.info "run" ~doc) run_term
+
 let cmd =
   let doc = "remote debugger for guests under the lightweight VMM" in
   let info = Cmd.info "lwvmm_dbg" ~doc in
-  Cmd.v info Term.(const run $ rate $ fast_uart $ lossy $ script)
+  Cmd.group ~default:run_term info [ run_cmd; lint_cmd ]
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -16,7 +16,6 @@ module Asm = Vmm_hw.Asm
 module Isa = Vmm_hw.Isa
 module Costs = Vmm_hw.Costs
 module Uart = Vmm_hw.Uart
-module Phys_mem = Vmm_hw.Phys_mem
 module Packet = Vmm_proto.Packet
 module Command = Vmm_proto.Command
 module Monitor = Core.Monitor

@@ -11,6 +11,7 @@ module Costs = Vmm_hw.Costs
 module Asm = Vmm_hw.Asm
 module Scsi = Vmm_hw.Scsi
 module Nic = Vmm_hw.Nic
+module Verifier = Vmm_analysis.Verifier
 
 type passthrough = { base : int; count : int }
 
@@ -83,6 +84,12 @@ type t = {
       (* page to step across when the stub resumes after a watch hit *)
   console_buf : Buffer.t;
   mutable shutdown : bool;
+  (* load-time static verification *)
+  passthrough : passthrough list;
+  mutable verify_on_boot : bool;
+  mutable boot_image : (Asm.program * int) option;
+  mutable last_verify : Verifier.report option;
+  mutable c_verifies : int;
   (* lifecycle & recovery *)
   mutable lifecycle : lifecycle;
   mutable snapshot : Snapshot.t option;
@@ -834,6 +841,42 @@ let watchdog_report t =
   add " restarts=%d" t.c_restarts;
   Buffer.contents b
 
+(* -- Load-time static verification -- *)
+
+(* The verifier sees exactly what the monitor enforces dynamically: the
+   guest owns physical memory below [monitor_base], and may touch the
+   emulated PIC/PIT/UART registers plus whatever was passed through. *)
+let verify_config t =
+  let emulated base = (base, base + 2) in
+  {
+    Verifier.guest_owns = Vm_layout.guest_owns t.layout;
+    allowed_ports =
+      emulated Machine.Ports.pic :: emulated Machine.Ports.pit
+      :: emulated Machine.Ports.uart
+      :: List.map (fun { base; count } -> (base, base + count - 1)) t.passthrough;
+    entry_ring = 0;
+  }
+
+let verify_guest t program ~entry =
+  let report = Verifier.verify (verify_config t) ~entry program in
+  t.c_verifies <- t.c_verifies + 1;
+  t.last_verify <- Some report;
+  if not report.Verifier.clean then
+    trace t Vmm_sim.Trace.Warn
+      (Printf.sprintf "static verifier: %d diagnostic(s) in the guest image"
+         (List.length report.Verifier.diagnostics));
+  report
+
+let set_verify_on_boot t flag = t.verify_on_boot <- flag
+let verify_on_boot t = t.verify_on_boot
+let verification t = t.last_verify
+
+(* The [qV] payload; same flat [key=value] shape as [qW]. *)
+let verify_report_text t =
+  match t.last_verify with
+  | Some r -> Verifier.summary r
+  | None -> "analysis=off"
+
 (* Warm restart: put guest-visible state back to the boot snapshot while
    the debug plane — stub, reliable link, watchpoint table, host session
    — stays exactly as it is.  Mirrors [boot_guest] plus the device and
@@ -879,6 +922,11 @@ let restart_guest t =
     (* The restore overwrote planted BRK bytes with boot-image bytes;
        the stub re-plants its breakpoints and forgets any stop state. *)
     Stub.note_restart (get_stub t);
+    (* The restored memory is the boot image again: re-verify so the qV
+       report always describes what is actually running. *)
+    (match t.boot_image with
+    | Some (p, entry) when t.verify_on_boot -> ignore (verify_guest t p ~entry)
+    | _ -> ());
     true
 
 let snapshot t = t.snapshot
@@ -953,6 +1001,7 @@ let make_target t =
         Uart.io_write (Machine.uart t.machine) 0 byte);
     charge = (fun cycles -> with_cat t "stub" (fun () -> charge t cycles));
     query_watchdog = (fun () -> watchdog_report t);
+    query_verify = (fun () -> verify_report_text t);
     restart = (fun () -> restart_guest t);
     crashed = (fun () -> crashed t);
   }
@@ -987,6 +1036,11 @@ let install ?(passthrough = default_passthrough) machine =
       watch_resume = None;
       console_buf = Buffer.create 256;
       shutdown = false;
+      passthrough;
+      verify_on_boot = true;
+      boot_image = None;
+      last_verify = None;
+      c_verifies = 0;
       lifecycle = Healthy;
       snapshot = None;
       watchdog = None;
@@ -1070,6 +1124,22 @@ let install ?(passthrough = default_passthrough) machine =
       match t.watchdog with Some w -> Watchdog.stalled_total w | None -> 0);
   g "watchdog_breakins_total" (fun () ->
       match t.watchdog with Some w -> Watchdog.breakins w | None -> 0);
+  (* Load-time static verification of the booted image. *)
+  g "analysis_runs_total" (fun () -> t.c_verifies);
+  g "analysis_clean" (fun () ->
+      match t.last_verify with
+      | Some r -> if r.Verifier.clean then 1 else 0
+      | None -> 0);
+  g "analysis_diagnostics" (fun () ->
+      match t.last_verify with
+      | Some r -> List.length r.Verifier.diagnostics
+      | None -> 0);
+  g "analysis_instructions" (fun () ->
+      match t.last_verify with
+      | Some r -> r.Verifier.instructions
+      | None -> 0);
+  g "analysis_blocks" (fun () ->
+      match t.last_verify with Some r -> r.Verifier.blocks | None -> 0);
   (* Open direct device access; everything else traps. *)
   List.iter
     (fun { base; count } ->
@@ -1117,6 +1187,11 @@ let boot_guest t program ~entry =
   t.snapshot <-
     Some (Snapshot.capture ~mem:(Machine.mem t.machine) ~layout:t.layout ~entry);
   (match t.watchdog with Some w -> Watchdog.note_reset w | None -> ());
+  (* Static verification of the image just loaded (record-only: the
+     report is queryable over qV and published as analysis_* gauges, but
+     never blocks the boot). *)
+  t.boot_image <- Some (program, entry);
+  if t.verify_on_boot then ignore (verify_guest t program ~entry);
   trace t Vmm_sim.Trace.Info
     (Printf.sprintf "guest booted at 0x%x (ring 1, shadow paging)" entry)
 

@@ -179,3 +179,33 @@ val restart_guest : t -> bool
 
 (** [snapshot t] — the boot snapshot captured by {!boot_guest}. *)
 val snapshot : t -> Snapshot.t option
+
+(** {2 Load-time static verification}
+
+    On every {!boot_guest} (and again on each warm restart, since the
+    restore puts the boot image back) the monitor runs the
+    {!Vmm_analysis.Verifier} over the guest image: the same
+    guest-owns-memory and I/O-bitmap policy it enforces dynamically at
+    trap time, proven statically at load time.  Verification is
+    record-only — a dirty report never blocks the boot — and is
+    published as [analysis_*] registry gauges and over the [qV] debug
+    query. *)
+
+(** [set_verify_on_boot t flag] — enable/disable load-time verification
+    (on by default).  Affects subsequent boots and restarts. *)
+val set_verify_on_boot : t -> bool -> unit
+
+val verify_on_boot : t -> bool
+
+(** [verify_guest t program ~entry] runs the verifier immediately under
+    the monitor's memory/port policy and records the report. *)
+val verify_guest : t -> Vmm_hw.Asm.program -> entry:int -> Vmm_analysis.Verifier.report
+
+(** [verification t] — the most recent report, if any guest was verified. *)
+val verification : t -> Vmm_analysis.Verifier.report option
+
+(** [verify_report_text t] — the [qV] payload: flat [key=value] pairs
+    ([analysis=clean|dirty], counts, and the first diagnostics as
+    [dN=<class>@0xADDR] tokens); ["analysis=off"] before any
+    verification ran. *)
+val verify_report_text : t -> string

@@ -1,4 +1,3 @@
-module Packet = Vmm_proto.Packet
 module Command = Vmm_proto.Command
 module Reliable = Vmm_proto.Reliable
 module Isa = Vmm_hw.Isa
@@ -19,6 +18,7 @@ type target = {
   send_byte : int -> unit;
   charge : int -> unit;
   query_watchdog : unit -> string;
+  query_verify : unit -> string;
   restart : unit -> bool;
   crashed : unit -> bool;
 }
@@ -250,6 +250,8 @@ and handle_command t command =
     send_reply t (Command.Memory (t.target.read_console ()))
   | Command.Query_watchdog ->
     send_reply t (Command.Memory (t.target.query_watchdog ()))
+  | Command.Query_verify ->
+    send_reply t (Command.Memory (t.target.query_verify ()))
   | Command.Restart ->
     (* The monitor reloads the snapshot and calls [note_restart] below
        before returning, so by the time OK goes out the breakpoints are

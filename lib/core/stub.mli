@@ -31,6 +31,8 @@ type target = {
   charge : int -> unit;  (** book monitor cycles *)
   query_watchdog : unit -> string;
       (** the monitor's lifecycle/watchdog report for [qW] *)
+  query_verify : unit -> string;
+      (** the monitor's load-time static-verification report for [qV] *)
   restart : unit -> bool;
       (** warm-restart the guest from its boot snapshot; false when no
           snapshot exists *)

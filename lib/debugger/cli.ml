@@ -95,7 +95,7 @@ let usage =
   "commands: regs | reg <n> <value> | x <addr> <len> | w <addr> <hex> | \
    disas <addr> <n> | break <addr> | delete <addr> | watch <addr> [len] | \
    unwatch <addr> [len] | continue | step | halt | status | wait | \
-   restart | watchdog | console | profile [n] | symbols | help"
+   restart | watchdog | verify | console | profile [n] | symbols | help"
 
 let with_addr t token f =
   match parse_address t token with
@@ -219,6 +219,10 @@ let execute t line =
      | Session.No_answer -> "error: no response")
   | [ "watchdog" ] ->
     (match Session.query_watchdog t.session with
+     | Some (text, _) -> text
+     | None -> "error: no response")
+  | [ "verify" ] ->
+    (match Session.query_verify t.session with
      | Some (text, _) -> text
      | None -> "error: no response")
   | [ "console" ] ->

@@ -223,6 +223,28 @@ let query_watchdog ?timeout_s t =
      | None -> None)
   | None -> None
 
+(* The [qV] payload (load-time static-verification report) has the same
+   flat [key=value] shape as [qW]. *)
+let query_verify ?timeout_s t =
+  match transact ?timeout_s t Command.Query_verify with
+  | Some payload ->
+    (match Packet.of_hex payload with
+     | Some text ->
+       let fields =
+         List.filter_map
+           (fun tok ->
+             match String.index_opt tok '=' with
+             | Some i ->
+               Some
+                 ( String.sub tok 0 i,
+                   String.sub tok (i + 1) (String.length tok - i - 1) )
+             | None -> None)
+           (String.split_on_char ' ' text)
+       in
+       Some (text, fields)
+     | None -> None)
+  | None -> None
+
 (* Warm restart: distinguish "restarted" from "refused" (E0F: the target
    has no boot snapshot) and "no answer". *)
 type restart_result = Restarted | Refused | No_answer

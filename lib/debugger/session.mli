@@ -51,6 +51,14 @@ val read_profile : ?timeout_s:float -> t -> (int * int) list option
 val query_watchdog :
   ?timeout_s:float -> t -> (string * (string * string) list) option
 
+(** [query_verify t] — the monitor's load-time static-verification
+    report ([qV]): the raw text plus its parsed [key=value] fields.
+    Keys include [analysis] ([clean]/[dirty]/[off]), the [diags]/
+    [instructions]/[blocks]/[functions]/[roots] counters, and the first
+    diagnostics as [dN] fields. *)
+val query_verify :
+  ?timeout_s:float -> t -> (string * (string * string) list) option
+
 type restart_result =
   | Restarted
   | Refused  (** the target has no boot snapshot ([E0F]) *)

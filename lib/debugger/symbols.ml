@@ -1,11 +1,16 @@
 type t = { by_name : (string, int) Hashtbl.t; sorted : (string * int) array }
 
-let of_program (p : Vmm_hw.Asm.program) =
+let of_list symbols =
   let by_name = Hashtbl.create 64 in
-  List.iter (fun (name, addr) -> Hashtbl.replace by_name name addr) p.Vmm_hw.Asm.symbols;
-  let sorted = Array.of_list p.Vmm_hw.Asm.symbols in
-  Array.sort (fun (_, a) (_, b) -> compare a b) sorted;
+  List.iter (fun (name, addr) -> Hashtbl.replace by_name name addr) symbols;
+  let sorted = Array.of_list symbols in
+  (* [Array.sort] is not stable: break address ties by name so that
+     rendering stays deterministic when several labels alias the same
+     address (e.g. a region base that is also an entry point). *)
+  Array.sort (fun (n1, a1) (n2, a2) -> compare (a1, n1) (a2, n2)) sorted;
   { by_name; sorted }
+
+let of_program (p : Vmm_hw.Asm.program) = of_list p.Vmm_hw.Asm.symbols
 
 let address t name = Hashtbl.find_opt t.by_name name
 
@@ -15,10 +20,19 @@ let nearest t addr =
     else
       let mid = (lo + hi) / 2 in
       let _, a = t.sorted.(mid) in
-      if a <= addr then search (mid + 1) hi (Some t.sorted.(mid))
+      if a <= addr then search (mid + 1) hi (Some mid)
       else search lo (mid - 1) best
   in
-  search 0 (Array.length t.sorted - 1) None
+  match search 0 (Array.length t.sorted - 1) None with
+  | None -> None
+  | Some i ->
+    (* several labels can share an address: report the first in
+       (address, name) order, always the same one *)
+    let _, a = t.sorted.(i) in
+    let rec first j =
+      if j > 0 && snd t.sorted.(j - 1) = a then first (j - 1) else j
+    in
+    Some t.sorted.(first i)
 
 let format_addr t addr =
   match nearest t addr with

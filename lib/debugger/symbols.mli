@@ -5,11 +5,18 @@ type t
 
 val of_program : Vmm_hw.Asm.program -> t
 
+(** [of_list symbols] — build a table from raw [(name, address)] pairs
+    (the debugger normally uses {!of_program}; this is for tests and
+    hand-built tables). *)
+val of_list : (string * int) list -> t
+
 (** [address t name] — the label's absolute address. *)
 val address : t -> string -> int option
 
-(** [nearest t addr] — the closest label at or below [addr], with the
-    offset from it; [None] below the first symbol. *)
+(** [nearest t addr] — the closest label at or below [addr], as
+    [(name, base_address)]; [None] below the first symbol or when the
+    table is empty.  When several labels share an address the first in
+    (address, name) order is reported, deterministically. *)
 val nearest : t -> int -> (string * int) option
 
 (** [format_addr t addr] — ["label+0x10 (0x1234)"] style rendering. *)

@@ -1,5 +1,4 @@
 module Machine = Vmm_hw.Machine
-module Cpu = Vmm_hw.Cpu
 module Nic = Vmm_hw.Nic
 module Costs = Vmm_hw.Costs
 module Stats = Vmm_sim.Stats

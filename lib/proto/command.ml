@@ -16,6 +16,7 @@ type command =
   | Read_console
   | Read_profile
   | Query_watchdog
+  | Query_verify
   | Restart
   | Detach
   | Resync
@@ -65,6 +66,7 @@ let command_to_wire = function
   | Read_console -> "qC"
   | Read_profile -> "qP"
   | Query_watchdog -> "qW"
+  | Query_verify -> "qV"
   | Restart -> "R"
   | Detach -> "D"
   | Resync -> "!"
@@ -92,6 +94,7 @@ let command_of_wire s =
       if s = "qC" then Some Read_console
       else if s = "qP" then Some Read_profile
       else if s = "qW" then Some Query_watchdog
+      else if s = "qV" then Some Query_verify
       else None
     | 'R' -> Some Restart
     | 'D' -> Some Detach

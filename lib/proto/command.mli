@@ -27,6 +27,10 @@ type command =
   | Query_watchdog
       (** [qW] — fetch the monitor's lifecycle/watchdog report (textual
           [key=value] pairs, hex-encoded on the wire like [qC]) *)
+  | Query_verify
+      (** [qV] — fetch the monitor's load-time static-verification
+          report for the booted guest image (textual [key=value] pairs,
+          hex-encoded on the wire like [qW]) *)
   | Restart
       (** [R] — warm-restart the guest from its boot snapshot without
           dropping the debug session or the reliable-link state *)

@@ -5,7 +5,6 @@
 module Machine = Vmm_hw.Machine
 module Cpu = Vmm_hw.Cpu
 module Asm = Vmm_hw.Asm
-module Isa = Vmm_hw.Isa
 module Nic = Vmm_hw.Nic
 module Uart = Vmm_hw.Uart
 module Phys_mem = Vmm_hw.Phys_mem

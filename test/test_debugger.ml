@@ -5,7 +5,6 @@
 module Machine = Vmm_hw.Machine
 module Cpu = Vmm_hw.Cpu
 module Asm = Vmm_hw.Asm
-module Isa = Vmm_hw.Isa
 module Costs = Vmm_hw.Costs
 module Monitor = Core.Monitor
 module Kernel = Vmm_guest.Kernel
@@ -62,6 +61,39 @@ let test_symbols_lookup () =
   check Alcotest.string "format offset" "start+0x8 (0x1008)"
     (Symbols.format_addr s 0x1008);
   check Alcotest.string "format below" "0xf00" (Symbols.format_addr s 0xF00)
+
+let test_symbols_edge_cases () =
+  (* Empty table: nothing resolves, addresses render bare. *)
+  let empty = Symbols.of_list [] in
+  check bool "empty nearest" true (Symbols.nearest empty 0x1000 = None);
+  check Alcotest.string "empty format" "0x1000"
+    (Symbols.format_addr empty 0x1000);
+  (* Duplicate labels on one address (an alias label) must resolve
+     deterministically: the first in (address, name) order. *)
+  let s =
+    Symbols.of_list
+      [ ("zz_alias", 0x2000); ("handler", 0x2000); ("tail", 0x2010) ]
+  in
+  (match Symbols.nearest s 0x2000 with
+   | Some (name, base) ->
+     check Alcotest.string "duplicate picks first by name" "handler" name;
+     check int "duplicate base" 0x2000 base
+   | None -> Alcotest.fail "expected nearest");
+  (match Symbols.nearest s 0x2008 with
+   | Some (name, base) ->
+     check Alcotest.string "offset from duplicate" "handler" name;
+     check int "offset base" 0x2000 base
+   | None -> Alcotest.fail "expected nearest");
+  (* Exactly on a later label: no spill-back to the earlier one. *)
+  (match Symbols.nearest s 0x2010 with
+   | Some (name, base) ->
+     check Alcotest.string "exact later label" "tail" name;
+     check int "exact later base" 0x2010 base
+   | None -> Alcotest.fail "expected nearest");
+  (* Below the first symbol: None, and format_addr falls back to hex. *)
+  check bool "below first" true (Symbols.nearest s 0x1FFF = None);
+  check Alcotest.string "below first format" "0x1fff"
+    (Symbols.format_addr s 0x1FFF)
 
 (* -- Session -- *)
 
@@ -266,6 +298,21 @@ let test_breakpoint_and_watchpoint_together () =
   Machine.run_seconds m 0.3;
   check bool "guest healthy afterwards" true (ticks () > before + 1)
 
+let test_session_query_verify () =
+  (* The monitor verifies the shipped kernel at boot; qV reports it. *)
+  let _, _, _, session, _ = rig () in
+  match Session.query_verify session with
+  | Some (text, fields) ->
+    check bool "report text" true (contains text "analysis=");
+    check (Alcotest.option Alcotest.string) "clean" (Some "clean")
+      (List.assoc_opt "analysis" fields);
+    check (Alcotest.option Alcotest.string) "no diagnostics" (Some "0")
+      (List.assoc_opt "diags" fields);
+    (match List.assoc_opt "instructions" fields with
+     | Some n -> check bool "instruction count" true (int_of_string n > 100)
+     | None -> Alcotest.fail "missing instructions field")
+  | None -> Alcotest.fail "no qV reply"
+
 (* -- CLI -- *)
 
 let test_cli_regs_and_memory () =
@@ -363,7 +410,11 @@ let test_cli_write_and_reg () =
 let () =
   Alcotest.run "vmm_debugger"
     [
-      ("symbols", [ Alcotest.test_case "lookup" `Quick test_symbols_lookup ]);
+      ( "symbols",
+        [
+          Alcotest.test_case "lookup" `Quick test_symbols_lookup;
+          Alcotest.test_case "edge cases" `Quick test_symbols_edge_cases;
+        ] );
       ( "session",
         [
           Alcotest.test_case "registers" `Quick test_session_registers;
@@ -377,6 +428,7 @@ let () =
           Alcotest.test_case "watch transparency" `Quick
             test_session_watch_same_page_transparent;
           Alcotest.test_case "console read" `Quick test_session_console_read;
+          Alcotest.test_case "query verify" `Quick test_session_query_verify;
           Alcotest.test_case "profile" `Quick test_session_profile;
           Alcotest.test_case "breakpoint + watchpoint" `Quick
             test_breakpoint_and_watchpoint_together;

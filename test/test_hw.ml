@@ -104,16 +104,33 @@ let instr_gen : Isa.instr QCheck.Gen.t =
       map3 (fun a b c -> Isa.Add (a, b, c)) r r r;
       map3 (fun a b c -> Isa.Addi (a, b, c)) r r i;
       map3 (fun a b c -> Isa.Sub (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.And_ (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Or_ (a, b, c)) r r r;
       map3 (fun a b c -> Isa.Xor_ (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Shl (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Shr (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Mul (a, b, c)) r r r;
+      map2 (fun a b -> Isa.Cmp (a, b)) r r;
+      map2 (fun a b -> Isa.Cmpi (a, b)) r i;
       map3 (fun a b c -> Isa.Ld (a, b, c)) r r i;
       map3 (fun a b c -> Isa.St (a, b, c)) r i r;
+      map3 (fun a b c -> Isa.Ldb (a, b, c)) r r i;
+      map3 (fun a b c -> Isa.Stb (a, b, c)) r i r;
       map (fun a -> Isa.Jmp a) i;
       map (fun a -> Isa.Jz a) i;
+      map (fun a -> Isa.Jnz a) i;
+      map (fun a -> Isa.Jlt a) i;
+      map (fun a -> Isa.Jge a) i;
+      map (fun a -> Isa.Jb a) i;
+      map (fun a -> Isa.Jae a) i;
+      map (fun a -> Isa.Jr a) r;
       map (fun a -> Isa.Call a) i;
       return Isa.Ret;
       map (fun a -> Isa.Push a) r;
       map (fun a -> Isa.Pop a) r;
+      map2 (fun a b -> Isa.In_ (a, b)) r r;
       map2 (fun a b -> Isa.Ini (a, b)) r i;
+      map2 (fun a b -> Isa.Out (a, b)) r r;
       map2 (fun a b -> Isa.Outi (a, b)) i r;
       map (fun v -> Isa.Int_ (v land 0x3F)) (int_bound 63);
       return Isa.Iret;
@@ -121,7 +138,7 @@ let instr_gen : Isa.instr QCheck.Gen.t =
       return Isa.Cli;
       map (fun a -> Isa.Liht a) r;
       map (fun a -> Isa.Lptb a) r;
-      map2 (fun a b -> Isa.Lstk (a land 3, b)) (int_bound 3) r;
+      map2 (fun a b -> Isa.Lstk (a land 15, b)) (int_bound 15) r;
       return Isa.Tlbflush;
       map3 (fun a b c -> Isa.Copy (a, b, c)) r r r;
       map3 (fun a b c -> Isa.Csum (a, b, c)) r r r;

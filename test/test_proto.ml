@@ -109,6 +109,8 @@ let command_gen : Command.command QCheck.Gen.t =
       return Command.Step;
       return Command.Halt;
       return Command.Query_stop;
+      return Command.Query_watchdog;
+      return Command.Query_verify;
       return Command.Detach;
     ]
 
@@ -150,6 +152,10 @@ let test_command_examples () =
   check (Alcotest.option bool) "read regs" (Some true)
     (Option.map (fun c -> c = Command.Read_registers)
        (Command.command_of_wire "g"));
+  check bool "qV parses" true
+    (Command.command_of_wire "qV" = Some Command.Query_verify);
+  check Alcotest.string "qV wire form" "qV"
+    (Command.command_to_wire Command.Query_verify);
   (match Command.command_of_wire "m00001000,00000010" with
    | Some (Command.Read_memory { addr; len }) ->
      check int "addr" 0x1000 addr;
