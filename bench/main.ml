@@ -319,12 +319,17 @@ let stability () =
    or wedged guest), a full debug round-trip still works.  The embedded
    baseline faces an equivalent per-campaign fault mix and is expected
    to die whenever guest faults touch its resources.  Knobs:
-     BENCH_GAUNTLET_N     campaigns (default 50)
-     BENCH_GAUNTLET_SEED  base seed (campaign i uses base + i)          *)
+     BENCH_GAUNTLET_N              campaigns (default 50)
+     BENCH_GAUNTLET_SEED           base seed (campaign i uses base + i)
+     BENCH_GAUNTLET_TRACE_DIR      drop failing campaigns' replay traces
+     BENCH_GAUNTLET_VERIFY_REPLAY  1: record-then-replay every campaign  *)
 
 module Plan = Vmm_fault.Plan
 module Chaos = Vmm_fault.Chaos
 module Rng = Vmm_sim.Rng
+module Recorder = Vmm_replay.Recorder
+module Trace = Vmm_replay.Trace
+module Snapshot = Core.Snapshot
 
 let gauntlet_n =
   match Sys.getenv_opt "BENCH_GAUNTLET_N" with
@@ -335,6 +340,20 @@ let gauntlet_base_seed =
   match Sys.getenv_opt "BENCH_GAUNTLET_SEED" with
   | Some s -> (try Int64.of_string (String.trim s) with _ -> 0xC0FFEEL)
   | None -> 0xC0FFEEL
+
+(* Every campaign records its nondeterministic events.  A campaign that
+   does not survive drops its trace into BENCH_GAUNTLET_TRACE_DIR (when
+   set) as a replayable artifact -- CI uploads these so the exact failing
+   run can be re-executed offline with [lwvmm_dbg replay].
+   BENCH_GAUNTLET_VERIFY_REPLAY=1 additionally re-runs every campaign
+   from its recorded trace and insists the re-run is bit-identical:
+   same survival verdicts, same counters, same final-state digest. *)
+let gauntlet_trace_dir = Sys.getenv_opt "BENCH_GAUNTLET_TRACE_DIR"
+
+let gauntlet_verify_replay =
+  match Sys.getenv_opt "BENCH_GAUNTLET_VERIFY_REPLAY" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
 
 let percentile sorted p =
   match Array.length sorted with
@@ -368,11 +387,18 @@ type campaign_result = {
   g_probe_cycles : float list;  (** sim cycles per answered probe *)
 }
 
-let gauntlet_campaign ~seed =
+(* [replay]: consume a recorded trace instead of the live chaos RNG;
+   the divergence detector then cross-checks every other recorded
+   nondeterministic event against the re-run. *)
+let gauntlet_campaign ?replay ~seed () =
   let rng = Rng.create ~seed in
   let cyc s = Costs.cycles_of_seconds bench_costs s in
   (* -- lightweight VMM under fire -- *)
   let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:bench_costs () in
+  let recorder = Machine.recorder m in
+  (match replay with
+   | None -> Recorder.start_record recorder
+   | Some events -> Recorder.start_replay recorder events);
   let mon = Monitor.install m in
   let program = Kernel.build (Kernel.default_config ~rate_mbps:20.0) in
   Monitor.boot_guest mon program ~entry:Kernel.entry;
@@ -380,9 +406,11 @@ let gauntlet_campaign ~seed =
   Machine.run_seconds m 0.01;
   let plan = Plan.create ~seed ~engine:(Machine.engine m) in
   let chaos = Plan.chaos plan in
+  Chaos.set_recorder chaos recorder;
   let session =
-    Session.attach ~wrap_to_target:(Vmm_fault.Chaos.wrap chaos)
-      ~wrap_to_host:(Vmm_fault.Chaos.wrap chaos) m
+    Session.attach
+      ~wrap_to_target:(Chaos.wrap ~source:"chaos.h2t" chaos)
+      ~wrap_to_host:(Chaos.wrap ~source:"chaos.t2h" chaos) m
   in
   let classes = pick_classes rng (2 + Rng.int rng 3) in
   let now = Machine.now m in
@@ -445,6 +473,16 @@ let gauntlet_campaign ~seed =
   let lw_survived =
     link_ok && roundtrip && ((not (crashed || wedges > 0)) || restarted)
   in
+  (* seal the recording before the embedded baseline spins up its own
+     machine: the trace covers exactly the lightweight-VMM campaign *)
+  let final_digest = Snapshot.Full.digest (Monitor.checkpoint_now mon) in
+  let divergence =
+    match replay with
+    | Some _ -> Recorder.finish_replay recorder
+    | None -> None
+  in
+  let events = Recorder.recorded recorder in
+  Recorder.stop recorder;
   (* -- embedded baseline under the equivalent mix -- *)
   let embedded_survived =
     let m2 =
@@ -505,17 +543,18 @@ let gauntlet_campaign ~seed =
      with Cpu.Panic _ -> Embedded.mark_machine_dead agent);
     Embedded.service agent > 0
   in
-  {
-    g_seed = seed;
-    g_classes = classes;
-    g_lw_survived = lw_survived;
-    g_embedded_survived = embedded_survived;
-    g_reconnects = !reconnects;
-    g_restarted = restarted;
-    g_crashed = crashed;
-    g_wedge_breakins = wedges;
-    g_probe_cycles = !probe_cycles;
-  }
+  ( {
+      g_seed = seed;
+      g_classes = classes;
+      g_lw_survived = lw_survived;
+      g_embedded_survived = embedded_survived;
+      g_reconnects = !reconnects;
+      g_restarted = restarted;
+      g_crashed = crashed;
+      g_wedge_breakins = wedges;
+      g_probe_cycles = !probe_cycles;
+    },
+    events, final_digest, divergence )
 
 let gauntlet () =
   section
@@ -524,10 +563,29 @@ let gauntlet () =
        gauntlet_n gauntlet_base_seed);
   Printf.printf "%10s %-44s %6s %9s %8s\n" "seed" "classes" "lw" "embedded"
     "recovery";
-  let results =
+  let save_trace ~seed ~digest r events =
+    match gauntlet_trace_dir with
+    | None -> ()
+    | Some dir ->
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path =
+        Filename.concat dir (Printf.sprintf "gauntlet-seed-%Ld.trace" seed)
+      in
+      Trace.save ~path
+        (Trace.make_header
+           ~label:
+             (Printf.sprintf "bench-gauntlet;digest=%Lx;classes=%s" digest
+                (String.concat "," (List.map Plan.name r.g_classes)))
+           ~seed ())
+        events;
+      Printf.eprintf "gauntlet: wrote replay trace %s\n" path
+  in
+  let replay_failures = ref 0 in
+  let detailed =
     List.init gauntlet_n (fun i ->
         let seed = Int64.add gauntlet_base_seed (Int64.of_int i) in
-        let r = gauntlet_campaign ~seed in
+        let r, events, digest, _ = gauntlet_campaign ~seed () in
         let recovery =
           (if r.g_restarted then "restart " else "")
           ^ if r.g_reconnects > 0 then Printf.sprintf "resync×%d" r.g_reconnects
@@ -538,8 +596,24 @@ let gauntlet () =
           (if r.g_lw_survived then "OK" else "DEAD")
           (if r.g_embedded_survived then "alive" else "dead")
           (if recovery = "" then "-" else recovery);
-        r)
+        if not r.g_lw_survived then save_trace ~seed ~digest r events;
+        if gauntlet_verify_replay then begin
+          let r', _, digest', div = gauntlet_campaign ~replay:events ~seed () in
+          if div <> None || digest' <> digest || r' <> r then begin
+            incr replay_failures;
+            Printf.eprintf
+              "gauntlet: campaign seed %Ld did not replay bit-exact \
+               (digest %Lx vs %Lx)\n"
+              seed digest digest';
+            match div with
+            | Some d ->
+              Format.eprintf "  %a@." Recorder.pp_divergence d
+            | None -> ()
+          end
+        end;
+        (r, digest))
   in
+  let results = List.map fst detailed in
   let lw_ok = List.length (List.filter (fun r -> r.g_lw_survived) results) in
   let emb_ok =
     List.length (List.filter (fun r -> r.g_embedded_survived) results)
@@ -569,10 +643,12 @@ let gauntlet () =
            ("probe_latency_p50_cycles", Json.Float p50);
            ("probe_latency_p95_cycles", Json.Float p95);
            ("probe_latency_p99_cycles", Json.Float p99);
+           ("replay_verified", Json.Bool gauntlet_verify_replay);
+           ("replay_failures", Json.Int !replay_failures);
            ( "results",
              Json.List
                (List.map
-                  (fun r ->
+                  (fun (r, digest) ->
                     Json.Obj
                       [
                         ("seed", Json.Int (Int64.to_int r.g_seed));
@@ -587,16 +663,23 @@ let gauntlet () =
                         ("restarted", Json.Bool r.g_restarted);
                         ("crashed", Json.Bool r.g_crashed);
                         ("wedge_breakins", Json.Int r.g_wedge_breakins);
+                        ("digest", Json.String (Printf.sprintf "%Lx" digest));
                       ])
-                  results) );
+                  detailed) );
          ]));
+  if !replay_failures > 0 then begin
+    Printf.eprintf "gauntlet: %d campaign(s) failed replay verification\n"
+      !replay_failures;
+    exit 1
+  end;
   if lw_ok < gauntlet_n then begin
     List.iter
       (fun r ->
         if not r.g_lw_survived then
           Printf.eprintf
             "gauntlet: campaign seed %Ld (%s) did not survive -- replay with \
-             BENCH_GAUNTLET_SEED=%Ld BENCH_GAUNTLET_N=1\n"
+             BENCH_GAUNTLET_SEED=%Ld BENCH_GAUNTLET_N=1 (set \
+             BENCH_GAUNTLET_TRACE_DIR to capture its trace artifact)\n"
             r.g_seed
             (String.concat "," (List.map Plan.name r.g_classes))
             r.g_seed)
@@ -849,9 +932,11 @@ let sim_speed () =
     let cpu = Machine.cpu machine in
     let c0 = Machine.now machine in
     let i0 = Cpu.instructions_retired cpu in
-    let h0 = Unix.gettimeofday () in
+    (* Host wall-clock measures simulator throughput (cycles/sec of
+       real time); nothing feeds back into the sim. *)
+    let h0 = Unix.gettimeofday () in (* determinism-ok: host-side timing *)
     Machine.run_seconds machine sim_s;
-    let host_s = Unix.gettimeofday () -. h0 in
+    let host_s = Unix.gettimeofday () -. h0 in (* determinism-ok: see above *)
     let cycles = Int64.sub (Machine.now machine) c0 in
     let instrs = Int64.sub (Cpu.instructions_retired cpu) i0 in
     let cps = Int64.to_float cycles /. host_s in
@@ -937,11 +1022,13 @@ let analysis () =
         let report =
           ref (Vmm_analysis.Verifier.verify cfg ~entry:Kernel.entry program)
         in
-        let t0 = Unix.gettimeofday () in
+        (* Host wall-clock times the verifier itself (instructions/sec
+           of real time); no simulation involved. *)
+        let t0 = Unix.gettimeofday () in (* determinism-ok: host-side timing *)
         for _ = 1 to iters do
           report := Vmm_analysis.Verifier.verify cfg ~entry:Kernel.entry program
         done;
-        let dt = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+        let dt = (Unix.gettimeofday () -. t0) /. float_of_int iters in (* determinism-ok: see above *)
         let r = !report in
         let ips =
           if dt > 0.0 then float_of_int r.Vmm_analysis.Verifier.instructions /. dt

@@ -46,6 +46,8 @@ let run rate fast_uart lossy script =
   let monitor = Monitor.install machine in
   let program = Kernel.build (Kernel.default_config ~rate_mbps:rate) in
   Monitor.boot_guest monitor program ~entry:Kernel.entry;
+  (* periodic checkpoints back the rs/rc reverse-execution verbs *)
+  Monitor.checkpoint_start monitor;
   Machine.run_seconds machine 0.02;
   let session =
     match lossy with
@@ -203,6 +205,120 @@ let lint image_file origin entry =
     reports;
   if List.exists (fun (_, _, r) -> not r.Verifier.clean) reports then 1 else 0
 
+(* -- record / replay: deterministic capture of a debug campaign --
+
+   One shared driver boots the guest, arms periodic checkpoints, runs a
+   seeded chaos window over the debug link and issues a fixed probe
+   sequence.  `record` logs every nondeterministic event (timer fires,
+   virtual-IRQ injections, UART/NIC ingress, DMA completions, chaos
+   verdicts, checkpoints) to a versioned trace; `replay` re-runs the
+   driver with the recorded events as the script — chaos verdicts come
+   from the trace, every other event is checked for bit-exact
+   convergence — and exits non-zero on the first divergence.  The final
+   guest-state digest travels in the trace label, so replay also proves
+   the end states match. *)
+
+module Recorder = Vmm_replay.Recorder
+module Trace = Vmm_replay.Trace
+module Snapshot = Core.Snapshot
+
+let drive ~mode ~seed ~seconds =
+  let costs = { Costs.default with Costs.uart_cycles_per_byte = 2000 } in
+  let machine = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs () in
+  let monitor = Monitor.install machine in
+  let recorder = Machine.recorder machine in
+  (match mode with
+   | `Record -> Recorder.start_record recorder
+   | `Replay events -> Recorder.start_replay recorder events);
+  let program = Kernel.build (Kernel.default_config ~rate_mbps:50.0) in
+  Monitor.boot_guest monitor program ~entry:Kernel.entry;
+  Monitor.checkpoint_start monitor
+    ~period_cycles:(Costs.cycles_of_seconds costs 0.005);
+  let chaos =
+    Chaos.create ~engine:(Machine.engine machine)
+      ~rng:(Vmm_sim.Rng.create ~seed) ()
+  in
+  Chaos.set_recorder chaos recorder;
+  Chaos.set_profile chaos
+    { Chaos.quiet with
+      Chaos.drop_p = 0.01;
+      Chaos.corrupt_p = 0.01;
+      Chaos.delay_p = 0.02;
+      Chaos.max_delay_cycles = 5000;
+    };
+  let session =
+    Session.attach
+      ~wrap_to_target:(Chaos.wrap ~source:"chaos.h2t" chaos)
+      ~wrap_to_host:(Chaos.wrap ~source:"chaos.t2h" chaos)
+      machine
+  in
+  Machine.run_seconds machine 0.02;
+  ignore (Session.read_registers session);
+  Chaos.set_active chaos true;
+  Machine.run_seconds machine (seconds /. 2.0);
+  ignore (Session.read_registers session);
+  Chaos.set_active chaos false;
+  ignore (Session.query_watchdog session);
+  Machine.run_seconds machine (seconds /. 2.0);
+  let final = Monitor.checkpoint_now monitor in
+  (machine, recorder, Snapshot.Full.digest final)
+
+let label_field label key =
+  List.find_map
+    (fun tok ->
+      let prefix = key ^ "=" in
+      let plen = String.length prefix in
+      if String.length tok > plen && String.sub tok 0 plen = prefix then
+        Some (String.sub tok plen (String.length tok - plen))
+      else None)
+    (String.split_on_char ';' label)
+
+let record path seed seconds =
+  let seed = Int64.of_int seed in
+  let machine, recorder, digest = drive ~mode:`Record ~seed ~seconds in
+  Recorder.stop recorder;
+  let events = Recorder.recorded recorder in
+  let header =
+    Trace.make_header
+      ~label:(Printf.sprintf "lwvmm_dbg;digest=%Lx;seconds=%g" digest seconds)
+      ~seed ()
+  in
+  Trace.save ~path header events;
+  Printf.printf "recorded %d events over %g s to %s\nfinal digest %Lx at cycle %Ld\n"
+    (List.length events) seconds path digest (Machine.now machine);
+  0
+
+let replay path =
+  match Trace.load ~path with
+  | Error msg ->
+    Printf.eprintf "replay: %s\n" msg;
+    2
+  | Ok (header, events) ->
+    let seconds =
+      match label_field header.Trace.label "seconds" with
+      | Some s -> (try float_of_string s with _ -> 0.1)
+      | None -> 0.1
+    in
+    let _machine, recorder, digest =
+      drive ~mode:(`Replay events) ~seed:header.Trace.seed ~seconds
+    in
+    (match Recorder.finish_replay recorder with
+     | Some d ->
+       Format.printf "replay DIVERGED:@.%a@." Recorder.pp_divergence d;
+       1
+     | None ->
+       (match label_field header.Trace.label "digest" with
+        | Some want when want <> Printf.sprintf "%Lx" digest ->
+          Printf.printf
+            "replay DIVERGED: final digest %Lx, recorded run had %s\n" digest
+            want;
+          1
+        | _ ->
+          Printf.printf
+            "replay converged: %d events bit-exact, final digest %Lx\n"
+            (List.length events) digest;
+          0))
+
 open Cmdliner
 
 let rate =
@@ -258,9 +374,40 @@ let run_cmd =
   let doc = "boot the guest under the monitor and open the debug REPL" in
   Cmd.v (Cmd.info "run" ~doc) run_term
 
+let trace_path_new =
+  let doc = "Trace file to write." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+
+let trace_path_existing =
+  let doc = "Trace file to replay." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let seed_arg =
+  let doc = "Seed for the chaos-wire RNG (stored in the trace header)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let seconds_arg =
+  let doc = "Simulated seconds of chaos campaign to record." in
+  Arg.(value & opt float 0.1 & info [ "seconds" ] ~docv:"S" ~doc)
+
+let record_cmd =
+  let doc =
+    "run a seeded chaos campaign and record every nondeterministic event \
+     to a replayable trace"
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(const record $ trace_path_new $ seed_arg $ seconds_arg)
+
+let replay_cmd =
+  let doc =
+    "re-run a recorded campaign from its trace, asserting bit-exact \
+     convergence; exits non-zero on the first divergence"
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ trace_path_existing)
+
 let cmd =
   let doc = "remote debugger for guests under the lightweight VMM" in
   let info = Cmd.info "lwvmm_dbg" ~doc in
-  Cmd.group ~default:run_term info [ run_cmd; lint_cmd ]
+  Cmd.group ~default:run_term info [ run_cmd; lint_cmd; record_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -82,7 +82,7 @@ let handle t command =
   | Command.Read_console | Command.Read_profile
   | Command.Query_watchdog | Command.Query_verify | Command.Restart
   | Command.Continue | Command.Step | Command.Halt | Command.Detach
-  | Command.Resync ->
+  | Command.Reverse_step | Command.Reverse_continue | Command.Resync ->
     reply t Command.Unsupported
 
 let service t =

@@ -12,6 +12,8 @@ module Asm = Vmm_hw.Asm
 module Scsi = Vmm_hw.Scsi
 module Nic = Vmm_hw.Nic
 module Verifier = Vmm_analysis.Verifier
+module Recorder = Vmm_replay.Recorder
+module Event = Vmm_replay.Event
 
 type passthrough = { base : int; count : int }
 
@@ -93,6 +95,13 @@ type t = {
   (* lifecycle & recovery *)
   mutable lifecycle : lifecycle;
   mutable snapshot : Snapshot.t option;
+  (* reverse debugging: ring of periodic mid-run checkpoints, newest
+     first *)
+  mutable checkpoints : Snapshot.Full.t list;
+  mutable checkpoint_keep : int;
+  mutable checkpoint_gen : int;
+      (* bumping it orphans any armed periodic capture event *)
+  mutable c_checkpoints : int;
   mutable watchdog : Watchdog.t option;
   mutable last_wedge : (int * int) option;
       (* (pc, stalled periods) of the most recent watchdog break-in *)
@@ -126,6 +135,15 @@ let trace t severity message =
     (Machine.trace t.machine)
     ~time:(Vmm_sim.Engine.now (Machine.engine t.machine))
     ~component:"monitor" ~severity message
+
+(* Record/replay tap: the monitor reports its own nondeterminism sources
+   (virtual-IRQ injections, crashes, wedge break-ins, checkpoints) into
+   the machine-wide recorder alongside the device taps. *)
+let emit_event t source payload =
+  Recorder.emit
+    (Machine.recorder t.machine)
+    ~cycle:(Vmm_sim.Engine.now (Machine.engine t.machine))
+    ~source payload
 
 let world_switch t =
   t.c_world <- t.c_world + 1;
@@ -249,7 +267,8 @@ let escalate ?(cause = "unrecoverable_fault") ?(chain = []) t ~vector ~pc =
    | Crashed _ -> ()
    | Healthy ->
      t.c_crashes <- t.c_crashes + 1;
-     t.lifecycle <- Crashed { cause; vector; pc; chain });
+     t.lifecycle <- Crashed { cause; vector; pc; chain };
+     emit_event t "monitor" (Event.Crash { vector; pc }));
   trace t Vmm_sim.Trace.Error
     (Printf.sprintf
        "guest unrecoverable (%s): vector %d at 0x%x; stopped for debug" cause
@@ -348,6 +367,7 @@ let kick t =
     | None -> ()
 
 let virtual_irq t line =
+  emit_event t "monitor.virq" (Event.Irq_inject { line });
   Pic.raise_irq t.vpic line;
   if t.v_halted && t.v_if && Pic.pending t.vpic then begin
     t.v_halted <- false;
@@ -782,6 +802,7 @@ let watchdog_sample t () =
 let on_wedge t ~stalled_periods =
   let pc = Cpu.pc t.cpu in
   t.last_wedge <- Some (pc, stalled_periods);
+  emit_event t "monitor.watchdog" (Event.Wedge { pc });
   trace t Vmm_sim.Trace.Warn
     (Printf.sprintf
        "watchdog: no guest progress for %d periods; break-in at 0x%x"
@@ -918,6 +939,8 @@ let restart_guest t =
     Cpu.set_halted t.cpu false;
     Cpu.set_stopped t.cpu false;
     t.c_restarts <- t.c_restarts + 1;
+    (* Pre-restart checkpoints describe a dead history line. *)
+    t.checkpoints <- [];
     (match t.watchdog with Some w -> Watchdog.note_reset w | None -> ());
     (* The restore overwrote planted BRK bytes with boot-image bytes;
        the stub re-plants its breakpoints and forgets any stop state. *)
@@ -930,6 +953,130 @@ let restart_guest t =
     true
 
 let snapshot t = t.snapshot
+
+(* -- Mid-run checkpoints & reverse execution --
+
+   A checkpoint is a full guest-visible freeze ({!Snapshot.Full}):
+   memory image, CPU context, the monitor's virtualized privileged
+   state, and device state with relative DMA offsets.  Restoring one is
+   a {e forward} time-shift — the engine clock never rewinds; the device
+   restores re-arm their pending completions at [now + remaining] and
+   the epoch guards orphan whatever was in flight — so reverse-step and
+   reverse-continue become "restore, then deterministically re-execute
+   to an instruction boundary". *)
+
+let mon_state t =
+  {
+    Snapshot.Full.v_if = t.v_if;
+    v_iht = t.v_iht;
+    v_ptb = t.v_ptb;
+    v_cpl = t.v_cpl;
+    v_stacks = Array.copy t.v_stacks;
+    v_halted = t.v_halted;
+    console = Buffer.contents t.console_buf;
+  }
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let checkpoint_now t =
+  let full =
+    Snapshot.Full.capture ~machine:t.machine ~layout:t.layout ~vpic:t.vpic
+      ~vpit:(get_vpit t)
+      ~link:(Stub.endpoint (get_stub t))
+      ~mon:(mon_state t)
+  in
+  t.c_checkpoints <- t.c_checkpoints + 1;
+  emit_event t "monitor.ckpt"
+    (Event.Checkpoint
+       { index = t.c_checkpoints; retired = Snapshot.Full.retired full });
+  t.checkpoints <- full :: take (t.checkpoint_keep - 1) t.checkpoints;
+  full
+
+let checkpoint_start ?period_cycles ?(keep = 8) t =
+  let period =
+    match period_cycles with
+    | Some c -> c
+    | None -> Costs.cycles_of_seconds t.costs 0.001
+  in
+  t.checkpoint_gen <- t.checkpoint_gen + 1;
+  t.checkpoint_keep <- max 1 keep;
+  let gen = t.checkpoint_gen in
+  ignore (checkpoint_now t);
+  let engine = Machine.engine t.machine in
+  let rec arm () =
+    ignore
+      (Vmm_sim.Engine.after engine ~delay:period (fun () ->
+           if gen = t.checkpoint_gen then begin
+             (* Skip while quarantined (the crash context must stay
+                frozen), while a reverse operation is re-executing
+                history (those instructions were already captured), and
+                while the guest is stopped by the debugger (its state is
+                not changing, and a checkpoint captured on the current
+                boundary would let [rc] skip re-execution — and with it
+                any breakpoint planted in history). *)
+             (if
+                (not (crashed t))
+                && (not (Stub.replaying (get_stub t)))
+                && not (Cpu.stopped (Machine.cpu t.machine))
+              then ignore (checkpoint_now t));
+             arm ()
+           end))
+  in
+  arm ()
+
+let checkpoint_stop t = t.checkpoint_gen <- t.checkpoint_gen + 1
+let checkpoints t = t.checkpoints
+
+(* Restore: mirrors [restart_guest], except the target state is a
+   mid-run checkpoint instead of the boot snapshot, and the debug plane
+   — stub, breakpoint table, reliable link, host session — is left
+   exactly as it is (the stub re-plants its breakpoints itself).  Goes
+   through the normal store path so the decoded-instruction cache
+   invalidates. *)
+let restore_checkpoint t (full : Snapshot.Full.t) =
+  Phys_mem.load_bytes (Machine.mem t.machine) ~addr:0 full.Snapshot.Full.image;
+  for i = 0 to 15 do
+    Cpu.write_reg t.cpu i full.Snapshot.Full.regs.(i)
+  done;
+  Cpu.set_flags_word t.cpu full.Snapshot.Full.flags;
+  Cpu.set_cpl t.cpu full.Snapshot.Full.cpl;
+  Cpu.set_pc t.cpu full.Snapshot.Full.pc;
+  Cpu.set_halted t.cpu full.Snapshot.Full.halted;
+  Cpu.set_trap_flag t.cpu false;
+  Cpu.set_interrupts_enabled t.cpu true;
+  Cpu.set_instructions_retired t.cpu full.Snapshot.Full.retired;
+  let mon = full.Snapshot.Full.mon in
+  t.v_if <- mon.Snapshot.Full.v_if;
+  t.v_iht <- mon.Snapshot.Full.v_iht;
+  t.v_ptb <- mon.Snapshot.Full.v_ptb;
+  t.v_cpl <- mon.Snapshot.Full.v_cpl;
+  Array.blit mon.Snapshot.Full.v_stacks 0 t.v_stacks 0
+    (Array.length t.v_stacks);
+  t.v_halted <- mon.Snapshot.Full.v_halted;
+  Buffer.clear t.console_buf;
+  Buffer.add_string t.console_buf mon.Snapshot.Full.console;
+  Pic.restore t.vpic full.Snapshot.Full.vpic;
+  Pit.restore_phase (get_vpit t) full.Snapshot.Full.vpit;
+  Pic.restore (Machine.pic t.machine) full.Snapshot.Full.pic;
+  Pit.restore_phase (Machine.pit t.machine) full.Snapshot.Full.pit;
+  Scsi.restore (Machine.scsi t.machine) full.Snapshot.Full.scsi;
+  Nic.restore (Machine.nic t.machine) full.Snapshot.Full.nic;
+  (* The link is deliberately NOT restored: the host session is live. *)
+  Shadow.clear t.shadow;
+  Cpu.set_ptb t.cpu (Shadow.root t.shadow);
+  Cpu.flush_tlb t.cpu;
+  t.lifecycle <- Healthy;
+  t.shutdown <- false;
+  t.reprotect_page <- None;
+  t.mon_step_only <- false;
+  t.watch_resume <- None;
+  (match t.watchdog with Some w -> Watchdog.note_reset w | None -> ());
+  trace t Vmm_sim.Trace.Info
+    (Printf.sprintf "checkpoint restored: retired=%Ld pc=0x%x"
+       full.Snapshot.Full.retired full.Snapshot.Full.pc)
 
 (* -- Stub target -- *)
 
@@ -1004,6 +1151,35 @@ let make_target t =
     query_verify = (fun () -> verify_report_text t);
     restart = (fun () -> restart_guest t);
     crashed = (fun () -> crashed t);
+    retired = (fun () -> Cpu.instructions_retired t.cpu);
+    checkpoint_restore =
+      (fun ~max_retired ->
+        (* Newest first: the first eligible checkpoint minimizes the
+           re-execution distance. *)
+        let rec find = function
+          | [] -> None
+          | full :: rest ->
+            if Int64.compare (Snapshot.Full.retired full) max_retired <= 0
+            then Some full
+            else find rest
+        in
+        match find t.checkpoints with
+        | None -> None
+        | Some full ->
+          restore_checkpoint t full;
+          Some (Snapshot.Full.retired full));
+    set_retire_stop =
+      (fun spec ->
+        match spec with
+        | None -> Cpu.set_retire_stop t.cpu None
+        | Some target ->
+          Cpu.set_retire_stop t.cpu
+            (Some
+               ( target,
+                 fun cpu ->
+                   Stub.on_retire_stop (get_stub t) ~pc:(Cpu.pc cpu) )));
+    set_replay_mute =
+      (fun flag -> Recorder.set_muted (Machine.recorder t.machine) flag);
   }
 
 (* -- Construction -- *)
@@ -1043,6 +1219,10 @@ let install ?(passthrough = default_passthrough) machine =
       c_verifies = 0;
       lifecycle = Healthy;
       snapshot = None;
+      checkpoints = [];
+      checkpoint_keep = 8;
+      checkpoint_gen = 0;
+      c_checkpoints = 0;
       watchdog = None;
       last_wedge = None;
       c_world = 0;
@@ -1117,6 +1297,9 @@ let install ?(passthrough = default_passthrough) machine =
      fired, how many warm restarts — the gauntlet's vital signs. *)
   g "monitor_crashes_total" (fun () -> t.c_crashes);
   g "monitor_restarts_total" (fun () -> t.c_restarts);
+  g "monitor_checkpoints_total" (fun () -> t.c_checkpoints);
+  g "monitor_checkpoints_held" (fun () -> List.length t.checkpoints);
+  g "stub_reverse_ops_total" (fun () -> Stub.reverse_ops (get_stub t));
   g "monitor_lifecycle_crashed" (fun () -> if crashed t then 1 else 0);
   g "watchdog_checks_total" (fun () ->
       match t.watchdog with Some w -> Watchdog.checks w | None -> 0);
@@ -1173,6 +1356,7 @@ let boot_guest t program ~entry =
   t.shutdown <- false;
   t.lifecycle <- Healthy;
   t.last_wedge <- None;
+  t.checkpoints <- [];
   Shadow.clear t.shadow;
   Cpu.set_ptb t.cpu (Shadow.root t.shadow);
   Cpu.set_cpl t.cpu 1;

@@ -180,6 +180,42 @@ val restart_guest : t -> bool
 (** [snapshot t] — the boot snapshot captured by {!boot_guest}. *)
 val snapshot : t -> Snapshot.t option
 
+(** {2 Mid-run checkpoints & reverse execution}
+
+    Periodic {!Snapshot.Full} checkpoints make reverse debugging a
+    restore-then-re-execute operation: the stub's [rs]/[rc] verbs pick
+    the newest checkpoint at or before the target retirement boundary,
+    the monitor restores it (a {e forward} time-shift — the engine clock
+    never rewinds; device restores re-arm pending DMA at
+    [now + remaining]), and the CPU replays deterministically to the
+    requested instruction count.  The debug plane (stub, link,
+    breakpoint table, host session) is never touched by a restore. *)
+
+(** [checkpoint_now t] captures a full checkpoint immediately and adds
+    it to the ring. *)
+val checkpoint_now : t -> Snapshot.Full.t
+
+(** [checkpoint_start ?period_cycles ?keep t] captures one checkpoint
+    now and then every [period_cycles] (default: 1 ms of guest time),
+    keeping the newest [keep] (default 8).  Capture is skipped while the
+    guest is quarantined or a reverse operation is re-executing
+    history. *)
+val checkpoint_start : ?period_cycles:int64 -> ?keep:int -> t -> unit
+
+(** [checkpoint_stop t] disarms the periodic capture (kept checkpoints
+    stay available). *)
+val checkpoint_stop : t -> unit
+
+(** [checkpoints t] — the held ring, newest first. *)
+val checkpoints : t -> Snapshot.Full.t list
+
+(** [restore_checkpoint t full] puts the guest back to [full]'s
+    instruction boundary.  Guest memory, CPU context, virtualized
+    privileged state and device state are reinstated; the lifecycle
+    returns to healthy; the reliable link and stub state are untouched.
+    Used by the stub's reverse verbs, exposed for tests and tooling. *)
+val restore_checkpoint : t -> Snapshot.Full.t -> unit
+
 (** {2 Load-time static verification}
 
     On every {!boot_guest} (and again on each warm restart, since the

@@ -21,6 +21,11 @@ type target = {
   query_verify : unit -> string;
   restart : unit -> bool;
   crashed : unit -> bool;
+  (* reverse debugging: checkpoint + deterministic replay-to-N *)
+  retired : unit -> int64;
+  checkpoint_restore : max_retired:int64 -> int64 option;
+  set_retire_stop : int64 option -> unit;
+  set_replay_mute : bool -> unit;
 }
 
 type run_state =
@@ -28,6 +33,11 @@ type run_state =
   | Stopped of Command.stop_reason
   | Step_over of int  (** stepping off a breakpoint, then keep running *)
   | Client_step of int option  (** host-requested step; re-patch addr after *)
+  | Replaying of { as_step : bool }
+      (** re-executing forward from a restored checkpoint toward a
+          retirement target; [as_step] when driven by [rs] (breakpoints
+          are stepped over silently), cleared for [rc] (breakpoints
+          stop) *)
 
 type t = {
   target : target;
@@ -36,15 +46,28 @@ type t = {
       (** option only to tie the construction knot; always Some after create *)
   breakpoints : Breakpoints.t;
   mutable state : run_state;
+  mutable replay_bp : int option;
+      (** breakpoint being silently stepped across during an [rs] replay *)
   mutable commands : int;
   mutable notifications : int;
   mutable link_downs : int;
+  mutable reverse_ops : int;
 }
 
 let brk_bytes = Bytes.to_string (Isa.encode Isa.Brk)
 
 let get_endpoint t =
   match t.endpoint with Some e -> e | None -> assert false
+
+(* Tear down an in-flight reverse execution (retire stop disarmed, the
+   recorder un-muted) before any transition that ends it early. *)
+let end_replay t =
+  match t.state with
+  | Replaying _ ->
+    t.target.set_retire_stop None;
+    t.target.set_replay_mute false;
+    t.replay_bp <- None
+  | Running | Stopped _ | Step_over _ | Client_step _ -> ()
 
 let rec create ?link_config ~target ~dispatch_cost ~engine () =
   let t =
@@ -54,9 +77,11 @@ let rec create ?link_config ~target ~dispatch_cost ~engine () =
       endpoint = None;
       breakpoints = Breakpoints.create ();
       state = Running;
+      replay_bp = None;
       commands = 0;
       notifications = 0;
       link_downs = 0;
+      reverse_ops = 0;
     }
   in
   let endpoint =
@@ -72,7 +97,8 @@ let rec create ?link_config ~target ~dispatch_cost ~engine () =
       t.link_downs <- t.link_downs + 1;
       match t.state with
       | Stopped _ -> ()
-      | Running | Step_over _ | Client_step _ ->
+      | Running | Step_over _ | Client_step _ | Replaying _ ->
+        end_replay t;
         let pc = t.target.current_pc () in
         t.target.set_step false;
         t.target.stop ();
@@ -179,6 +205,53 @@ and step_guest t =
   t.state <- Client_step repatch;
   t.target.resume ()
 
+(* Reverse execution = checkpoint restore + deterministic replay-to-N.
+   The retirement counter is the time axis: [rs] targets one instruction
+   before the current boundary, [rc] re-runs to the current boundary —
+   stopping early at the first breakpoint planted along the way — which
+   for a crashed guest is the exact pre-crash instruction (the faulting
+   instruction never retired, so the stop lands with pc on it, poised
+   but not yet executed).
+
+   The restore overwrote guest memory with the checkpoint image, so the
+   current breakpoints are re-planted immediately (their saved bytes in
+   the table are the original code bytes, which remain correct whether
+   or not the image contained the BRK patch).  The recorder is muted
+   while re-executing: replayed history must not re-enter the log. *)
+and reverse_guest t ~as_step =
+  match t.state with
+  | Running | Step_over _ | Client_step _ | Replaying _ ->
+    send_reply t (Command.Error 0x02)
+  | Stopped _ ->
+    let retired = t.target.retired () in
+    let target_retired = if as_step then Int64.sub retired 1L else retired in
+    if Int64.compare target_retired 0L < 0 then
+      send_reply t (Command.Error 0x04)
+    else begin
+      match t.target.checkpoint_restore ~max_retired:target_retired with
+      | None -> send_reply t (Command.Error 0x04)
+      | Some at ->
+        t.reverse_ops <- t.reverse_ops + 1;
+        List.iter
+          (fun addr ->
+            ignore (t.target.write_memory ~addr ~data:brk_bytes))
+          (Breakpoints.addresses t.breakpoints);
+        send_reply t Command.Ok_reply;
+        if Int64.compare at target_retired >= 0 then begin
+          (* The checkpoint sits exactly on the target boundary: no
+             re-execution needed, report the landing directly. *)
+          let pc = t.target.current_pc () in
+          stop_with t (Command.Step_done pc);
+          notify t (Command.Step_done pc)
+        end
+        else begin
+          t.target.set_replay_mute true;
+          t.target.set_retire_stop (Some target_retired);
+          t.state <- Replaying { as_step };
+          t.target.resume ()
+        end
+    end
+
 (* Command dispatch. *)
 
 and handle_command t command =
@@ -227,7 +300,8 @@ and handle_command t command =
          send_reply t Command.Ok_reply;
          continue_guest t
        end
-     | Running | Step_over _ | Client_step _ -> send_reply t Command.Ok_reply)
+     | Running | Step_over _ | Client_step _ | Replaying _ ->
+       send_reply t Command.Ok_reply)
   | Command.Step ->
     (match t.state with
      | Stopped _ ->
@@ -236,12 +310,15 @@ and handle_command t command =
          send_reply t Command.Ok_reply;
          step_guest t
        end
-     | Running | Step_over _ | Client_step _ ->
+     | Running | Step_over _ | Client_step _ | Replaying _ ->
        send_reply t (Command.Error 0x02))
+  | Command.Reverse_step -> reverse_guest t ~as_step:true
+  | Command.Reverse_continue -> reverse_guest t ~as_step:false
   | Command.Halt ->
     (match t.state with
      | Stopped reason -> notify t reason
-     | Running | Step_over _ | Client_step _ ->
+     | Running | Step_over _ | Client_step _ | Replaying _ ->
+       end_replay t;
        let pc = t.target.current_pc () in
        t.target.set_step false;
        stop_with t (Command.Halt_requested pc);
@@ -270,7 +347,8 @@ and handle_command t command =
   | Command.Query_stop ->
     (match t.state with
      | Stopped reason -> send_reply t (Command.Stopped reason)
-     | Running | Step_over _ | Client_step _ -> send_reply t Command.Running)
+     | Running | Step_over _ | Client_step _ | Replaying _ ->
+       send_reply t Command.Running)
   | Command.Resync ->
     (* The host is re-establishing a link it declared dead; restart the
        ARQ state on this side too, then confirm over the fresh link. *)
@@ -285,6 +363,9 @@ and handle_command t command =
      | Stopped _ ->
        t.state <- Running;
        t.target.resume ()
+     | Replaying _ ->
+       end_replay t;
+       t.state <- Running
      | Running | Step_over _ | Client_step _ -> ());
     send_reply t Command.Ok_reply
 
@@ -298,9 +379,24 @@ let on_rx_byte t byte = Reliable.on_rx_byte (get_endpoint t) byte
 (* Events from the guest side. *)
 
 let on_breakpoint t ~pc =
-  t.target.set_step false;
-  stop_with t (Command.Break pc);
-  notify t (Command.Break pc)
+  match t.state with
+  | Replaying { as_step = true } when Breakpoints.mem t.breakpoints ~addr:pc ->
+    (* [rs] re-execution: breakpoints along the replayed path are not
+       stops — unpatch, trap-step across, re-patch on the step trap. *)
+    unpatch_brk t pc;
+    t.replay_bp <- Some pc;
+    t.target.set_step true
+  | Replaying { as_step = false } ->
+    (* [rc] re-execution: first breakpoint after the checkpoint wins. *)
+    end_replay t;
+    t.target.set_step false;
+    stop_with t (Command.Break pc);
+    notify t (Command.Break pc)
+  | _ ->
+    end_replay t;
+    t.target.set_step false;
+    stop_with t (Command.Break pc);
+    notify t (Command.Break pc)
 
 let on_step_trap t ~pc =
   match t.state with
@@ -315,23 +411,49 @@ let on_step_trap t ~pc =
     t.target.set_step false;
     stop_with t (Command.Step_done pc);
     notify t (Command.Step_done pc)
+  | Replaying _ ->
+    (* End of a silent step across a replayed breakpoint: re-plant and
+       keep re-executing toward the retirement target. *)
+    (match t.replay_bp with
+     | Some addr ->
+       ignore (patch_brk t addr);
+       t.replay_bp <- None
+     | None -> ());
+    t.target.set_step false
   | Running | Stopped _ ->
     (* The guest set its own trap flag; surface it like a breakpoint. *)
     t.target.set_step false;
     stop_with t (Command.Step_done pc);
     notify t (Command.Step_done pc)
 
+(* The CPU landed on the requested retirement boundary: the reverse
+   operation is over; report it like a completed step. *)
+let on_retire_stop t ~pc =
+  (match t.replay_bp with
+   | Some addr ->
+     ignore (patch_brk t addr);
+     t.replay_bp <- None
+   | None -> ());
+  t.target.set_step false;
+  t.target.set_replay_mute false;
+  t.target.set_retire_stop None;
+  stop_with t (Command.Step_done pc);
+  notify t (Command.Step_done pc)
+
 let on_watchpoint t ~pc ~addr =
+  end_replay t;
   t.target.set_step false;
   stop_with t (Command.Watch_hit { pc; addr });
   notify t (Command.Watch_hit { pc; addr })
 
 let on_guest_fault t ~vector ~pc =
+  end_replay t;
   t.target.set_step false;
   stop_with t (Command.Faulted { vector; pc });
   notify t (Command.Faulted { vector; pc })
 
 let on_wedge t ~pc =
+  end_replay t;
   t.target.set_step false;
   stop_with t (Command.Wedged pc);
   notify t (Command.Wedged pc)
@@ -341,13 +463,24 @@ let on_wedge t ~pc =
    bytes still match — they are the boot-image bytes the restore just
    wrote back) and forget any stop state; the guest is running again. *)
 let note_restart t =
+  end_replay t;
   List.iter
     (fun addr -> ignore (t.target.write_memory ~addr ~data:brk_bytes))
     (Breakpoints.addresses t.breakpoints);
   t.target.set_step false;
   t.state <- Running
 
-let stopped t = match t.state with Stopped _ -> true | Running | Step_over _ | Client_step _ -> false
+let stopped t =
+  match t.state with
+  | Stopped _ -> true
+  | Running | Step_over _ | Client_step _ | Replaying _ -> false
+
+let replaying t =
+  match t.state with
+  | Replaying _ -> true
+  | Running | Stopped _ | Step_over _ | Client_step _ -> false
+
+let reverse_ops t = t.reverse_ops
 let endpoint t = get_endpoint t
 let link_stats t = Reliable.stats (get_endpoint t)
 let retransmissions t = (link_stats t).Reliable.retransmits

@@ -38,6 +38,19 @@ type target = {
           snapshot exists *)
   crashed : unit -> bool;
       (** the guest is quarantined ([Crashed]); resume must be refused *)
+  retired : unit -> int64;
+      (** instructions retired so far — the reverse-debug time axis *)
+  checkpoint_restore : max_retired:int64 -> int64 option;
+      (** restore the newest checkpoint at or before [max_retired]
+          retirements; returns the restored boundary, [None] when no
+          eligible checkpoint exists *)
+  set_retire_stop : int64 option -> unit;
+      (** arm/disarm a stop at an absolute retirement count
+          (replay-to-N); the monitor routes the landing back through
+          {!on_retire_stop} *)
+  set_replay_mute : bool -> unit;
+      (** mute the machine recorder while re-executing replayed history
+          so it is not logged twice *)
 }
 
 type t
@@ -79,6 +92,11 @@ val on_guest_fault : t -> vector:int -> pc:int -> unit
     forced a break-in; the host is notified with a [Wedged] stop. *)
 val on_wedge : t -> pc:int -> unit
 
+(** [on_retire_stop t ~pc] — a reverse operation's replay-to-N landed on
+    the requested retirement boundary; the stub reports [Step_done] at
+    [pc] and un-mutes the recorder. *)
+val on_retire_stop : t -> pc:int -> unit
+
 (** [note_restart t] — the monitor completed a warm restart: re-plant
     breakpoints over the restored image and return to [Running].  Called
     from inside {!target.restart}; the link state is untouched. *)
@@ -87,6 +105,16 @@ val note_restart : t -> unit
 (** {2 State} *)
 
 val stopped : t -> bool
+
+(** [replaying t] — a reverse operation is re-executing from a restored
+    checkpoint (the monitor skips periodic checkpoint capture and chaos
+    decisions feed from the muted recorder's script meanwhile). *)
+val replaying : t -> bool
+
+(** [reverse_ops t] — completed checkpoint restores on behalf of
+    [rs]/[rc]. *)
+val reverse_ops : t -> int
+
 val breakpoints : t -> Breakpoints.t
 val commands_handled : t -> int
 val notifications_sent : t -> int

@@ -94,8 +94,9 @@ let disassemble t ~addr ~count =
 let usage =
   "commands: regs | reg <n> <value> | x <addr> <len> | w <addr> <hex> | \
    disas <addr> <n> | break <addr> | delete <addr> | watch <addr> [len] | \
-   unwatch <addr> [len] | continue | step | halt | status | wait | \
-   restart | watchdog | verify | console | profile [n] | symbols | help"
+   unwatch <addr> [len] | continue | step | rs | rc | halt | status | \
+   wait | restart | watchdog | verify | console | profile [n] | symbols | \
+   help"
 
 let with_addr t token f =
   match parse_address t token with
@@ -170,6 +171,14 @@ let execute t line =
     (match Session.step t.session with
      | Some reason -> stop_to_string t reason
      | None -> "error: no stop report")
+  | [ "rs" ] | [ "reverse-step" ] ->
+    (match Session.reverse_step t.session with
+     | Some reason -> stop_to_string t reason
+     | None -> "error: no stop report (no checkpoint?)")
+  | [ "rc" ] | [ "reverse-continue" ] ->
+    (match Session.reverse_continue t.session with
+     | Some reason -> stop_to_string t reason
+     | None -> "error: no stop report (no checkpoint?)")
   | [ "halt" ] ->
     (match Session.halt t.session with
      | Some reason -> stop_to_string t reason

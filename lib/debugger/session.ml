@@ -319,6 +319,19 @@ let step ?timeout_s t =
   incr t.discards;
   wait_stop ?timeout_s t
 
+(* Reverse execution follows the [s] shape: one reserved ack (OK, or an
+   error when there is no eligible checkpoint / the target is not
+   stopped), then a stop notification once the replay lands. *)
+let reverse_step ?timeout_s t =
+  send t Command.Reverse_step;
+  incr t.discards;
+  wait_stop ?timeout_s t
+
+let reverse_continue ?timeout_s t =
+  send t Command.Reverse_continue;
+  incr t.discards;
+  wait_stop ?timeout_s t
+
 let halt ?timeout_s t =
   send t Command.Halt;
   wait_stop ?timeout_s t

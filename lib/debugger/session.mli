@@ -92,6 +92,21 @@ val continue_ : t -> unit
 (** [step ?timeout_s t] single-steps and waits for the stop report. *)
 val step : ?timeout_s:float -> t -> Vmm_proto.Command.stop_reason option
 
+(** [reverse_step ?timeout_s t] — [rs]: step backward one instruction
+    (checkpoint restore + deterministic replay on the target) and wait
+    for the landing report.  [None] also when the target refused (not
+    stopped, or no checkpoint covers the boundary — see
+    {!unsolicited_errors}). *)
+val reverse_step :
+  ?timeout_s:float -> t -> Vmm_proto.Command.stop_reason option
+
+(** [reverse_continue ?timeout_s t] — [rc]: run backward; stops at the
+    first breakpoint planted along the replayed path, else at the
+    boundary just before the current stop (for a crashed guest, the
+    exact pre-crash instruction). *)
+val reverse_continue :
+  ?timeout_s:float -> t -> Vmm_proto.Command.stop_reason option
+
 (** [halt ?timeout_s t] stops the target and waits for the report. *)
 val halt : ?timeout_s:float -> t -> Vmm_proto.Command.stop_reason option
 

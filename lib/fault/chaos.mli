@@ -1,7 +1,10 @@
 (** A lossy wire: wraps a byte sink and, while active, drops, corrupts,
     duplicates or delays each byte independently, drawing every decision
     from a seeded {!Vmm_sim.Rng} stream — a failing run replays from its
-    seed.
+    seed.  When a recorder is attached ({!set_recorder}), every per-byte
+    verdict also routes through {!Vmm_replay.Recorder.decide_chaos}:
+    recording logs it; replaying substitutes the scripted verdict for
+    the live RNG.
 
     Delayed bytes are re-submitted through an Engine event, so they can
     land behind later traffic; reordering is deliberately part of the
@@ -38,6 +41,10 @@ val set_profile : t -> profile -> unit
 
 val set_active : t -> bool -> unit
 
+(** [set_recorder t r] routes every per-byte verdict through [r]: logged
+    under the wrap's [source] when recording, scripted when replaying. *)
+val set_recorder : t -> Vmm_replay.Recorder.t -> unit
+
 (** [window t ~start ~stop ~profile] arms [profile] for the sim-time
     interval [start, stop); both edges are Engine events, so the schedule
     is part of the deterministic replay. *)
@@ -46,6 +53,8 @@ val window : t -> start:int64 -> stop:int64 -> profile:profile -> unit
 val active : t -> bool
 val stats : t -> counters
 
-(** [wrap t sink] is a sink that applies the chaos (when active) before
-    forwarding to [sink]. *)
-val wrap : t -> (int -> unit) -> int -> unit
+(** [wrap ?source t sink] is a sink that applies the chaos (when active)
+    before forwarding to [sink].  [source] (default ["chaos"]) labels
+    this wrap's verdicts in the recorded trace — give each direction its
+    own label so replay matches them positionally. *)
+val wrap : ?source:string -> t -> (int -> unit) -> int -> unit

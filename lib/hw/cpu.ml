@@ -69,6 +69,9 @@ type t = {
   mutable pic_pending : unit -> bool;
   mutable hypervisor : (t -> event -> hook_result) option;
   mutable retired : int64;
+  mutable retire_stop : (int64 * (t -> unit)) option;
+      (* reverse-debug replay-to-N: stop when [retired] reaches the
+         target, between instructions *)
   mutable irqs_taken : int64;
   mutable faults : int64;
   fetch_buf : Bytes.t;
@@ -107,6 +110,7 @@ let create ~mem ~bus ~engine ~costs ~load () =
     pic_pending = (fun () -> false);
     hypervisor = None;
     retired = 0L;
+    retire_stop = None;
     irqs_taken = 0L;
     faults = 0L;
     fetch_buf = Bytes.make Isa.width '\000';
@@ -656,6 +660,14 @@ let step t =
     let instr = fetch t in
     exec t instr;
     t.retired <- Int64.add t.retired 1L;
+    (match t.retire_stop with
+     | Some (target, on_stop) when Int64.compare t.retired target >= 0 ->
+       (* Landed on the requested instruction boundary: freeze with pc at
+          the next instruction to execute, exactly like a debugger stop. *)
+       t.retire_stop <- None;
+       t.stopped <- true;
+       on_stop t
+     | _ -> ());
     if tf0 && t.tf then begin
       (* Trap after the stepped instruction; handlers run with TF clear. *)
       t.faults <- Int64.add t.faults 1L;
@@ -708,6 +720,13 @@ let icache_hits t = t.ic_hits
 let icache_misses t = t.ic_misses
 let icache_invalidations t = t.ic_inval
 let instructions_retired t = t.retired
+
+(* Reverse-debug support: checkpoint restore rewinds the retirement
+   counter; replay-to-N arms a stop at an absolute retirement count. *)
+let set_instructions_retired t v = t.retired <- v
+let set_retire_stop t spec = t.retire_stop <- spec
+let retire_stop_armed t =
+  match t.retire_stop with Some _ -> true | None -> false
 let interrupts_taken t = t.irqs_taken
 let faults_taken t = t.faults
 let mmu t = t.mmu

@@ -177,6 +177,23 @@ val icache_hits : t -> int
 val icache_misses : t -> int
 val icache_invalidations : t -> int
 val instructions_retired : t -> int64
+
+(** {2 Reverse-debug support}
+
+    Reverse-step/continue are implemented as checkpoint restore plus
+    deterministic re-execution to an absolute retirement count. *)
+
+(** [set_instructions_retired t n] rewinds (or forwards) the retirement
+    counter — checkpoint restore only; the counter otherwise only
+    increments. *)
+val set_instructions_retired : t -> int64 -> unit
+
+(** [set_retire_stop t (Some (target, f))] arms a stop: the CPU freezes
+    ([stopped] set) between instructions as soon as [instructions_retired]
+    reaches [target], then calls [f].  [None] disarms. *)
+val set_retire_stop : t -> (int64 * (t -> unit)) option -> unit
+
+val retire_stop_armed : t -> bool
 val interrupts_taken : t -> int64
 val faults_taken : t -> int64
 val mmu : t -> Mmu.t

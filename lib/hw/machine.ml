@@ -3,6 +3,7 @@ module Stats = Vmm_sim.Stats
 module Trace = Vmm_sim.Trace
 module Registry = Vmm_obs.Registry
 module Tracer = Vmm_obs.Tracer
+module Recorder = Vmm_replay.Recorder
 
 module Ports = struct
   let pic = 0x20
@@ -34,6 +35,7 @@ type t = {
   load : Stats.load;
   registry : Registry.t;
   tracer : Tracer.t;
+  recorder : Recorder.t;
 }
 
 let default_mem_size = 16 * 1024 * 1024
@@ -44,21 +46,51 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
   let bus = Io_bus.create () in
   let load = Stats.load () in
   let cpu = Cpu.create ~mem ~bus ~engine ~costs ~load () in
+  let recorder = Recorder.create () in
+  (* Record/replay taps: every nondeterministic event at the machine
+     boundary reports to the recorder (a no-op until a recording or
+     replay starts).  Device-internal scheduling is deterministic; what
+     gets logged is the points where timing meets the instruction
+     stream — IRQ raises from timer/DMA expiry — plus host-driven
+     ingress (UART bytes, NIC frames). *)
+  let emit source payload =
+    Recorder.emit recorder ~cycle:(Engine.now engine) ~source payload
+  in
   let pic = Pic.create () in
   Pic.attach pic bus ~base:Ports.pic;
   Cpu.set_pic cpu ~ack:(fun () -> Pic.ack pic) ~pending:(fun () -> Pic.pending pic);
+  let pit_fires = ref 0 in
   let pit =
-    Pit.create ~engine ~costs ~raise_irq:(fun () -> Pic.raise_irq pic Irq.timer) ()
+    Pit.create ~engine ~costs
+      ~raise_irq:(fun () ->
+        incr pit_fires;
+        emit "pit" (Vmm_replay.Event.Timer_fire { count = !pit_fires });
+        Pic.raise_irq pic Irq.timer)
+      ()
   in
   Pit.attach pit bus ~base:Ports.pit;
   let uart = Uart.create ~engine ~costs () in
   Uart.set_irq uart (fun () -> Pic.raise_irq pic Irq.uart);
+  Uart.set_rx_tap uart (fun byte ->
+      emit "uart.rx" (Vmm_replay.Event.Uart_rx { byte }));
   Uart.attach uart bus ~base:Ports.uart;
   let scsi = Scsi.create ~engine ~costs ~mem ~targets:3 () in
-  Scsi.set_irq scsi (fun () -> Pic.raise_irq pic Irq.scsi);
+  let scsi_seq = ref 0 in
+  Scsi.set_irq scsi (fun () ->
+      incr scsi_seq;
+      emit "scsi.irq"
+        (Vmm_replay.Event.Dma_complete { chan = "scsi"; seq = !scsi_seq });
+      Pic.raise_irq pic Irq.scsi);
   Scsi.attach scsi bus ~base:Ports.scsi;
   let nic = Nic.create ~engine ~costs ~mem () in
-  Nic.set_irq nic (fun () -> Pic.raise_irq pic Irq.nic);
+  let nic_seq = ref 0 in
+  Nic.set_irq nic (fun () ->
+      incr nic_seq;
+      emit "nic.irq"
+        (Vmm_replay.Event.Dma_complete { chan = "nic"; seq = !nic_seq });
+      Pic.raise_irq pic Irq.nic);
+  Nic.set_rx_tap nic (fun frame ->
+      emit "nic.rx" (Vmm_replay.Event.Nic_rx { len = Bytes.length frame }));
   Nic.attach nic bus ~base:Ports.nic;
   let trace = Trace.create ~capacity:4096 () in
   let registry = Registry.create () in
@@ -125,6 +157,7 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
     load;
     registry;
     tracer;
+    recorder;
   }
 
 let cpu t = t.cpu
@@ -141,6 +174,7 @@ let trace t = t.trace
 let load t = t.load
 let registry t = t.registry
 let tracer t = t.tracer
+let recorder t = t.recorder
 
 let now t = Engine.now t.engine
 

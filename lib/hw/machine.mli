@@ -54,6 +54,13 @@ val registry : t -> Vmm_obs.Registry.t
     the monitor adds trap/interrupt/stub spans. *)
 val tracer : t -> Vmm_obs.Tracer.t
 
+(** [recorder t] — the machine-wide record/replay hub (off by default).
+    Device taps report timer fires, DMA completion IRQs and UART/NIC
+    ingress to it; the monitor adds virtual-IRQ, crash, wedge and
+    checkpoint events.  Start a recording or replay through
+    {!Vmm_replay.Recorder}. *)
+val recorder : t -> Vmm_replay.Recorder.t
+
 (** [now t] — current simulation time in cycles. *)
 val now : t -> int64
 

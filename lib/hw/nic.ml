@@ -3,6 +3,10 @@ module Engine = Vmm_sim.Engine
 let tx_ring_slots = 64
 let mtu = 1500
 
+(* An in-flight TX frame, materialized so checkpoints can capture the
+   wire contents and re-arm the completion after a restore. *)
+type tx_op = { txo_len : int; txo_buf : Bytes.t; txo_done_at : int64 }
+
 type t = {
   engine : Engine.t;
   costs : Costs.t;
@@ -10,6 +14,7 @@ type t = {
   mutable tx_addr : int;
   mutable tx_len : int;
   mutable queued : int; (* frames in the ring, not yet on the wire *)
+  mutable inflight : tx_op list; (* submission order; length = queued *)
   mutable wire_busy_until : int64;
   mutable completions : int;
   mutable overflow : bool;
@@ -19,6 +24,7 @@ type t = {
   mutable irq : unit -> unit;
   mutable on_frame : bytes -> unit;
   mutable has_consumer : bool;
+  mutable rx_tap : bytes -> unit;
   pool : Bytes.t Stack.t; (* recycled TX frame buffers, each mtu bytes *)
   rx : bytes Queue.t;
   mutable rx_addr : int;
@@ -39,6 +45,7 @@ let create ~engine ~costs ~mem () =
     tx_addr = 0;
     tx_len = 0;
     queued = 0;
+    inflight = [];
     wire_busy_until = 0L;
     completions = 0;
     overflow = false;
@@ -48,6 +55,7 @@ let create ~engine ~costs ~mem () =
     irq = (fun () -> ());
     on_frame = (fun _ -> ());
     has_consumer = false;
+    rx_tap = (fun _ -> ());
     pool = Stack.create ();
     rx = Queue.create ();
     rx_addr = 0;
@@ -74,6 +82,30 @@ let serialization_cycles t len =
   Int64.add
     (Int64.of_int t.costs.Costs.nic_setup_cycles)
     (Costs.cycles_of_seconds t.costs seconds)
+
+(* Schedule a frame's wire completion.  The descriptor lives in
+   [inflight] until the event fires, so checkpoints see the wire
+   contents; the event is epoch-guarded so reset/restore abandons it. *)
+let arm_tx t ~buf ~len ~done_at =
+  let op = { txo_len = len; txo_buf = buf; txo_done_at = done_at } in
+  t.inflight <- t.inflight @ [ op ];
+  let epoch = t.epoch in
+  ignore
+    (Engine.at t.engine ~time:done_at (fun () ->
+         if t.epoch = epoch then begin
+           t.inflight <- List.filter (fun o -> o != op) t.inflight;
+           t.queued <- t.queued - 1;
+           t.completions <- t.completions + 1;
+           t.frames_sent <- t.frames_sent + 1;
+           t.bytes_sent <- Int64.add t.bytes_sent (Int64.of_int len);
+           (* Consumers may retain the frame, so they get a right-sized
+              copy; benches never register one and pay no allocation. *)
+           if t.has_consumer then t.on_frame (Bytes.sub buf 0 len);
+           t.irq ()
+         end;
+         (* The buffer is recycled either way — a reset emptied the ring
+            but the frame is no longer referenced. *)
+         Stack.push buf t.pool))
 
 let send t =
   if t.tx_len <= 0 || t.tx_len > mtu then t.overflow <- true
@@ -104,22 +136,7 @@ let send t =
        Vmm_obs.Tracer.add_complete tracer ~cat:"dma" ~name:"nic_tx" ~start
          ~stop:done_at ()
      | None -> ());
-    let epoch = t.epoch in
-    ignore
-      (Engine.at t.engine ~time:done_at (fun () ->
-           if t.epoch = epoch then begin
-             t.queued <- t.queued - 1;
-             t.completions <- t.completions + 1;
-             t.frames_sent <- t.frames_sent + 1;
-             t.bytes_sent <- Int64.add t.bytes_sent (Int64.of_int len);
-             (* Consumers may retain the frame, so they get a right-sized
-                copy; benches never register one and pay no allocation. *)
-             if t.has_consumer then t.on_frame (Bytes.sub buf 0 len);
-             t.irq ()
-           end;
-           (* The buffer is recycled either way — a reset emptied the ring
-              but the frame is no longer referenced. *)
-           Stack.push buf t.pool))
+    arm_tx t ~buf ~len ~done_at
   end
 
 (* Guest-visible TX-ring reset (command 3): drop every queued frame (their
@@ -130,6 +147,7 @@ let send t =
    a TX stall that filled the ring. *)
 let tx_reset t =
   t.epoch <- t.epoch + 1;
+  t.inflight <- [];
   t.queued <- 0;
   t.completions <- 0;
   t.overflow <- false;
@@ -141,8 +159,11 @@ let receive_into_buffer t =
   | Some frame -> Phys_mem.load_bytes t.mem ~addr:t.rx_addr frame
 
 let inject_rx t frame =
+  t.rx_tap frame;
   Queue.add (Bytes.copy frame) t.rx;
   t.irq ()
+
+let set_rx_tap t f = t.rx_tap <- f
 
 let io_read t offset =
   match offset with
@@ -213,6 +234,7 @@ let tx_ring_resets t = t.tx_resets
    of the guest being rebooted.  Cumulative counters survive too. *)
 let reset t =
   t.epoch <- t.epoch + 1;
+  t.inflight <- [];
   t.queued <- 0;
   t.completions <- 0;
   t.overflow <- false;
@@ -220,3 +242,68 @@ let reset t =
   t.tx_len <- 0;
   t.rx_addr <- 0;
   Queue.clear t.rx
+
+(* Checkpoint support.  Wire and completion times are captured relative
+   (cycles from capture) so a restore at a later absolute time re-arms
+   the same serialization schedule; in-flight frames are deep-copied. *)
+type tx_op_state = { xs_data : Bytes.t; xs_remaining : int64 }
+
+type state = {
+  n_tx_addr : int;
+  n_tx_len : int;
+  n_completions : int;
+  n_overflow : bool;
+  n_wire_remaining : int64;
+  n_rx : Bytes.t list;
+  n_rx_addr : int;
+  n_inflight : tx_op_state list;
+}
+
+let capture t =
+  let now = Engine.now t.engine in
+  let rel at =
+    let d = Int64.sub at now in
+    if Int64.compare d 0L < 0 then 0L else d
+  in
+  {
+    n_tx_addr = t.tx_addr;
+    n_tx_len = t.tx_len;
+    n_completions = t.completions;
+    n_overflow = t.overflow;
+    n_wire_remaining = rel t.wire_busy_until;
+    n_rx = Queue.fold (fun acc f -> Bytes.copy f :: acc) [] t.rx |> List.rev;
+    n_rx_addr = t.rx_addr;
+    n_inflight =
+      List.map
+        (fun op ->
+          {
+            xs_data = Bytes.sub op.txo_buf 0 op.txo_len;
+            xs_remaining = rel op.txo_done_at;
+          })
+        t.inflight;
+  }
+
+let restore t s =
+  let now = Engine.now t.engine in
+  t.epoch <- t.epoch + 1;
+  t.inflight <- [];
+  t.tx_addr <- s.n_tx_addr;
+  t.tx_len <- s.n_tx_len;
+  t.completions <- s.n_completions;
+  t.overflow <- s.n_overflow;
+  t.wire_busy_until <- Int64.add now s.n_wire_remaining;
+  Queue.clear t.rx;
+  List.iter (fun f -> Queue.add (Bytes.copy f) t.rx) s.n_rx;
+  t.rx_addr <- s.n_rx_addr;
+  t.queued <- List.length s.n_inflight;
+  List.iter
+    (fun xs ->
+      let len = Bytes.length xs.xs_data in
+      let buf =
+        match Stack.pop_opt t.pool with Some b -> b | None -> Bytes.create mtu
+      in
+      Bytes.blit xs.xs_data 0 buf 0 len;
+      arm_tx t ~buf ~len ~done_at:(Int64.add now xs.xs_remaining))
+    s.n_inflight
+
+let inflight_tx t = List.length t.inflight

@@ -53,6 +53,11 @@ val set_tracer : t -> Vmm_obs.Tracer.t -> unit
 (** [inject_rx t frame] queues an inbound frame and raises the IRQ. *)
 val inject_rx : t -> bytes -> unit
 
+(** [set_rx_tap t f] — [f frame] runs on every {!inject_rx}, before the
+    frame queues.  The machine's record/replay taps use this to log
+    network ingress, one of the nondeterministic inputs. *)
+val set_rx_tap : t -> (bytes -> unit) -> unit
+
 val io_read : t -> int -> int
 val io_write : t -> int -> int -> unit
 val attach : t -> Io_bus.t -> base:int -> unit
@@ -86,3 +91,33 @@ val tx_ring_resets : t -> int
     registers clear, waiting inbound frames discarded.  An armed wire
     stall and the cumulative counters are preserved. *)
 val reset : t -> unit
+
+(** {2 Checkpoint support}
+
+    Captures registers, pending completions, the receive queue and the
+    in-flight TX frames with {e relative} wire/completion offsets, so a
+    restore at any later absolute time re-arms the same serialization
+    schedule.  Restore abandons whatever was in flight (epoch guard),
+    then reinstates the captured state. *)
+
+type tx_op_state = {
+  xs_data : Bytes.t;
+  xs_remaining : int64;  (** cycles until completion, relative to capture *)
+}
+
+type state = {
+  n_tx_addr : int;
+  n_tx_len : int;
+  n_completions : int;
+  n_overflow : bool;
+  n_wire_remaining : int64;
+  n_rx : Bytes.t list;
+  n_rx_addr : int;
+  n_inflight : tx_op_state list;
+}
+
+val capture : t -> state
+val restore : t -> state -> unit
+
+(** [inflight_tx t] — frames currently serializing on the wire (tests). *)
+val inflight_tx : t -> int

@@ -126,6 +126,30 @@ let reset t =
   t.vector_base <- Isa.vec_irq_base_default;
   update_intr t
 
+(* Checkpoint support: the four programming registers are the whole
+   guest-visible state (INTR is derived; telemetry is monitor-side). *)
+type state = {
+  st_vector_base : int;
+  st_request : int;
+  st_service : int;
+  st_mask : int;
+}
+
+let capture t =
+  {
+    st_vector_base = t.vector_base;
+    st_request = t.request;
+    st_service = t.service;
+    st_mask = t.mask;
+  }
+
+let restore t s =
+  t.vector_base <- s.st_vector_base;
+  t.request <- s.st_request;
+  t.service <- s.st_service;
+  t.mask <- s.st_mask;
+  update_intr t
+
 let attach t bus ~base =
   Io_bus.register bus ~name:"pic" ~base ~count:3 ~read:(io_read t)
     ~write:(io_write t)

@@ -52,6 +52,20 @@ val attach : t -> Io_bus.t -> base:int -> unit
     PIC.  Cumulative {!raises}/{!acks} counters are preserved. *)
 val reset : t -> unit
 
+(** Checkpoint support: the four programming registers, the whole
+    guest-visible state. *)
+type state = {
+  st_vector_base : int;
+  st_request : int;
+  st_service : int;
+  st_mask : int;
+}
+
+val capture : t -> state
+
+(** [restore t s] reinstates captured registers and recomputes INTR. *)
+val restore : t -> state -> unit
+
 (** [set_latency_probe t ~now ~observe] arms delivery-latency
     measurement: each {!ack} calls [observe] with the cycles between the
     line's (first) raise and the acknowledge.  Re-raising a pending line

@@ -96,3 +96,38 @@ let attach t bus ~base =
 let running t = match t.mode with Stopped -> false | Periodic | One_shot -> true
 let reload t = t.reload
 let ticks_fired t = t.fired
+
+(* Checkpoint support.  The phase is captured {e relative} (cycles until
+   the pending expiry) so a restore at any later absolute time re-arms
+   with the same offset — restores never rewind the engine clock. *)
+type phase = { ph_reload : int; ph_mode : int; ph_remaining : int64 }
+
+let capture_phase t =
+  let ph_mode =
+    match t.mode with Stopped -> 0 | Periodic -> 1 | One_shot -> 2
+  in
+  let ph_remaining =
+    match t.handle with
+    | None -> 0L
+    | Some _ ->
+      let due = Int64.add t.armed_at (period_cycles t) in
+      let d = Int64.sub due (Engine.now t.engine) in
+      if Int64.compare d 0L < 0 then 0L else d
+  in
+  { ph_reload = t.reload; ph_mode; ph_remaining }
+
+let restore_phase t ph =
+  disarm t;
+  t.reload <- ph.ph_reload;
+  t.mode <-
+    (match ph.ph_mode with 1 -> Periodic | 2 -> One_shot | _ -> Stopped);
+  match t.mode with
+  | Stopped -> ()
+  | Periodic | One_shot ->
+    (* Backdate armed_at so current_count reads as it did at capture. *)
+    t.armed_at <-
+      Int64.sub
+        (Int64.add (Engine.now t.engine) ph.ph_remaining)
+        (period_cycles t);
+    t.handle <-
+      Some (Engine.after t.engine ~delay:ph.ph_remaining (fun () -> expire t))

@@ -30,3 +30,15 @@ val reload : t -> int
 
 (** [ticks_fired t] counts expiries since creation. *)
 val ticks_fired : t -> int
+
+(** Checkpoint support: reload, mode (0 stopped / 1 periodic / 2
+    one-shot) and cycles remaining until the pending expiry —
+    {e relative}, so a restore at a later absolute time re-arms with the
+    same offset. *)
+type phase = { ph_reload : int; ph_mode : int; ph_remaining : int64 }
+
+val capture_phase : t -> phase
+
+(** [restore_phase t ph] cancels any pending expiry and re-arms from the
+    captured phase. *)
+val restore_phase : t -> phase -> unit

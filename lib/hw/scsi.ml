@@ -9,11 +9,24 @@ type target_state = {
   mutable staging : Bytes.t; (* reusable write-command latch buffer *)
 }
 
+(* An in-flight command, materialized so checkpoints can capture it and
+   re-arm it after a restore (the completion event alone is a closure and
+   cannot round-trip). *)
+type op = {
+  op_target : int;
+  op_cmd : int; (* 1 = read, 2 = write *)
+  op_lba : int;
+  op_count : int;
+  op_dma : int;
+  op_done_at : int64;
+}
+
 type t = {
   engine : Engine.t;
   costs : Costs.t;
   mem : Phys_mem.t;
   target_states : target_state array;
+  mutable inflight : op list; (* submission order *)
   mutable sel_target : int;
   mutable sel_lba : int;
   mutable sel_count : int;
@@ -46,6 +59,7 @@ let create ~engine ~costs ~mem ~targets () =
             sectors = Hashtbl.create 64;
             staging = Bytes.create 0;
           });
+    inflight = [];
     sel_target = 0;
     sel_lba = 0;
     sel_count = 0;
@@ -152,6 +166,24 @@ let complete_write t target lba count =
   t.writes_completed <- t.writes_completed + 1;
   t.irq ()
 
+let complete_op t op =
+  match op.op_cmd with
+  | 1 -> complete_read t op.op_target op.op_lba op.op_count op.op_dma
+  | _ -> complete_write t op.op_target op.op_lba op.op_count
+
+(* Schedule an op's completion.  The descriptor lives in [inflight] until
+   the event fires, so checkpoints see exactly what is on the wire; the
+   event itself is epoch-guarded so reset/restore abandons it. *)
+let arm_op t op ~delay =
+  t.inflight <- t.inflight @ [ op ];
+  let epoch = t.epoch in
+  ignore
+    (Engine.after t.engine ~delay (fun () ->
+         if t.epoch = epoch then begin
+           t.inflight <- List.filter (fun o -> o != op) t.inflight;
+           complete_op t op
+         end))
+
 let start_command t cmd =
   let target = t.sel_target in
   if target < 0 || target >= targets t then t.error <- true
@@ -161,17 +193,12 @@ let start_command t cmd =
     else begin
       let lba = t.sel_lba and count = t.sel_count and dma = t.sel_dma in
       ts.busy <- true;
-      let finish =
-        match cmd with
-        | 1 -> fun () -> complete_read t target lba count dma
-        | _ ->
-          (* Latch outgoing data into the target's staging buffer now; the
-             [busy] guard keeps it exclusive until completion. *)
-          if Bytes.length ts.staging < count then
-            ts.staging <- Bytes.create count;
-          Phys_mem.blit_to_bytes t.mem ~addr:dma ts.staging ~off:0 ~len:count;
-          fun () -> complete_write t target lba count
-      in
+      if cmd <> 1 then begin
+        (* Latch outgoing data into the target's staging buffer now; the
+           [busy] guard keeps it exclusive until completion. *)
+        if Bytes.length ts.staging < count then ts.staging <- Bytes.create count;
+        Phys_mem.blit_to_bytes t.mem ~addr:dma ts.staging ~off:0 ~len:count
+      end;
       let delay = transfer_cycles t count in
       (match t.tracer with
        | Some tracer ->
@@ -180,10 +207,16 @@ let start_command t cmd =
            ~name:(if cmd = 1 then "scsi_read" else "scsi_write")
            ~start ~stop:(Int64.add start delay) ()
        | None -> ());
-      let epoch = t.epoch in
-      ignore
-        (Engine.after t.engine ~delay (fun () ->
-             if t.epoch = epoch then finish ()))
+      arm_op t
+        {
+          op_target = target;
+          op_cmd = cmd;
+          op_lba = lba;
+          op_count = count;
+          op_dma = dma;
+          op_done_at = Int64.add (Engine.now t.engine) delay;
+        }
+        ~delay
     end
   end
 
@@ -242,6 +275,7 @@ let busy_targets t =
    plan, not the guest. *)
 let reset t =
   t.epoch <- t.epoch + 1;
+  t.inflight <- [];
   Array.iter
     (fun ts ->
       ts.busy <- false;
@@ -253,6 +287,107 @@ let reset t =
   t.sel_count <- 0;
   t.sel_dma <- 0;
   t.error <- false
+
+(* Checkpoint support.  In-flight completion times are captured relative
+   (cycles until completion) so a restore at a later absolute time
+   re-arms with the same offsets; sector tables are deep-copied and
+   sorted so two captures of the same state serialize identically. *)
+type op_state = {
+  os_target : int;
+  os_cmd : int;
+  os_lba : int;
+  os_count : int;
+  os_dma : int;
+  os_remaining : int64;
+}
+
+type tgt_state = {
+  ts_busy : bool;
+  ts_done : bool;
+  ts_sectors : (int * Bytes.t) list;
+  ts_staging : Bytes.t;
+}
+
+type state = {
+  s_targets : tgt_state array;
+  s_sel_target : int;
+  s_sel_lba : int;
+  s_sel_count : int;
+  s_sel_dma : int;
+  s_error : bool;
+  s_inflight : op_state list;
+}
+
+let capture t =
+  let now = Engine.now t.engine in
+  {
+    s_targets =
+      Array.map
+        (fun ts ->
+          {
+            ts_busy = ts.busy;
+            ts_done = ts.done_;
+            ts_sectors =
+              Hashtbl.fold (fun k v acc -> (k, Bytes.copy v) :: acc) ts.sectors []
+              |> List.sort (fun (a, _) (b, _) -> compare a b);
+            ts_staging = Bytes.copy ts.staging;
+          })
+        t.target_states;
+    s_sel_target = t.sel_target;
+    s_sel_lba = t.sel_lba;
+    s_sel_count = t.sel_count;
+    s_sel_dma = t.sel_dma;
+    s_error = t.error;
+    s_inflight =
+      List.map
+        (fun op ->
+          let d = Int64.sub op.op_done_at now in
+          {
+            os_target = op.op_target;
+            os_cmd = op.op_cmd;
+            os_lba = op.op_lba;
+            os_count = op.op_count;
+            os_dma = op.op_dma;
+            os_remaining = (if Int64.compare d 0L < 0 then 0L else d);
+          })
+        t.inflight;
+  }
+
+let restore t s =
+  if Array.length s.s_targets <> targets t then
+    invalid_arg "Scsi.restore: target count mismatch";
+  t.epoch <- t.epoch + 1;
+  t.inflight <- [];
+  Array.iteri
+    (fun i ts ->
+      let st = s.s_targets.(i) in
+      ts.busy <- st.ts_busy;
+      ts.done_ <- st.ts_done;
+      Hashtbl.reset ts.sectors;
+      List.iter (fun (k, v) -> Hashtbl.replace ts.sectors k (Bytes.copy v))
+        st.ts_sectors;
+      ts.staging <- Bytes.copy st.ts_staging)
+    t.target_states;
+  t.sel_target <- s.s_sel_target;
+  t.sel_lba <- s.s_sel_lba;
+  t.sel_count <- s.s_sel_count;
+  t.sel_dma <- s.s_sel_dma;
+  t.error <- s.s_error;
+  List.iter
+    (fun os ->
+      arm_op t
+        {
+          op_target = os.os_target;
+          op_cmd = os.os_cmd;
+          op_lba = os.os_lba;
+          op_count = os.os_count;
+          op_dma = os.os_dma;
+          op_done_at = Int64.add (Engine.now t.engine) os.os_remaining;
+        }
+        ~delay:os.os_remaining)
+    s.s_inflight
+
+let inflight_ops t = List.length t.inflight
 
 (* Fault injection: fail the next [n] reads at the medium. *)
 let inject_read_errors t n =

@@ -63,6 +63,47 @@ val busy_targets : t -> int
     fault injections are preserved. *)
 val reset : t -> unit
 
+(** {2 Checkpoint support}
+
+    Captures the full controller state — selection registers, per-target
+    completion/busy flags, written sectors, write staging and the
+    in-flight command descriptors with their {e relative} completion
+    offsets — so a restore at any later absolute time re-arms the same
+    DMA schedule.  Restore abandons whatever was in flight (epoch
+    guard), like {!reset}, then reinstates the captured state. *)
+
+type op_state = {
+  os_target : int;
+  os_cmd : int;  (** 1 = read, 2 = write *)
+  os_lba : int;
+  os_count : int;
+  os_dma : int;
+  os_remaining : int64;  (** cycles until completion, relative to capture *)
+}
+
+type tgt_state = {
+  ts_busy : bool;
+  ts_done : bool;
+  ts_sectors : (int * Bytes.t) list;  (** sorted by sector index *)
+  ts_staging : Bytes.t;
+}
+
+type state = {
+  s_targets : tgt_state array;
+  s_sel_target : int;
+  s_sel_lba : int;
+  s_sel_count : int;
+  s_sel_dma : int;
+  s_error : bool;
+  s_inflight : op_state list;
+}
+
+val capture : t -> state
+val restore : t -> state -> unit
+
+(** [inflight_ops t] — commands currently on the wire (tests). *)
+val inflight_ops : t -> int
+
 (** {2 Fault injection} *)
 
 (** [inject_read_errors t n] — the next [n] reads fail at the medium: the

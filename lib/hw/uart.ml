@@ -9,6 +9,7 @@ type t = {
   mutable ier : int;
   mutable tx_busy_until : int64;
   mutable tx_in_flight : int;
+  mutable rx_tap : int -> unit;
 }
 
 let create ~engine ~costs () =
@@ -21,13 +22,17 @@ let create ~engine ~costs () =
     ier = 0;
     tx_busy_until = 0L;
     tx_in_flight = 0;
+    rx_tap = (fun _ -> ());
   }
 
 let set_irq t f = t.irq <- f
 let set_on_tx t f = t.on_tx <- f
+let set_rx_tap t f = t.rx_tap <- f
 
 let inject_rx t byte =
-  Queue.add (byte land 0xFF) t.rx;
+  let byte = byte land 0xFF in
+  t.rx_tap byte;
+  Queue.add byte t.rx;
   if t.ier land 1 <> 0 then t.irq ()
 
 let rx_pending t = Queue.length t.rx

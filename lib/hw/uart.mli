@@ -28,6 +28,11 @@ val set_on_tx : t -> (int -> unit) -> unit
     enabled. *)
 val inject_rx : t -> int -> unit
 
+(** [set_rx_tap t f] — [f byte] runs on every {!inject_rx}, before the
+    byte queues.  The machine's record/replay taps use this to log
+    debug-link ingress, one of the nondeterministic inputs. *)
+val set_rx_tap : t -> (int -> unit) -> unit
+
 val rx_pending : t -> int
 val tx_in_flight : t -> int
 val io_read : t -> int -> int

@@ -11,6 +11,11 @@ type command =
   | Remove_watchpoint of { addr : int; len : int }
   | Continue
   | Step
+  | Reverse_step
+      (** step backward one instruction (checkpoint + replay-to-N) *)
+  | Reverse_continue
+      (** run backward: to the first breakpoint hit after the restored
+          checkpoint, else to the boundary just before the current stop *)
   | Halt
   | Query_stop
   | Read_console
@@ -61,6 +66,8 @@ let command_to_wire = function
     Printf.sprintf "z2,%s,%s" (hex addr ~width:8) (hex len ~width:4)
   | Continue -> "c"
   | Step -> "s"
+  | Reverse_step -> "rs"
+  | Reverse_continue -> "rc"
   | Halt -> "H"
   | Query_stop -> "?"
   | Read_console -> "qC"
@@ -88,6 +95,10 @@ let command_of_wire s =
     | 'g' -> Some Read_registers
     | 'c' -> Some Continue
     | 's' -> Some Step
+    | 'r' ->
+      if s = "rs" then Some Reverse_step
+      else if s = "rc" then Some Reverse_continue
+      else None
     | 'H' -> Some Halt
     | '?' -> Some Query_stop
     | 'q' ->

@@ -20,6 +20,15 @@ type command =
   | Remove_watchpoint of { addr : int; len : int }  (** [z2,<addr>,<len>] *)
   | Continue  (** [c] *)
   | Step  (** [s] *)
+  | Reverse_step
+      (** [rs] — step backward one instruction: the stub restores the
+          newest checkpoint at or before the previous boundary and
+          deterministically re-executes to it (replay-to-N) *)
+  | Reverse_continue
+      (** [rc] — run backward: restore the checkpoint, re-execute; stops
+          at the first breakpoint hit after it, else at the boundary
+          just before the current stop (for a crashed guest, the exact
+          pre-crash instruction) *)
   | Halt  (** [H] — stop a running target *)
   | Query_stop  (** [?] *)
   | Read_console  (** [qC] — drain the target-side console buffer *)

@@ -334,3 +334,36 @@ let reset t =
   t.ack_state <- No_ack;
   Packet.reset t.decoder;
   t.counters.link_resets <- t.counters.link_resets + 1
+
+(* Checkpoint support: the sequence-space position is the part of the
+   endpoint state that must round-trip for a restored run to keep
+   talking — a flight or queued frames cannot be restored meaningfully
+   (their payloads belong to the conversation that was interrupted), so
+   restore abandons them like {!reset} does, but keeps the sequence
+   numbers where the capture left them. *)
+type seq_state = {
+  sq_next_seq : int;
+  sq_last_rx_seq : int;
+  sq_sequenced : bool;
+  sq_up : bool;
+}
+
+let seq_state t =
+  {
+    sq_next_seq = t.next_seq;
+    sq_last_rx_seq = t.last_rx_seq;
+    sq_sequenced = t.sequenced;
+    sq_up = t.up;
+  }
+
+let restore_seq_state t s =
+  (match t.flight with Some fl -> cancel_timer t fl | None -> ());
+  t.flight <- None;
+  Queue.clear t.txq;
+  t.last_plain_tx <- None;
+  t.ack_state <- No_ack;
+  Packet.reset t.decoder;
+  t.next_seq <- s.sq_next_seq;
+  t.last_rx_seq <- s.sq_last_rx_seq;
+  t.sequenced <- s.sq_sequenced;
+  t.up <- s.sq_up

@@ -98,3 +98,22 @@ val stats : t -> counters
 
 (** [pending_tx t] — frames queued or in flight. *)
 val pending_tx : t -> int
+
+(** {2 Checkpoint support}
+
+    The sequence-space position (next TX sequence, last accepted RX
+    sequence, mode, up/down) is what must round-trip for a restored
+    endpoint to keep talking to its peer.  A flight or queued frames are
+    {e not} captured — their payloads belong to the interrupted
+    conversation — so {!restore_seq_state} abandons them like {!reset},
+    then reinstates the captured numbers. *)
+
+type seq_state = {
+  sq_next_seq : int;
+  sq_last_rx_seq : int;
+  sq_sequenced : bool;
+  sq_up : bool;
+}
+
+val seq_state : t -> seq_state
+val restore_seq_state : t -> seq_state -> unit

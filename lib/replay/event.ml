@@ -1,0 +1,132 @@
+type chaos_verdict =
+  | Drop
+  | Deliver of { mask : int; dup : bool; delay : int }
+
+type payload =
+  | Irq_inject of { line : int }
+  | Timer_fire of { count : int }
+  | Dma_complete of { chan : string; seq : int }
+  | Uart_rx of { byte : int }
+  | Nic_rx of { len : int }
+  | Chaos of chaos_verdict
+  | Wedge of { pc : int }
+  | Crash of { vector : int; pc : int }
+  | Checkpoint of { index : int; retired : int64 }
+
+type t = { cycle : int64; source : string; payload : payload }
+
+let equal a b = a = b
+
+let pp_payload fmt = function
+  | Irq_inject { line } -> Format.fprintf fmt "irq line=%d" line
+  | Timer_fire { count } -> Format.fprintf fmt "timer count=%d" count
+  | Dma_complete { chan; seq } -> Format.fprintf fmt "dma chan=%s seq=%d" chan seq
+  | Uart_rx { byte } -> Format.fprintf fmt "uart_rx byte=0x%02x" byte
+  | Nic_rx { len } -> Format.fprintf fmt "nic_rx len=%d" len
+  | Chaos Drop -> Format.fprintf fmt "chaos drop"
+  | Chaos (Deliver { mask; dup; delay }) ->
+    Format.fprintf fmt "chaos deliver mask=0x%02x dup=%b delay=%d" mask dup delay
+  | Wedge { pc } -> Format.fprintf fmt "wedge pc=0x%x" pc
+  | Crash { vector; pc } -> Format.fprintf fmt "crash vector=%d pc=0x%x" vector pc
+  | Checkpoint { index; retired } ->
+    Format.fprintf fmt "checkpoint index=%d retired=%Ld" index retired
+
+let pp fmt t =
+  Format.fprintf fmt "@@%Ld %s: %a" t.cycle t.source pp_payload t.payload
+
+module J = Vmm_obs.Json
+
+let payload_fields = function
+  | Irq_inject { line } -> ("irq", [ ("line", J.Int line) ])
+  | Timer_fire { count } -> ("timer", [ ("count", J.Int count) ])
+  | Dma_complete { chan; seq } ->
+    ("dma", [ ("chan", J.String chan); ("seq", J.Int seq) ])
+  | Uart_rx { byte } -> ("uart_rx", [ ("byte", J.Int byte) ])
+  | Nic_rx { len } -> ("nic_rx", [ ("len", J.Int len) ])
+  | Chaos Drop -> ("chaos", [ ("verdict", J.String "drop") ])
+  | Chaos (Deliver { mask; dup; delay }) ->
+    ( "chaos",
+      [
+        ("verdict", J.String "deliver");
+        ("mask", J.Int mask);
+        ("dup", J.Bool dup);
+        ("delay", J.Int delay);
+      ] )
+  | Wedge { pc } -> ("wedge", [ ("pc", J.Int pc) ])
+  | Crash { vector; pc } ->
+    ("crash", [ ("vector", J.Int vector); ("pc", J.Int pc) ])
+  | Checkpoint { index; retired } ->
+    ( "checkpoint",
+      [ ("index", J.Int index); ("retired", J.Int (Int64.to_int retired)) ] )
+
+let to_json t =
+  let kind, fields = payload_fields t.payload in
+  J.Obj
+    (("c", J.Int (Int64.to_int t.cycle))
+     :: ("s", J.String t.source)
+     :: ("k", J.String kind)
+     :: fields)
+
+let ( let* ) r f = Result.bind r f
+
+let field j name of_j =
+  match J.member name j with
+  | Some v ->
+    (match of_j v with
+     | Some x -> Ok x
+     | None -> Error (Printf.sprintf "field %S: wrong type" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field j name = field j name J.to_int_opt
+let str_field j name = field j name J.to_string_opt
+
+let bool_field j name =
+  field j name (function J.Bool b -> Some b | _ -> None)
+
+let payload_of_json j kind =
+  match kind with
+  | "irq" ->
+    let* line = int_field j "line" in
+    Ok (Irq_inject { line })
+  | "timer" ->
+    let* count = int_field j "count" in
+    Ok (Timer_fire { count })
+  | "dma" ->
+    let* chan = str_field j "chan" in
+    let* seq = int_field j "seq" in
+    Ok (Dma_complete { chan; seq })
+  | "uart_rx" ->
+    let* byte = int_field j "byte" in
+    Ok (Uart_rx { byte })
+  | "nic_rx" ->
+    let* len = int_field j "len" in
+    Ok (Nic_rx { len })
+  | "chaos" ->
+    let* verdict = str_field j "verdict" in
+    (match verdict with
+     | "drop" -> Ok (Chaos Drop)
+     | "deliver" ->
+       let* mask = int_field j "mask" in
+       let* dup = bool_field j "dup" in
+       let* delay = int_field j "delay" in
+       Ok (Chaos (Deliver { mask; dup; delay }))
+     | other -> Error (Printf.sprintf "unknown chaos verdict %S" other))
+  | "wedge" ->
+    let* pc = int_field j "pc" in
+    Ok (Wedge { pc })
+  | "crash" ->
+    let* vector = int_field j "vector" in
+    let* pc = int_field j "pc" in
+    Ok (Crash { vector; pc })
+  | "checkpoint" ->
+    let* index = int_field j "index" in
+    let* retired = int_field j "retired" in
+    Ok (Checkpoint { index; retired = Int64.of_int retired })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let of_json j =
+  let* cycle = int_field j "c" in
+  let* source = str_field j "s" in
+  let* kind = str_field j "k" in
+  let* payload = payload_of_json j kind in
+  Ok { cycle = Int64.of_int cycle; source; payload }

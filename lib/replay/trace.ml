@@ -1,0 +1,94 @@
+module J = Vmm_obs.Json
+
+type header = { version : int; seed : int64; label : string }
+
+let format_tag = "lwvmm-trace"
+let current_version = 1
+
+let make_header ?(label = "") ~seed () = { version = current_version; seed; label }
+
+let header_to_json h =
+  J.Obj
+    [
+      ("format", J.String format_tag);
+      ("version", J.Int h.version);
+      ("seed", J.Int (Int64.to_int h.seed));
+      ("label", J.String h.label);
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let req name j of_j =
+  match Option.bind (J.member name j) of_j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "trace header: bad or missing %S" name)
+
+let header_of_json j =
+  let* format = req "format" j J.to_string_opt in
+  if format <> format_tag then
+    Error (Printf.sprintf "not a %s file (format %S)" format_tag format)
+  else
+    let* version = req "version" j J.to_int_opt in
+    if version <> current_version then
+      Error
+        (Printf.sprintf "unsupported trace version %d (expected %d)" version
+           current_version)
+    else
+      let* seed = req "seed" j J.to_int_opt in
+      let* label = req "label" j J.to_string_opt in
+      Ok { version; seed = Int64.of_int seed; label }
+
+let to_string header events =
+  let buf = Buffer.create (256 + (64 * List.length events)) in
+  Buffer.add_string buf (J.to_string (header_to_json header));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (J.to_string (Event.to_json e));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty trace"
+  | header_line :: event_lines ->
+    let* hj = J.of_string header_line in
+    let* header = header_of_json hj in
+    let rec parse acc n = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        let* j =
+          Result.map_error
+            (fun e -> Printf.sprintf "trace line %d: %s" n e)
+            (J.of_string line)
+        in
+        let* e =
+          Result.map_error
+            (fun e -> Printf.sprintf "trace line %d: %s" n e)
+            (Event.of_json j)
+        in
+        parse (e :: acc) (n + 1) rest
+    in
+    let* events = parse [] 2 event_lines in
+    Ok (header, events)
+
+let save ~path header events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string header events))
+
+let load ~path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error e -> Error e

@@ -1,0 +1,27 @@
+(** Versioned on-disk trace: JSON-lines, one header object followed by
+    one object per event.
+
+    The header pins the format ([{"format":"lwvmm-trace","version":1}])
+    plus the seed and a free-form label so a trace is self-describing;
+    {!load} rejects unknown formats and versions rather than replaying
+    garbage. *)
+
+type header = { version : int; seed : int64; label : string }
+
+val current_version : int
+
+(** [make_header ?label ~seed ()] — a header at {!current_version}. *)
+val make_header : ?label:string -> seed:int64 -> unit -> header
+
+(** [to_string header events] renders the full trace document. *)
+val to_string : header -> Event.t list -> string
+
+(** [of_string s] parses a trace document; [Error] on format drift,
+    version mismatch or any malformed line. *)
+val of_string : string -> (header * Event.t list, string) result
+
+(** [save ~path header events] / [load ~path] — file convenience
+    wrappers over {!to_string}/{!of_string}. *)
+val save : path:string -> header -> Event.t list -> unit
+
+val load : path:string -> (header * Event.t list, string) result

@@ -1,0 +1,322 @@
+(* Record/replay and reverse-debugging suite: a recorded run under
+   chaos replays to a bit-identical final state; the divergence detector
+   pins the first mismatching event; full checkpoints round-trip every
+   device's state; and the stub's [rs]/[rc] verbs land on the exact
+   pre-crash instruction via checkpoint restore + deterministic
+   re-execution. *)
+
+module Machine = Vmm_hw.Machine
+module Isa = Vmm_hw.Isa
+module Asm = Vmm_hw.Asm
+module Costs = Vmm_hw.Costs
+module Command = Vmm_proto.Command
+module Reliable = Vmm_proto.Reliable
+module Monitor = Core.Monitor
+module Stub = Core.Stub
+module Snapshot = Core.Snapshot
+module Vm_layout = Core.Vm_layout
+module Kernel = Vmm_guest.Kernel
+module Session = Vmm_debugger.Session
+module Chaos = Vmm_fault.Chaos
+module Rng = Vmm_sim.Rng
+module Stats = Vmm_sim.Stats
+module Recorder = Vmm_replay.Recorder
+module Trace = Vmm_replay.Trace
+module Event = Vmm_replay.Event
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* Fast serial line so debug round-trips stay cheap in simulated time. *)
+let test_costs = { Costs.default with Costs.uart_cycles_per_byte = 2000 }
+
+let cyc s = Costs.cycles_of_seconds test_costs s
+
+(* ---------------------------------------------------------------- *)
+(* Trace format                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let sample_events =
+  [
+    { Event.cycle = 100L; source = "monitor.virq";
+      payload = Event.Irq_inject { line = 3 } };
+    { Event.cycle = 200L; source = "pit";
+      payload = Event.Timer_fire { count = 7 } };
+    { Event.cycle = 300L; source = "scsi.irq";
+      payload = Event.Dma_complete { chan = "scsi"; seq = 2 } };
+    { Event.cycle = 400L; source = "uart";
+      payload = Event.Uart_rx { byte = 0xA5 } };
+    { Event.cycle = 500L; source = "nic";
+      payload = Event.Nic_rx { len = 64 } };
+    { Event.cycle = 600L; source = "chaos.h2t"; payload = Event.Chaos Event.Drop };
+    { Event.cycle = 700L; source = "chaos.t2h";
+      payload =
+        Event.Chaos (Event.Deliver { mask = 0x40; dup = true; delay = 12 }) };
+    { Event.cycle = 800L; source = "monitor.watchdog";
+      payload = Event.Wedge { pc = 0x1040 } };
+    { Event.cycle = 900L; source = "monitor";
+      payload = Event.Crash { vector = 13; pc = 0x2000 } };
+    { Event.cycle = 1000L; source = "monitor.ckpt";
+      payload = Event.Checkpoint { index = 4; retired = 123456L } };
+  ]
+
+let test_trace_round_trip () =
+  let header = Trace.make_header ~label:"unit-test" ~seed:42L () in
+  match Trace.of_string (Trace.to_string header sample_events) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok (h, evs) ->
+    check int "version" Trace.current_version h.Trace.version;
+    check bool "seed" true (h.Trace.seed = 42L);
+    check Alcotest.string "label" "unit-test" h.Trace.label;
+    check int "count" (List.length sample_events) (List.length evs);
+    List.iter2
+      (fun a b -> check bool "event round-trips" true (Event.equal a b))
+      sample_events evs
+
+let test_trace_rejects_version_drift () =
+  check bool "not a trace" true
+    (Result.is_error (Trace.of_string "hello world\n"));
+  let doc = Trace.to_string (Trace.make_header ~seed:1L ()) sample_events in
+  let needle = "\"version\":" in
+  let i =
+    let rec find i =
+      if i + String.length needle > String.length doc then
+        Alcotest.fail "no version field"
+      else if String.sub doc i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let j = i + String.length needle in
+  let bumped = String.sub doc 0 j ^ "9" ^ String.sub doc j (String.length doc - j) in
+  check bool "version drift refused" true (Result.is_error (Trace.of_string bumped))
+
+(* ---------------------------------------------------------------- *)
+(* Record / replay convergence                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* One debug campaign under a lossy wire: boot the streaming kernel,
+   checkpoint periodically, exchange debugger traffic through an active
+   chaos wrap, recover, and read the final-state digest.  With [replay]
+   the same campaign consumes the recorded trace instead of the live
+   chaos RNG. *)
+let drive ?replay ~seed () =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:test_costs () in
+  let recorder = Machine.recorder m in
+  (match replay with
+   | None -> Recorder.start_record recorder
+   | Some events -> Recorder.start_replay recorder events);
+  let mon = Monitor.install m in
+  Monitor.boot_guest mon
+    (Kernel.build (Kernel.default_config ~rate_mbps:50.0))
+    ~entry:Kernel.entry;
+  Monitor.checkpoint_start ~period_cycles:(cyc 0.005) mon;
+  let chaos = Chaos.create ~engine:(Machine.engine m) ~rng:(Rng.create ~seed) () in
+  Chaos.set_recorder chaos recorder;
+  let session =
+    Session.attach
+      ~wrap_to_target:(Chaos.wrap ~source:"chaos.h2t" chaos)
+      ~wrap_to_host:(Chaos.wrap ~source:"chaos.t2h" chaos)
+      m
+  in
+  Machine.run_seconds m 0.01;
+  ignore (Session.read_registers ~timeout_s:1.0 session);
+  Chaos.set_profile chaos
+    { Chaos.drop_p = 0.02; corrupt_p = 0.02; dup_p = 0.02; delay_p = 0.05;
+      max_delay_cycles = 5000 };
+  Chaos.set_active chaos true;
+  for _ = 1 to 4 do
+    ignore (Session.read_registers ~timeout_s:0.5 session);
+    Machine.run_seconds m 0.005
+  done;
+  Chaos.set_active chaos false;
+  if not (Session.link_up session) then
+    ignore (Session.reconnect ~timeout_s:1.0 session);
+  ignore (Session.read_registers ~timeout_s:1.0 session);
+  Machine.run_seconds m 0.01;
+  let digest = Snapshot.Full.digest (Monitor.checkpoint_now mon) in
+  let busy = Stats.busy_cycles (Machine.load m) in
+  let divergence =
+    match replay with
+    | Some _ -> Recorder.finish_replay recorder
+    | None -> None
+  in
+  let events = Recorder.recorded recorder in
+  Recorder.stop recorder;
+  (events, digest, busy, divergence)
+
+let test_record_replay_converges () =
+  let events, digest, busy, _ = drive ~seed:11L () in
+  check bool "events recorded" true (List.length events > 0);
+  let _, digest', busy', div = drive ~replay:events ~seed:11L () in
+  (match div with
+   | Some d ->
+     Alcotest.failf "replay diverged: %s"
+       (Format.asprintf "%a" Recorder.pp_divergence d)
+   | None -> ());
+  check bool "final-state digest identical" true (digest' = digest);
+  check bool "busy-cycle total identical" true (busy' = busy)
+
+let test_divergence_detector () =
+  let events, _, _, _ = drive ~seed:12L () in
+  (* tamper the cycle stamp of one non-chaos event past the warm-up *)
+  let idx, orig =
+    let rec find i = function
+      | [] -> Alcotest.fail "no non-chaos event to tamper"
+      | e :: tl ->
+        (match e.Event.payload with
+         | Event.Chaos _ -> find (i + 1) tl
+         | _ when i > 0 -> (i, e)
+         | _ -> find (i + 1) tl)
+    in
+    find 0 events
+  in
+  let tampered =
+    List.mapi
+      (fun i e ->
+        if i = idx then { e with Event.cycle = Int64.add e.Event.cycle 1L }
+        else e)
+      events
+  in
+  let _, _, _, div = drive ~replay:tampered ~seed:12L () in
+  match div with
+  | None -> Alcotest.fail "tampered trace did not diverge"
+  | Some d ->
+    check int "first mismatch index" idx d.Recorder.index;
+    check bool "cycle names the observed event" true
+      (d.Recorder.cycle = orig.Event.cycle);
+    check Alcotest.string "source names the observed event" orig.Event.source
+      d.Recorder.source;
+    (match (d.Recorder.expected, d.Recorder.actual) with
+     | Some e, Some a ->
+       check bool "expected is the tampered stamp" true
+         (e.Event.cycle = Int64.add a.Event.cycle 1L)
+     | _ -> Alcotest.fail "divergence lacks expected/actual events")
+
+(* ---------------------------------------------------------------- *)
+(* Checkpoint round-trip                                             *)
+(* ---------------------------------------------------------------- *)
+
+let test_checkpoint_restore_digest () =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:test_costs () in
+  let mon = Monitor.install m in
+  Monitor.boot_guest mon
+    (Kernel.build (Kernel.default_config ~rate_mbps:50.0))
+    ~entry:Kernel.entry;
+  let session = Session.attach m in
+  (* run with live SCSI/NIC traffic so device state is non-trivial *)
+  Machine.run_seconds m 0.02;
+  ignore (Session.read_registers ~timeout_s:1.0 session);
+  let ck = Monitor.checkpoint_now mon in
+  let d0 = Snapshot.Full.digest ck in
+  (* advance guest and devices only: the digest covers the live link's
+     sequence numbers, which a restore deliberately leaves untouched *)
+  Machine.run_seconds m 0.03;
+  let moved = Snapshot.Full.digest (Monitor.checkpoint_now mon) in
+  check bool "state advanced between checkpoints" true (moved <> d0);
+  Monitor.restore_checkpoint mon ck;
+  let d1 = Snapshot.Full.digest (Monitor.checkpoint_now mon) in
+  check bool "restore round-trips the digest" true (d1 = d0);
+  (* the debug plane survived the restore *)
+  check bool "session still answers" true
+    (Session.read_registers ~timeout_s:1.0 session <> None)
+
+let test_link_seq_state_round_trip () =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:test_costs () in
+  let mon = Monitor.install m in
+  Monitor.boot_guest mon
+    (Kernel.build (Kernel.default_config ~rate_mbps:50.0))
+    ~entry:Kernel.entry;
+  let session = Session.attach m in
+  Machine.run_seconds m 0.01;
+  ignore (Session.read_registers ~timeout_s:1.0 session);
+  ignore (Session.read_memory ~timeout_s:1.0 session ~addr:Kernel.entry ~len:8);
+  let ep = Stub.endpoint (Monitor.stub mon) in
+  let st = Reliable.seq_state ep in
+  check bool "sequenced after traffic" true st.Reliable.sq_sequenced;
+  Reliable.restore_seq_state ep st;
+  check bool "seq state round-trips" true (Reliable.seq_state ep = st);
+  check bool "link still talks after restore" true
+    (Session.read_registers ~timeout_s:1.0 session <> None)
+
+(* ---------------------------------------------------------------- *)
+(* Reverse execution                                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* Straight-line guest, interrupts off: a counted run of [addi], then a
+   wild store into monitor memory that faults.  Every instruction
+   address is [entry + k*width], so the landing pcs are exact. *)
+let test_reverse_lands_pre_crash () =
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:test_costs () in
+  let mon = Monitor.install m in
+  let layout = Monitor.layout mon in
+  let victim = layout.Vm_layout.monitor_base + 0x100 in
+  let entry = 0x1000 in
+  let a = Asm.create ~origin:entry () in
+  Asm.movi a 1 (Asm.imm 0);
+  for _ = 1 to 64 do
+    Asm.addi a 1 1 (Asm.imm 1)
+  done;
+  Asm.movi a 2 (Asm.imm victim);
+  Asm.st a 2 0 1 (* wild store: faults, never retires *);
+  Asm.vmcall a (Asm.imm 2);
+  let boom = entry + (66 * Isa.width) in
+  Monitor.boot_guest mon (Asm.assemble a) ~entry;
+  Monitor.checkpoint_start ~period_cycles:(cyc 0.0005) mon;
+  let session = Session.attach m in
+  (match Session.wait_stop ~timeout_s:2.0 session with
+   | Some (Command.Faulted { pc; _ }) -> check int "fault pc" boom pc
+   | _ -> Alcotest.fail "guest did not fault");
+  check bool "guest quarantined" true (Monitor.crashed mon);
+  (* rc: back to the exact pre-crash instruction *)
+  (match Session.reverse_continue ~timeout_s:2.0 session with
+   | Some (Command.Step_done pc) -> check int "rc lands on pre-crash pc" boom pc
+   | _ -> Alcotest.fail "rc reported no landing");
+  check bool "guest healthy after restore" true (not (Monitor.crashed mon));
+  (match Session.read_registers ~timeout_s:1.0 session with
+   | Some regs -> check int "history replayed (r1 = 64)" 64 regs.(1)
+   | None -> Alcotest.fail "no registers after rc");
+  (* rs: exactly one instruction further back *)
+  (match Session.reverse_step ~timeout_s:2.0 session with
+   | Some (Command.Step_done pc) ->
+     check int "rs lands one instruction earlier" (boom - Isa.width) pc
+   | _ -> Alcotest.fail "rs reported no landing");
+  (* a breakpoint planted in history stops rc first *)
+  let bp = entry + (10 * Isa.width) in
+  check bool "bp set" true (Session.insert_breakpoint ~timeout_s:1.0 session bp);
+  (match Session.reverse_continue ~timeout_s:2.0 session with
+   | Some (Command.Break pc) -> check int "rc honors planted breakpoint" bp pc
+   | _ -> Alcotest.fail "rc did not stop at the breakpoint");
+  check bool "bp removed" true
+    (Session.remove_breakpoint ~timeout_s:1.0 session bp)
+
+let () =
+  Alcotest.run "replay (record/replay + reverse debugging)"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "round trip" `Quick test_trace_round_trip;
+          Alcotest.test_case "rejects version drift" `Quick
+            test_trace_rejects_version_drift;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "record/replay converges" `Quick
+            test_record_replay_converges;
+          Alcotest.test_case "divergence detector" `Quick
+            test_divergence_detector;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "restore round-trips digest" `Quick
+            test_checkpoint_restore_digest;
+          Alcotest.test_case "link seq state round-trips" `Quick
+            test_link_seq_state_round_trip;
+        ] );
+      ( "reverse",
+        [
+          Alcotest.test_case "rc/rs land pre-crash" `Quick
+            test_reverse_lands_pre_crash;
+        ] );
+    ]

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Nondeterminism lint: all randomness must flow through seeded
+# Vmm_sim.Rng streams and all time through the simulation engine —
+# a stray stdlib RNG draw or wall-clock read silently breaks the
+# record/replay guarantee (docs/REPLAY.md).
+#
+# Fails on `Random.`, `Unix.gettimeofday` or `Sys.time` anywhere in the
+# source tree, except:
+#   - lib/sim/rng.ml (the sanctioned seeded generator), and
+#   - lines carrying a `determinism-ok` marker with a justification
+#     (host-side wall-clock measurement that never feeds the sim).
+set -eu
+cd "$(dirname "$0")/.."
+
+bad=$(grep -rn 'Random\.\|Unix\.gettimeofday\|Sys\.time' \
+        lib bin bench test examples \
+      | grep -v '^lib/sim/rng\.ml:' \
+      | grep -v 'determinism-ok' || true)
+
+if [ -n "$bad" ]; then
+  echo "determinism check FAILED — stdlib RNG / wall clock outside Vmm_sim.Rng:" >&2
+  echo "$bad" >&2
+  echo "Route randomness through Vmm_sim.Rng and time through the engine," >&2
+  echo "or mark a justified host-side use with 'determinism-ok: <why>'." >&2
+  exit 1
+fi
+echo "determinism check passed"
