@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- ablation-trap         -- E6
      dune exec bench/main.exe -- ablation-passthrough  -- E7
      dune exec bench/main.exe -- micro        -- M1 bechamel microbenches
+     dune exec bench/main.exe -- profile      -- continuous-profiler overhead
      dune exec bench/main.exe -- analysis     -- M3 static-verifier throughput *)
 
 module Machine = Vmm_hw.Machine
@@ -476,6 +477,9 @@ let gauntlet_campaign ?replay ~seed () =
   (* seal the recording before the embedded baseline spins up its own
      machine: the trace covers exactly the lightweight-VMM campaign *)
   let final_digest = Snapshot.Full.digest (Monitor.checkpoint_now mon) in
+  (* the post-mortem artifact, when the campaign crashed or wedged the
+     guest; sticky across the warm restart above *)
+  let bundle = Monitor.crash_bundle mon in
   let divergence =
     match replay with
     | Some _ -> Recorder.finish_replay recorder
@@ -554,7 +558,7 @@ let gauntlet_campaign ?replay ~seed () =
       g_wedge_breakins = wedges;
       g_probe_cycles = !probe_cycles;
     },
-    events, final_digest, divergence )
+    events, final_digest, divergence, bundle )
 
 let gauntlet () =
   section
@@ -581,11 +585,28 @@ let gauntlet () =
         events;
       Printf.eprintf "gauntlet: wrote replay trace %s\n" path
   in
+  (* every crashed/wedged campaign leaves a crash bundle (the same
+     artifact qR serves over the debug link); drop them next to the
+     replay traces so CI uploads both *)
+  let save_bundle ~seed bundle =
+    match (gauntlet_trace_dir, bundle) with
+    | Some dir, Some text ->
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path =
+        Filename.concat dir (Printf.sprintf "gauntlet-seed-%Ld.bundle" seed)
+      in
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.eprintf "gauntlet: wrote crash bundle %s\n" path
+    | (None, _ | _, None) -> ()
+  in
   let replay_failures = ref 0 in
   let detailed =
     List.init gauntlet_n (fun i ->
         let seed = Int64.add gauntlet_base_seed (Int64.of_int i) in
-        let r, events, digest, _ = gauntlet_campaign ~seed () in
+        let r, events, digest, _, bundle = gauntlet_campaign ~seed () in
         let recovery =
           (if r.g_restarted then "restart " else "")
           ^ if r.g_reconnects > 0 then Printf.sprintf "resync×%d" r.g_reconnects
@@ -597,8 +618,11 @@ let gauntlet () =
           (if r.g_embedded_survived then "alive" else "dead")
           (if recovery = "" then "-" else recovery);
         if not r.g_lw_survived then save_trace ~seed ~digest r events;
+        save_bundle ~seed bundle;
         if gauntlet_verify_replay then begin
-          let r', _, digest', div = gauntlet_campaign ~replay:events ~seed () in
+          let r', _, digest', div, _ =
+            gauntlet_campaign ~replay:events ~seed ()
+          in
           if div <> None || digest' <> digest || r' <> r then begin
             incr replay_failures;
             Printf.eprintf
@@ -987,6 +1011,156 @@ let sim_speed () =
       results
 
 (* ---------------------------------------------------------------- *)
+(* profile — overhead of the continuous pc-sampling profiler.       *)
+(* ---------------------------------------------------------------- *)
+
+(* Runs the Fig 3.1 lightweight-VMM workload twice at the same seed and
+   configuration -- profiler off, then armed at the default period --
+   and compares host wall-clock.  The simulated side must not notice
+   the profiler at all: elapsed cycles, instructions retired and busy
+   cycles are asserted bit-identical between the two arms (sampling
+   only reads pc/cpl), which is the same property that keeps record/
+   replay traces convergent with profiling on.  Knobs:
+     BENCH_PROFILE_SIM_S             simulated seconds per arm (default 0.5)
+     BENCH_PROFILE_REPS              host-timing repetitions, averaged
+                                     (default 3; damps scheduler noise)
+     BENCH_PROFILE_MAX_OVERHEAD_PCT  fail (exit 1) when the armed run is
+                                     more than this % slower *)
+let profile_bench () =
+  section
+    "profile -- continuous-profiler overhead (Fig 3.1 workload, 100 Mbps)";
+  let sim_s =
+    match Sys.getenv_opt "BENCH_PROFILE_SIM_S" with
+    | Some s -> (try float_of_string (String.trim s) with _ -> 0.5)
+    | None -> 0.5
+  in
+  let reps =
+    match Sys.getenv_opt "BENCH_PROFILE_REPS" with
+    | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 5)
+    | None -> 5
+  in
+  let period =
+    match Sys.getenv_opt "BENCH_PROFILE_PERIOD" with
+    | Some s ->
+      (try Int64.of_string (String.trim s)
+       with _ -> Vmm_profile.Profiler.default_period)
+    | None -> Vmm_profile.Profiler.default_period
+  in
+  let run_once ~profiled =
+    let config = Kernel.default_config ~rate_mbps:100.0 in
+    let ctx, _program = Workload.prepare Workload.Lightweight_vmm ~config in
+    let machine = Workload.machine_of ctx in
+    if profiled then Machine.set_profiling machine ~period;
+    Machine.run_seconds machine 0.05 (* warmup *);
+    let cpu = Machine.cpu machine in
+    let c0 = Machine.now machine in
+    let i0 = Cpu.instructions_retired cpu in
+    let b0 = Vmm_sim.Stats.busy_cycles (Machine.load machine) in
+    (* Host wall-clock measures the profiler's cost to the simulator;
+       nothing feeds back into the sim. *)
+    let h0 = Unix.gettimeofday () in (* determinism-ok: host-side timing *)
+    Machine.run_seconds machine sim_s;
+    let host_s = Unix.gettimeofday () -. h0 in (* determinism-ok: see above *)
+    let observed =
+      ( Int64.sub (Machine.now machine) c0,
+        Int64.sub (Cpu.instructions_retired cpu) i0,
+        Int64.sub (Vmm_sim.Stats.busy_cycles (Machine.load machine)) b0 )
+    in
+    ( host_s,
+      observed,
+      Vmm_profile.Profiler.total_samples (Machine.profiler machine) )
+  in
+  (* The two arms alternate within each repetition (off, on, off, on,
+     ...) so slow host drift — a noisy neighbour, a frequency change —
+     hits both arms equally instead of biasing whichever ran last.  The
+     overhead is then the median of the per-repetition on/off ratios:
+     pairing cancels drift inside each repetition and the median throws
+     away the odd repetition a noisy neighbour stretched — on a shared
+     box that jitter dwarfs the effect being measured. *)
+  let off_s = ref 0.0 and on_s = ref 0.0 in
+  let off_sim = ref None and on_sim = ref None in
+  let samples = ref 0 in
+  let ratios = Array.make reps 1.0 in
+  let note sim total host observed =
+    (match !sim with
+     | None -> sim := Some observed
+     | Some prior when prior <> observed ->
+       Printf.eprintf
+         "profile: repetitions disagree on simulated state -- the \
+          workload is nondeterministic\n";
+       exit 1
+     | Some _ -> ());
+    total := !total +. host
+  in
+  for rep = 0 to reps - 1 do
+    let off_h, observed, _ = run_once ~profiled:false in
+    note off_sim off_s off_h observed;
+    let on_h, observed, n = run_once ~profiled:true in
+    note on_sim on_s on_h observed;
+    ratios.(rep) <- on_h /. off_h;
+    samples := n
+  done;
+  let off_s = !off_s /. float_of_int reps
+  and on_s = !on_s /. float_of_int reps in
+  Array.sort compare ratios;
+  let median_ratio = ratios.(reps / 2) in
+  let off_sim = Option.get !off_sim and on_sim = Option.get !on_sim in
+  let samples = !samples in
+  let cycles, instrs, busy = off_sim in
+  if off_sim <> on_sim then begin
+    let c', i', b' = on_sim in
+    Printf.eprintf
+      "profile: arming the profiler perturbed the simulation\n\
+      \  off: cycles=%Ld instrs=%Ld busy=%Ld\n\
+      \  on : cycles=%Ld instrs=%Ld busy=%Ld\n"
+      cycles instrs busy c' i' b';
+    exit 1
+  end;
+  if samples <= 0 then begin
+    Printf.eprintf "profile: armed run collected no samples\n";
+    exit 1
+  end;
+  let overhead_pct = 100.0 *. (median_ratio -. 1.0) in
+  Printf.printf "%-24s %10.3f host_s\n" "profiler off (mean)" off_s;
+  Printf.printf "%-24s %10.3f host_s  (%d samples @ period %Ld)\n"
+    "profiler on  (mean)" on_s samples period;
+  Printf.printf "%-24s %+9.1f%%  (median of %d paired ratios)\n" "overhead"
+    overhead_pct reps;
+  Printf.printf
+    "simulated side identical across arms: %Ld cycles, %Ld instrs, %Ld \
+     busy\n"
+    cycles instrs busy;
+  write_json "BENCH_profile.json"
+    (Json.Obj
+       (run_header "profile"
+       @ [
+           ("sim_seconds", Json.Float sim_s);
+           ("repetitions", Json.Int reps);
+           ( "period_cycles",
+             Json.Int (Int64.to_int period) );
+           ("host_seconds_off", Json.Float off_s);
+           ("host_seconds_on", Json.Float on_s);
+           ("overhead_pct", Json.Float overhead_pct);
+           ("samples", Json.Int samples);
+           ("sim_cycles", Json.Int (Int64.to_int cycles));
+           ("instructions", Json.Int (Int64.to_int instrs));
+           ("busy_cycles", Json.Int (Int64.to_int busy));
+           ("telemetry_identical", Json.Bool true);
+         ]));
+  match Sys.getenv_opt "BENCH_PROFILE_MAX_OVERHEAD_PCT" with
+  | None -> ()
+  | Some ceiling_s ->
+    let ceiling =
+      try float_of_string (String.trim ceiling_s) with _ -> infinity
+    in
+    if overhead_pct > ceiling then begin
+      Printf.eprintf
+        "profile: %.1f%% overhead is above the ceiling %.1f%%\n" overhead_pct
+        ceiling;
+      exit 1
+    end
+
+(* ---------------------------------------------------------------- *)
 (* M3 — static-verifier throughput (host wall time).                *)
 (* ---------------------------------------------------------------- *)
 
@@ -1169,6 +1343,7 @@ let targets =
     ("ablation-usermode", ablation_usermode);
     ("ablation-segment", ablation_segment);
     ("sim-speed", sim_speed);
+    ("profile", profile_bench);
     ("analysis", analysis);
     ("micro", micro);
   ]

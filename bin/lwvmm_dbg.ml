@@ -37,6 +37,26 @@ module Chaos = Vmm_fault.Chaos
 module Verifier = Vmm_analysis.Verifier
 module Vm_layout = Core.Vm_layout
 
+(* LWVMM_PROFILE arms the continuous pc-sampling profiler: unset/empty/0
+   leaves it off, a positive integer is the sampling period in guest
+   cycles, anything else means the default period.  Sampling only reads
+   pc/cpl, so arming it never perturbs guest-visible state — record and
+   replay stay bit-exact with it on (the CI golden-trace job relies on
+   this). *)
+let profile_period ~default =
+  match Sys.getenv_opt "LWVMM_PROFILE" with
+  | None | Some "" -> default
+  | Some "0" -> None
+  | Some v ->
+    (match Int64.of_string_opt v with
+     | Some p when Int64.compare p 0L > 0 -> Some p
+     | Some _ | None -> Some Vmm_profile.Profiler.default_period)
+
+let arm_profiler machine ~default =
+  match profile_period ~default with
+  | Some period -> Machine.set_profiling machine ~period
+  | None -> ()
+
 let run rate fast_uart lossy script =
   let costs =
     if fast_uart then { Costs.default with Costs.uart_cycles_per_byte = 2000 }
@@ -44,6 +64,9 @@ let run rate fast_uart lossy script =
   in
   let machine = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs () in
   let monitor = Monitor.install machine in
+  (* Interactive sessions profile by default (the `profile` command then
+     has something to show); LWVMM_PROFILE=0 switches it off. *)
+  arm_profiler machine ~default:(Some Vmm_profile.Profiler.default_period);
   let program = Kernel.build (Kernel.default_config ~rate_mbps:rate) in
   Monitor.boot_guest monitor program ~entry:Kernel.entry;
   (* periodic checkpoints back the rs/rc reverse-execution verbs *)
@@ -226,6 +249,10 @@ let drive ~mode ~seed ~seconds =
   let costs = { Costs.default with Costs.uart_cycles_per_byte = 2000 } in
   let machine = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs () in
   let monitor = Monitor.install machine in
+  (* Off unless LWVMM_PROFILE asks for it: record/replay converge either
+     way, and CI replays the golden trace once with profiling on to prove
+     the profiler never perturbs the deterministic path. *)
+  arm_profiler machine ~default:None;
   let recorder = Machine.recorder machine in
   (match mode with
    | `Record -> Recorder.start_record recorder

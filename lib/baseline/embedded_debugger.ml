@@ -80,7 +80,8 @@ let handle t command =
   | Command.Insert_breakpoint _ | Command.Remove_breakpoint _
   | Command.Insert_watchpoint _ | Command.Remove_watchpoint _
   | Command.Read_console | Command.Read_profile
-  | Command.Query_watchdog | Command.Query_verify | Command.Restart
+  | Command.Query_watchdog | Command.Query_verify | Command.Query_flight
+  | Command.Restart
   | Command.Continue | Command.Step | Command.Halt | Command.Detach
   | Command.Reverse_step | Command.Reverse_continue | Command.Resync ->
     reply t Command.Unsupported

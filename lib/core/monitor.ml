@@ -14,6 +14,9 @@ module Nic = Vmm_hw.Nic
 module Verifier = Vmm_analysis.Verifier
 module Recorder = Vmm_replay.Recorder
 module Event = Vmm_replay.Event
+module Profiler = Vmm_profile.Profiler
+module Flight = Vmm_profile.Flight
+module Bundle = Vmm_profile.Bundle
 
 type passthrough = { base : int; count : int }
 
@@ -118,6 +121,16 @@ type t = {
   mutable c_inject : int;
   mutable c_crashes : int;
   mutable c_restarts : int;
+  (* crash bundles *)
+  mutable c_bundles : int;
+  mutable last_bundle : string option;
+      (* most recent crash/wedge bundle; sticky across warm restarts so
+         the post-mortem stays retrievable over [qR], cleared on a fresh
+         boot *)
+  mutable capture_bundle : cause:string -> unit;
+      (* late bound in [install]: the fault path that triggers a capture
+         is defined long before the snapshot/report helpers the bundle
+         composer needs *)
 }
 
 let real_ring_of_vring vring = if vring land 3 = 3 then 3 else 1
@@ -138,12 +151,22 @@ let trace t severity message =
 
 (* Record/replay tap: the monitor reports its own nondeterminism sources
    (virtual-IRQ injections, crashes, wedge break-ins, checkpoints) into
-   the machine-wide recorder alongside the device taps. *)
+   the machine-wide recorder alongside the device taps — and into the
+   always-on flight ring, so a crash bundle shows them even when nothing
+   was recording. *)
 let emit_event t source payload =
-  Recorder.emit
-    (Machine.recorder t.machine)
+  let cycle = Vmm_sim.Engine.now (Machine.engine t.machine) in
+  Recorder.emit (Machine.recorder t.machine) ~cycle ~source payload;
+  Flight.note (Machine.flight t.machine) ~cycle ~kind:source
+    (Format.asprintf "%a" Event.pp_payload payload)
+
+(* Deterministic monitor activity (trap reflection, emulated port I/O,
+   decoded protocol frames) is not record/replay material but belongs in
+   the flight ring's last-moments view. *)
+let flight_note t kind detail =
+  Flight.note (Machine.flight t.machine)
     ~cycle:(Vmm_sim.Engine.now (Machine.engine t.machine))
-    ~source payload
+    ~kind detail
 
 let world_switch t =
   t.c_world <- t.c_world + 1;
@@ -268,7 +291,11 @@ let escalate ?(cause = "unrecoverable_fault") ?(chain = []) t ~vector ~pc =
    | Healthy ->
      t.c_crashes <- t.c_crashes + 1;
      t.lifecycle <- Crashed { cause; vector; pc; chain };
-     emit_event t "monitor" (Event.Crash { vector; pc }));
+     emit_event t "monitor" (Event.Crash { vector; pc });
+     (* Capture the post-mortem now, while the flight ring still ends on
+        the fatal event: later host-side debug traffic must not dilute
+        the last moments. *)
+     t.capture_bundle ~cause);
   trace t Vmm_sim.Trace.Error
     (Printf.sprintf
        "guest unrecoverable (%s): vector %d at 0x%x; stopped for debug" cause
@@ -290,6 +317,8 @@ let rec reflect ?(check_dpl = false) ?(chain = []) t ~vector ~error ~return_pc
     ~depth =
   span t "irq" "reflect" @@ fun () ->
   t.c_fault <- t.c_fault + 1;
+  flight_note t "monitor.reflect"
+    (Printf.sprintf "vector=%d pc=0x%x depth=%d" vector return_pc depth);
   (* [chain] records each delivery attempt (vector, pc), innermost last,
      so a crash report shows the whole nested-exception cascade. *)
   let chain = chain @ [ (vector, return_pc) ] in
@@ -500,6 +529,7 @@ let emulated_out t port value =
 let emulate_io t port pc =
   span t "mon_io" "emulate_io" @@ fun () ->
   t.c_io <- t.c_io + 1;
+  flight_note t "monitor.io" (Printf.sprintf "port=0x%x pc=0x%x" port pc);
   world_switch t;
   let next = (pc + Isa.width) land 0xFFFFFFFF in
   match Cpu.read_instr t.cpu pc with
@@ -782,6 +812,30 @@ let profile t =
 
 let clear_profile t = Hashtbl.reset t.samples
 
+(* The [qP] payload: the continuous profiler's dump once it is armed (or
+   has samples), else the legacy timer-interrupt histogram rendered in
+   the same self-describing format ([period=0] marks it; the timer tick
+   cannot see the ring or attribution category, so both read as
+   unknown). *)
+let profile_dump t =
+  let prof = Machine.profiler t.machine in
+  if Profiler.enabled prof || Profiler.total_samples prof > 0 then
+    Profiler.dump prof
+  else begin
+    let pairs = profile t in
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "samples=%d period=0 buckets=%d\n"
+         (List.fold_left (fun acc (_, c) -> acc + c) 0 pairs)
+         (List.length pairs));
+    List.iter
+      (fun (pc, count) ->
+        Buffer.add_string b
+          (Printf.sprintf "pc=0x%x ring=0 cat=timer count=%d\n" pc count))
+      pairs;
+    Buffer.contents b
+  end
+
 (* -- Lifecycle: watchdog, crash reporting, warm restart -- *)
 
 let lifecycle t = t.lifecycle
@@ -807,6 +861,9 @@ let on_wedge t ~stalled_periods =
     (Printf.sprintf
        "watchdog: no guest progress for %d periods; break-in at 0x%x"
        stalled_periods pc);
+  (* A wedge of a healthy guest gets its own bundle; a crash bundle
+     already frozen by [escalate] is never overwritten. *)
+  if not (crashed t) then t.capture_bundle ~cause:"wedge";
   Stub.on_wedge (get_stub t) ~pc
 
 let watchdog_start ?period_cycles ?max_stalled_periods t =
@@ -898,6 +955,88 @@ let verify_report_text t =
   | Some r -> Verifier.summary r
   | None -> "analysis=off"
 
+(* Monitor exit counters, shadow state and the guest-side debug link
+   join the machine registry (kvm_stat style: one place to read why the
+   guest keeps exiting).  Called from [install] and again after every
+   warm restart: registration goes through [Hashtbl.replace], so a
+   re-registered callback supersedes the previous one for every
+   subsystem — no gauge can keep reading state orphaned by a restart.
+   (Today no subsystem is re-created on restart — devices, shadow,
+   watchdog and stub are all reset in place, and every closure below
+   reads through [t] — so re-registration is a safety net; the
+   regression test in test_core pins the property.)  The vpic latency
+   histogram is deliberately replaced fresh: pre-restart latencies
+   describe a dead history line. *)
+let register_metrics t =
+  let registry = Machine.registry t.machine in
+  let g name f = Vmm_obs.Registry.int_gauge registry name f in
+  g "monitor_world_switches_total" (fun () -> t.c_world);
+  g "monitor_pic_emulations_total" (fun () -> t.c_pic);
+  g "monitor_pit_emulations_total" (fun () -> t.c_pit);
+  g "monitor_cpu_emulations_total" (fun () -> t.c_cpu);
+  g "monitor_io_emulations_total" (fun () -> t.c_io);
+  g "monitor_reflected_irqs_total" (fun () -> t.c_irq);
+  g "monitor_reflected_faults_total" (fun () -> t.c_fault);
+  g "monitor_hypercalls_total" (fun () -> t.c_hyper);
+  g "monitor_escalations_total" (fun () -> t.c_escal);
+  g "monitor_injected_faults_total" (fun () -> t.c_inject);
+  g "shadow_fills_total" (fun () -> Shadow.fills t.shadow);
+  g "shadow_mappings" (fun () -> Shadow.mappings t.shadow);
+  g "stublink_retransmits_total" (fun () ->
+      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.retransmits);
+  g "stublink_bad_checksums_total" (fun () ->
+      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.bad_checksums);
+  g "stublink_duplicates_dropped_total" (fun () ->
+      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.duplicates_dropped);
+  g "stublink_resets_total" (fun () ->
+      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.link_resets);
+  g "stublink_downs_total" (fun () -> Stub.link_downs (get_stub t));
+  g "stub_commands_handled_total" (fun () ->
+      Stub.commands_handled (get_stub t));
+  g "stub_notifications_sent_total" (fun () ->
+      Stub.notifications_sent (get_stub t));
+  Pic.set_latency_probe t.vpic
+    ~now:(fun () -> Vmm_sim.Engine.now (Machine.engine t.machine))
+    ~observe:
+      (let h =
+         Vmm_obs.Registry.histogram registry "vpic_delivery_latency_cycles"
+           ~buckets:64 ~width:2000.0
+       in
+       Vmm_sim.Stats.observe h);
+  g "vpic_irqs_raised_total" (fun () -> Pic.raises t.vpic);
+  g "vpic_irqs_acked_total" (fun () -> Pic.acks t.vpic);
+  (* Lifecycle & recovery: is the guest quarantined, has the watchdog
+     fired, how many warm restarts — the gauntlet's vital signs. *)
+  g "monitor_crashes_total" (fun () -> t.c_crashes);
+  g "monitor_restarts_total" (fun () -> t.c_restarts);
+  g "monitor_crash_bundles_total" (fun () -> t.c_bundles);
+  g "monitor_checkpoints_total" (fun () -> t.c_checkpoints);
+  g "monitor_checkpoints_held" (fun () -> List.length t.checkpoints);
+  g "stub_reverse_ops_total" (fun () -> Stub.reverse_ops (get_stub t));
+  g "monitor_lifecycle_crashed" (fun () -> if crashed t then 1 else 0);
+  g "watchdog_checks_total" (fun () ->
+      match t.watchdog with Some w -> Watchdog.checks w | None -> 0);
+  g "watchdog_stalled_periods_total" (fun () ->
+      match t.watchdog with Some w -> Watchdog.stalled_total w | None -> 0);
+  g "watchdog_breakins_total" (fun () ->
+      match t.watchdog with Some w -> Watchdog.breakins w | None -> 0);
+  (* Load-time static verification of the booted image. *)
+  g "analysis_runs_total" (fun () -> t.c_verifies);
+  g "analysis_clean" (fun () ->
+      match t.last_verify with
+      | Some r -> if r.Verifier.clean then 1 else 0
+      | None -> 0);
+  g "analysis_diagnostics" (fun () ->
+      match t.last_verify with
+      | Some r -> List.length r.Verifier.diagnostics
+      | None -> 0);
+  g "analysis_instructions" (fun () ->
+      match t.last_verify with
+      | Some r -> r.Verifier.instructions
+      | None -> 0);
+  g "analysis_blocks" (fun () ->
+      match t.last_verify with Some r -> r.Verifier.blocks | None -> 0)
+
 (* Warm restart: put guest-visible state back to the boot snapshot while
    the debug plane — stub, reliable link, watchpoint table, host session
    — stays exactly as it is.  Mirrors [boot_guest] plus the device and
@@ -945,6 +1084,9 @@ let restart_guest t =
     (* The restore overwrote planted BRK bytes with boot-image bytes;
        the stub re-plants its breakpoints and forgets any stop state. *)
     Stub.note_restart (get_stub t);
+    (* Re-register every gauge so a restarted world never serves metric
+       reads through callbacks registered against superseded state. *)
+    register_metrics t;
     (* The restored memory is the boot image again: re-verify so the qV
        report always describes what is actually running. *)
     (match t.boot_image with
@@ -1078,6 +1220,75 @@ let restore_checkpoint t (full : Snapshot.Full.t) =
     (Printf.sprintf "checkpoint restored: retired=%Ld pc=0x%x"
        full.Snapshot.Full.retired full.Snapshot.Full.pc)
 
+(* -- Crash bundles --
+
+   One self-describing text artifact freezing the moment of death: the
+   crash/watchdog report, the flight ring (the last events before the
+   verdict), the continuous profile, a full-snapshot digest of
+   guest-visible state, the tail of the replay trace (when recording)
+   and the metrics registry.  Captured eagerly on the first escalation
+   and on every watchdog break-in of a healthy guest; retrievable over
+   [qR] and saved by the gauntlet next to its replay traces. *)
+
+let bundle_trace_tail = 64
+
+let compose_crash_bundle t ~cause =
+  let machine = t.machine in
+  (* Close spans left open by the interrupted scopes into the tracer
+     buffer, so the bundle's event view includes them. *)
+  let spans_flushed = Vmm_obs.Tracer.flush_open_spans (Machine.tracer machine) in
+  let full =
+    Snapshot.Full.capture ~machine ~layout:t.layout ~vpic:t.vpic
+      ~vpit:(get_vpit t)
+      ~link:(Stub.endpoint (get_stub t))
+      ~mon:(mon_state t)
+  in
+  let snapshot_text =
+    Printf.sprintf "digest=%Lx retired=%Ld pc=0x%x spans_flushed=%d\n"
+      (Snapshot.Full.digest full) (Snapshot.Full.retired full)
+      full.Snapshot.Full.pc spans_flushed
+  in
+  let trace_tail =
+    let events = Recorder.recorded (Machine.recorder machine) in
+    let n = List.length events in
+    let tail =
+      if n <= bundle_trace_tail then events
+      else List.filteri (fun i _ -> i >= n - bundle_trace_tail) events
+    in
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      (Printf.sprintf "recorded=%d shown=%d\n" n (List.length tail));
+    List.iter
+      (fun e -> Buffer.add_string b (Format.asprintf "%a\n" Event.pp e))
+      tail;
+    Buffer.contents b
+  in
+  Bundle.compose ~cause
+    ~cycle:(Vmm_sim.Engine.now (Machine.engine machine))
+    [
+      Bundle.section ~name:"crash-report" (watchdog_report t);
+      Bundle.section ~name:"flight" (Flight.dump (Machine.flight machine));
+      Bundle.section ~name:"profile" (profile_dump t);
+      Bundle.section ~name:"snapshot-digest" snapshot_text;
+      Bundle.section ~name:"trace-tail" trace_tail;
+      Bundle.section ~name:"metrics"
+        (Vmm_obs.Registry.dump (Machine.registry machine));
+    ]
+
+let capture_crash_bundle t ~cause =
+  t.c_bundles <- t.c_bundles + 1;
+  t.last_bundle <- Some (compose_crash_bundle t ~cause)
+
+let crash_bundle t = t.last_bundle
+let flight_report t = Flight.dump (Machine.flight t.machine)
+
+(* The [qR] payload: the post-mortem bundle once one exists (sticky
+   across warm restarts), the live flight ring otherwise. *)
+let flight_query t =
+  match t.last_bundle with
+  | Some bundle -> bundle
+  | None -> flight_report t
+
 (* -- Stub target -- *)
 
 let make_target t =
@@ -1116,7 +1327,7 @@ let make_target t =
         let text = Buffer.contents t.console_buf in
         Buffer.clear t.console_buf;
         text);
-    read_profile = (fun () -> profile t);
+    read_profile = (fun () -> profile_dump t);
     set_watch =
       (fun ~addr ~len ->
         if len <= 0 || not (Watchpoints.add t.watchpoints ~addr ~len) then
@@ -1147,8 +1358,10 @@ let make_target t =
         charge t t.costs.Costs.port_io;
         Uart.io_write (Machine.uart t.machine) 0 byte);
     charge = (fun cycles -> with_cat t "stub" (fun () -> charge t cycles));
+    note_flight = (fun detail -> flight_note t "stub.cmd" detail);
     query_watchdog = (fun () -> watchdog_report t);
     query_verify = (fun () -> verify_report_text t);
+    query_flight = (fun () -> flight_query t);
     restart = (fun () -> restart_guest t);
     crashed = (fun () -> crashed t);
     retired = (fun () -> Cpu.instructions_retired t.cpu);
@@ -1237,8 +1450,12 @@ let install ?(passthrough = default_passthrough) machine =
       c_inject = 0;
       c_crashes = 0;
       c_restarts = 0;
+      c_bundles = 0;
+      last_bundle = None;
+      capture_bundle = (fun ~cause:_ -> ());
     }
   in
+  t.capture_bundle <- (fun ~cause -> capture_crash_bundle t ~cause);
   t.vpit <-
     Some
       (Pit.create ~engine:(Machine.engine machine) ~costs
@@ -1253,76 +1470,7 @@ let install ?(passthrough = default_passthrough) machine =
            }
          ~target:(make_target t) ~dispatch_cost:costs.Costs.stub_dispatch
          ~engine:(Machine.engine machine) ());
-  (* Monitor exit counters, shadow state and the guest-side debug link
-     join the machine registry (kvm_stat style: one place to read why the
-     guest keeps exiting). *)
-  let registry = Machine.registry machine in
-  let g name f = Vmm_obs.Registry.int_gauge registry name f in
-  g "monitor_world_switches_total" (fun () -> t.c_world);
-  g "monitor_pic_emulations_total" (fun () -> t.c_pic);
-  g "monitor_pit_emulations_total" (fun () -> t.c_pit);
-  g "monitor_cpu_emulations_total" (fun () -> t.c_cpu);
-  g "monitor_io_emulations_total" (fun () -> t.c_io);
-  g "monitor_reflected_irqs_total" (fun () -> t.c_irq);
-  g "monitor_reflected_faults_total" (fun () -> t.c_fault);
-  g "monitor_hypercalls_total" (fun () -> t.c_hyper);
-  g "monitor_escalations_total" (fun () -> t.c_escal);
-  g "monitor_injected_faults_total" (fun () -> t.c_inject);
-  g "shadow_fills_total" (fun () -> Shadow.fills t.shadow);
-  g "shadow_mappings" (fun () -> Shadow.mappings t.shadow);
-  g "stublink_retransmits_total" (fun () ->
-      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.retransmits);
-  g "stublink_bad_checksums_total" (fun () ->
-      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.bad_checksums);
-  g "stublink_duplicates_dropped_total" (fun () ->
-      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.duplicates_dropped);
-  g "stublink_resets_total" (fun () ->
-      (Stub.link_stats (get_stub t)).Vmm_proto.Reliable.link_resets);
-  g "stublink_downs_total" (fun () -> Stub.link_downs (get_stub t));
-  g "stub_commands_handled_total" (fun () ->
-      Stub.commands_handled (get_stub t));
-  g "stub_notifications_sent_total" (fun () ->
-      Stub.notifications_sent (get_stub t));
-  Pic.set_latency_probe t.vpic
-    ~now:(fun () -> Vmm_sim.Engine.now (Machine.engine machine))
-    ~observe:
-      (let h =
-         Vmm_obs.Registry.histogram registry "vpic_delivery_latency_cycles"
-           ~buckets:64 ~width:2000.0
-       in
-       Vmm_sim.Stats.observe h);
-  g "vpic_irqs_raised_total" (fun () -> Pic.raises t.vpic);
-  g "vpic_irqs_acked_total" (fun () -> Pic.acks t.vpic);
-  (* Lifecycle & recovery: is the guest quarantined, has the watchdog
-     fired, how many warm restarts — the gauntlet's vital signs. *)
-  g "monitor_crashes_total" (fun () -> t.c_crashes);
-  g "monitor_restarts_total" (fun () -> t.c_restarts);
-  g "monitor_checkpoints_total" (fun () -> t.c_checkpoints);
-  g "monitor_checkpoints_held" (fun () -> List.length t.checkpoints);
-  g "stub_reverse_ops_total" (fun () -> Stub.reverse_ops (get_stub t));
-  g "monitor_lifecycle_crashed" (fun () -> if crashed t then 1 else 0);
-  g "watchdog_checks_total" (fun () ->
-      match t.watchdog with Some w -> Watchdog.checks w | None -> 0);
-  g "watchdog_stalled_periods_total" (fun () ->
-      match t.watchdog with Some w -> Watchdog.stalled_total w | None -> 0);
-  g "watchdog_breakins_total" (fun () ->
-      match t.watchdog with Some w -> Watchdog.breakins w | None -> 0);
-  (* Load-time static verification of the booted image. *)
-  g "analysis_runs_total" (fun () -> t.c_verifies);
-  g "analysis_clean" (fun () ->
-      match t.last_verify with
-      | Some r -> if r.Verifier.clean then 1 else 0
-      | None -> 0);
-  g "analysis_diagnostics" (fun () ->
-      match t.last_verify with
-      | Some r -> List.length r.Verifier.diagnostics
-      | None -> 0);
-  g "analysis_instructions" (fun () ->
-      match t.last_verify with
-      | Some r -> r.Verifier.instructions
-      | None -> 0);
-  g "analysis_blocks" (fun () ->
-      match t.last_verify with Some r -> r.Verifier.blocks | None -> 0);
+  register_metrics t;
   (* Open direct device access; everything else traps. *)
   List.iter
     (fun { base; count } ->
@@ -1356,6 +1504,7 @@ let boot_guest t program ~entry =
   t.shutdown <- false;
   t.lifecycle <- Healthy;
   t.last_wedge <- None;
+  t.last_bundle <- None;
   t.checkpoints <- [];
   Shadow.clear t.shadow;
   Cpu.set_ptb t.cpu (Shadow.root t.shadow);

@@ -108,13 +108,33 @@ val shadow : t -> Shadow.t
 val virtual_pic : t -> Vmm_hw.Pic.t
 val watchpoints : t -> Watchpoints.t
 
-(** [profile t] — the pc-sampling profile (pc, hits), hottest first.  The
-    monitor samples the interrupted guest pc at every reflected timer
-    interrupt, so the histogram approximates where guest time goes —
-    including its halt loop, which shows up as idle time. *)
+(** [profile t] — the legacy timer-interrupt profile (pc, hits), hottest
+    first.  The monitor samples the interrupted guest pc at every
+    reflected timer interrupt, so the histogram approximates where guest
+    time goes — but goes blind when the guest masks interrupts.  The
+    continuous profiler ({!Vmm_hw.Machine.set_profiling}) has no such
+    blind spot. *)
 val profile : t -> (int * int) list
 
 val clear_profile : t -> unit
+
+(** [profile_dump t] — the [qP] payload: the continuous profiler's
+    {!Vmm_profile.Profiler.dump} once it is armed or has samples, else
+    the legacy timer-interrupt histogram rendered in the same format
+    (recognizable by [period=0]). *)
+val profile_dump : t -> string
+
+(** [flight_report t] — the machine's live flight-ring dump
+    ({!Vmm_profile.Flight.dump}). *)
+val flight_report : t -> string
+
+(** [crash_bundle t] — the most recent crash/wedge bundle
+    ({!Vmm_profile.Bundle} format: crash report, flight ring, profile,
+    snapshot digest, replay-trace tail, metrics registry), captured
+    eagerly at the first escalation and at each watchdog break-in of a
+    healthy guest.  Sticky across warm restarts; cleared by a fresh
+    {!boot_guest}. *)
+val crash_bundle : t -> string option
 val virtual_pit : t -> Vmm_hw.Pit.t
 val stats : t -> stats
 

@@ -14,11 +14,13 @@ type target = {
   set_watch : addr:int -> len:int -> bool;
   clear_watch : addr:int -> len:int -> bool;
   read_console : unit -> string;
-  read_profile : unit -> (int * int) list;
+  read_profile : unit -> string;
   send_byte : int -> unit;
   charge : int -> unit;
+  note_flight : string -> unit;
   query_watchdog : unit -> string;
   query_verify : unit -> string;
+  query_flight : unit -> string;
   restart : unit -> bool;
   crashed : unit -> bool;
   (* reverse debugging: checkpoint + deterministic replay-to-N *)
@@ -256,6 +258,11 @@ and reverse_guest t ~as_step =
 
 and handle_command t command =
   t.commands <- t.commands + 1;
+  (* Protocol frames land in the flight ring at frame granularity (the
+     UART taps only show per-byte ingress); long payloads truncate. *)
+  (let wire = Command.command_to_wire command in
+   t.target.note_flight
+     (if String.length wire > 24 then String.sub wire 0 24 ^ "..." else wire));
   t.target.charge t.dispatch_cost;
   match command with
   | Command.Read_registers ->
@@ -329,6 +336,8 @@ and handle_command t command =
     send_reply t (Command.Memory (t.target.query_watchdog ()))
   | Command.Query_verify ->
     send_reply t (Command.Memory (t.target.query_verify ()))
+  | Command.Query_flight ->
+    send_reply t (Command.Memory (t.target.query_flight ()))
   | Command.Restart ->
     (* The monitor reloads the snapshot and calls [note_restart] below
        before returning, so by the time OK goes out the breakpoints are
@@ -336,14 +345,7 @@ and handle_command t command =
     if t.target.restart () then send_reply t Command.Ok_reply
     else send_reply t (Command.Error 0x0F)
   | Command.Read_profile ->
-    (* textual payload: "pc,count;pc,count;..." in hex *)
-    let text =
-      String.concat ";"
-        (List.map
-           (fun (pc, count) -> Printf.sprintf "%x,%x" pc count)
-           (t.target.read_profile ()))
-    in
-    send_reply t (Command.Memory text)
+    send_reply t (Command.Memory (t.target.read_profile ()))
   | Command.Query_stop ->
     (match t.state with
      | Stopped reason -> send_reply t (Command.Stopped reason)

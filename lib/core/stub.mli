@@ -25,14 +25,20 @@ type target = {
   clear_watch : addr:int -> len:int -> bool;
   read_console : unit -> string;
       (** drain the guest's console output captured by the monitor *)
-  read_profile : unit -> (int * int) list;
-      (** the monitor's pc-sampling histogram, hottest first *)
+  read_profile : unit -> string;
+      (** the continuous profiler's textual sample dump
+          ({!Vmm_profile.Profiler.dump} format), hottest first *)
   send_byte : int -> unit;  (** transmit on the debug link *)
   charge : int -> unit;  (** book monitor cycles *)
+  note_flight : string -> unit;
+      (** record one decoded protocol frame in the flight ring *)
   query_watchdog : unit -> string;
       (** the monitor's lifecycle/watchdog report for [qW] *)
   query_verify : unit -> string;
       (** the monitor's load-time static-verification report for [qV] *)
+  query_flight : unit -> string;
+      (** the flight-recorder dump for [qR]: crash bundle when crashed
+          or wedged, live flight ring otherwise *)
   restart : unit -> bool;
       (** warm-restart the guest from its boot snapshot; false when no
           snapshot exists *)

@@ -95,8 +95,8 @@ let usage =
   "commands: regs | reg <n> <value> | x <addr> <len> | w <addr> <hex> | \
    disas <addr> <n> | break <addr> | delete <addr> | watch <addr> [len] | \
    unwatch <addr> [len] | continue | step | rs | rc | halt | status | \
-   wait | restart | watchdog | verify | console | profile [n] | symbols | \
-   help"
+   wait | restart | watchdog | verify | console | profile [n] | flight | \
+   symbols | help"
 
 let with_addr t token f =
   match parse_address t token with
@@ -201,25 +201,56 @@ let execute t line =
       | [ _; n ] -> Option.value ~default:10 (parse_int n)
       | _ -> 10
     in
-    (match Session.read_profile t.session with
+    (match Session.read_profile_dump t.session with
      | None -> "error: no response"
-     | Some [] -> "(no samples yet -- is the guest's timer running?)"
-     | Some samples ->
-       let total =
-         List.fold_left (fun acc (_, c) -> acc + c) 0 samples
-       in
-       let buf = Buffer.create 256 in
-       Buffer.add_string buf
-         (Printf.sprintf "%d samples (timer-interrupt pc sampling)" total);
+     | Some (_, _, []) ->
+       "(no samples yet -- arm the profiler, or wait for timer ticks)"
+     | Some (_, header, buckets) ->
+       let total = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+       let pct c = 100.0 *. float_of_int c /. float_of_int total in
+       let buf = Buffer.create 512 in
+       (* period=0 marks the legacy timer-interrupt fallback *)
+       (match List.assoc_opt "period" header with
+        | Some "0" | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d samples (timer-interrupt pc sampling)" total)
+        | Some p ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "%d samples (continuous pc sampling, every %s cycles)" total p));
        List.iteri
-         (fun i (pc, count) ->
+         (fun i (key, count) ->
            if i < top then
              Buffer.add_string buf
-               (Printf.sprintf "\n%6.1f%% %6d  %s"
-                  (100.0 *. float_of_int count /. float_of_int total)
-                  count
-                  (Symbols.format_addr t.symbols pc)))
-         samples;
+               (Printf.sprintf "\n%6.1f%% %6d  ring%d %-10s %s" (pct count)
+                  count key.Vmm_profile.Profiler.k_ring
+                  key.Vmm_profile.Profiler.k_cat
+                  (Symbols.format_addr t.symbols
+                     key.Vmm_profile.Profiler.k_pc)))
+         buckets;
+       (* per-ring / per-category splits, summed over all buckets *)
+       let split name key_of =
+         let totals = Hashtbl.create 8 in
+         List.iter
+           (fun (key, count) ->
+             let k = key_of key in
+             Hashtbl.replace totals k
+               (count + Option.value ~default:0 (Hashtbl.find_opt totals k)))
+           buckets;
+         let entries =
+           Hashtbl.fold (fun k c acc -> (k, c) :: acc) totals []
+           |> List.sort compare
+         in
+         Buffer.add_string buf (Printf.sprintf "\nby %s:" name);
+         List.iter
+           (fun (k, c) ->
+             Buffer.add_string buf
+               (Printf.sprintf " %s=%d (%.1f%%)" k c (pct c)))
+           entries
+       in
+       split "ring" (fun k ->
+           Printf.sprintf "ring%d" k.Vmm_profile.Profiler.k_ring);
+       split "category" (fun k -> k.Vmm_profile.Profiler.k_cat);
        Buffer.contents buf)
   | [ "restart" ] ->
     (match Session.restart t.session with
@@ -233,6 +264,12 @@ let execute t line =
   | [ "verify" ] ->
     (match Session.query_verify t.session with
      | Some (text, _) -> text
+     | None -> "error: no response")
+  | [ "flight" ] ->
+    (* The crash bundle when the target crashed/wedged, else the live
+       flight ring; both are self-describing text. *)
+    (match Session.query_flight t.session with
+     | Some text -> text
      | None -> "error: no response")
   | [ "console" ] ->
     (match Session.read_console t.session with

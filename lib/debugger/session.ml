@@ -182,23 +182,34 @@ let read_console ?timeout_s t =
   | Some payload -> Packet.of_hex payload
   | None -> None
 
-let read_profile ?timeout_s t =
+(* The [qP] payload is the profiler's self-describing dump (a
+   [samples=… period=… buckets=…] header plus one bucket line each);
+   parse it back into (raw text, header fields, buckets). *)
+let read_profile_dump ?timeout_s t =
   match transact ?timeout_s t Command.Read_profile with
   | Some payload ->
     (match Packet.of_hex payload with
      | Some text ->
-       let parse_pair pair =
-         match String.split_on_char ',' pair with
-         | [ pc; count ] ->
-           (match (Packet.int_of_hex pc, Packet.int_of_hex count) with
-            | Some pc, Some count -> Some (pc, count)
-            | _ -> None)
-         | _ -> None
-       in
-       if text = "" then Some []
-       else
-         Some (List.filter_map parse_pair (String.split_on_char ';' text))
+       (match Vmm_profile.Profiler.parse_dump text with
+        | Some (header, buckets) -> Some (text, header, buckets)
+        | None -> None)
      | None -> None)
+  | None -> None
+
+(* Legacy shape: collapse the buckets to per-pc totals, hottest first. *)
+let read_profile ?timeout_s t =
+  match read_profile_dump ?timeout_s t with
+  | Some (_, _, buckets) ->
+    let totals = Hashtbl.create 64 in
+    List.iter
+      (fun (key, count) ->
+        let pc = key.Vmm_profile.Profiler.k_pc in
+        Hashtbl.replace totals pc
+          (count + Option.value ~default:0 (Hashtbl.find_opt totals pc)))
+      buckets;
+    Some
+      (Hashtbl.fold (fun pc count acc -> (pc, count) :: acc) totals []
+      |> List.sort (fun (_, a) (_, b) -> compare b a))
   | None -> None
 
 (* The [qW] payload is textual [key=value] pairs, hex-encoded on the
@@ -243,6 +254,14 @@ let query_verify ?timeout_s t =
        in
        Some (text, fields)
      | None -> None)
+  | None -> None
+
+(* The [qR] payload — the crash bundle when the target has crashed or
+   wedged, the live flight-ring dump otherwise — is opaque
+   self-describing text; no field parsing here. *)
+let query_flight ?timeout_s t =
+  match transact ?timeout_s t Command.Query_flight with
+  | Some payload -> Packet.of_hex payload
   | None -> None
 
 (* Warm restart: distinguish "restarted" from "refused" (E0F: the target

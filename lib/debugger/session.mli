@@ -40,8 +40,18 @@ val remove_breakpoint : ?timeout_s:float -> t -> int -> bool
     the console hypercall or the virtualized serial port). *)
 val read_console : ?timeout_s:float -> t -> string option
 
-(** [read_profile t] — the monitor's pc-sampling profile as (pc, hits),
-    hottest first. *)
+(** [read_profile_dump t] — the continuous profiler's report ([qP]): the
+    raw {!Vmm_profile.Profiler.dump} text plus its parsed header fields
+    ([samples], [period], [buckets]) and (key, count) buckets, hottest
+    first. *)
+val read_profile_dump :
+  ?timeout_s:float ->
+  t ->
+  (string * (string * string) list * (Vmm_profile.Profiler.key * int) list)
+  option
+
+(** [read_profile t] — the profile collapsed to per-pc totals (hits
+    summed over rings and categories), hottest first. *)
 val read_profile : ?timeout_s:float -> t -> (int * int) list option
 
 (** [query_watchdog t] — the monitor's lifecycle/watchdog report ([qW]):
@@ -58,6 +68,11 @@ val query_watchdog :
     diagnostics as [dN] fields. *)
 val query_verify :
   ?timeout_s:float -> t -> (string * (string * string) list) option
+
+(** [query_flight t] — the flight recorder ([qR]): the crash bundle when
+    the target has crashed or wedged ({!Vmm_profile.Bundle} text), the
+    live flight-ring dump otherwise. *)
+val query_flight : ?timeout_s:float -> t -> string option
 
 type restart_result =
   | Restarted

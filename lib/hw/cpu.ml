@@ -74,6 +74,11 @@ type t = {
          target, between instructions *)
   mutable irqs_taken : int64;
   mutable faults : int64;
+  mutable sample_period : int64;
+      (* pc-sampling cadence in cycles; 0 = profiling off, and the
+         dispatch loop pays exactly one Int64 compare per instruction *)
+  mutable next_sample : int64;
+  mutable sample_hook : pc:int -> cpl:int -> unit;
   fetch_buf : Bytes.t;
   icache : icache_slot array;
   mutable icache_gen : int;
@@ -113,6 +118,9 @@ let create ~mem ~bus ~engine ~costs ~load () =
     retire_stop = None;
     irqs_taken = 0L;
     faults = 0L;
+    sample_period = 0L;
+    next_sample = 0L;
+    sample_hook = (fun ~pc:_ ~cpl:_ -> ());
     fetch_buf = Bytes.make Isa.width '\000';
     icache =
       Array.init icache_slots (fun _ ->
@@ -701,6 +709,17 @@ let run_batch t ~horizon ~wake =
   let continue = ref true in
   while !continue do
     step t;
+    (* Continuous pc sampling: a pure read of (pc, cpl) handed to the
+       profiler between instructions.  It never advances the clock or
+       schedules events, so enabling it cannot perturb guest-visible
+       behaviour — replay bit-equality holds with profiling on. *)
+    if
+      Int64.compare t.sample_period 0L > 0
+      && Int64.compare (Engine.now engine) t.next_sample >= 0
+    then begin
+      t.sample_hook ~pc:t.pc ~cpl:t.cpl;
+      t.next_sample <- Int64.add (Engine.now engine) t.sample_period
+    end;
     if
       t.halted || t.stopped
       || Int64.compare (Engine.now engine) horizon >= 0
@@ -715,6 +734,17 @@ let run_batch t ~horizon ~wake =
   done
 
 (* -- Introspection -- *)
+
+let set_sampling t ~period ~hook =
+  if Int64.compare period 0L < 0 then
+    invalid_arg "Cpu.set_sampling: negative period";
+  t.sample_period <- period;
+  t.sample_hook <- hook;
+  t.next_sample <-
+    (if Int64.compare period 0L > 0 then Int64.add (Engine.now t.engine) period
+     else 0L)
+
+let sampling_period t = t.sample_period
 
 let icache_hits t = t.ic_hits
 let icache_misses t = t.ic_misses

@@ -171,6 +171,24 @@ val do_iret : t -> unit
     guest instruction behind a trap). *)
 val read_instr : t -> int -> Isa.instr
 
+(** {2 Continuous pc sampling}
+
+    The batched dispatch loop ({!run_batch}) checks a cadence after
+    every retired instruction: when at least [period] cycles have
+    elapsed since the last sample, it calls [hook ~pc ~cpl] — a pure
+    read of the interrupted state, between instructions.  The hook must
+    not advance the clock or schedule events; under that contract,
+    enabling sampling leaves guest-visible behaviour (and therefore
+    record/replay bit-equality) untouched.  With [period = 0] the whole
+    feature costs one [Int64] compare per instruction. *)
+
+(** [set_sampling t ~period ~hook] arms ([period > 0]) or disarms
+    ([period = 0]) the sampler; the next sample is due one period from
+    now.  @raise Invalid_argument on a negative period. *)
+val set_sampling : t -> period:int64 -> hook:(pc:int -> cpl:int -> unit) -> unit
+
+val sampling_period : t -> int64
+
 (** {2 Introspection} *)
 
 val icache_hits : t -> int

@@ -4,6 +4,8 @@ module Trace = Vmm_sim.Trace
 module Registry = Vmm_obs.Registry
 module Tracer = Vmm_obs.Tracer
 module Recorder = Vmm_replay.Recorder
+module Profiler = Vmm_profile.Profiler
+module Flight = Vmm_profile.Flight
 
 module Ports = struct
   let pic = 0x20
@@ -36,6 +38,8 @@ type t = {
   registry : Registry.t;
   tracer : Tracer.t;
   recorder : Recorder.t;
+  profiler : Profiler.t;
+  flight : Flight.t;
 }
 
 let default_mem_size = 16 * 1024 * 1024
@@ -53,8 +57,15 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
      gets logged is the points where timing meets the instruction
      stream — IRQ raises from timer/DMA expiry — plus host-driven
      ingress (UART bytes, NIC frames). *)
+  let flight = Flight.create () in
+  (* Every nondeterministic event also lands in the always-on flight
+     ring (one ring write plus rendering the short detail string), so a
+     crash dump shows the last moments even when nothing was recording. *)
   let emit source payload =
-    Recorder.emit recorder ~cycle:(Engine.now engine) ~source payload
+    let cycle = Engine.now engine in
+    Recorder.emit recorder ~cycle ~source payload;
+    Flight.note flight ~cycle ~kind:source
+      (Format.asprintf "%a" Vmm_replay.Event.pp_payload payload)
   in
   let pic = Pic.create () in
   Pic.attach pic bus ~base:Ports.pic;
@@ -95,6 +106,7 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
   let trace = Trace.create ~capacity:4096 () in
   let registry = Registry.create () in
   let tracer = Tracer.create ~engine () in
+  let profiler = Profiler.create ~engine () in
   Nic.set_tracer nic tracer;
   Scsi.set_tracer scsi tracer;
   (* Device metrics (subsystem_name_unit); monitor/link metrics join the
@@ -142,6 +154,18 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
       Int64.to_float (Stats.busy_cycles load));
   Registry.gauge registry "sim_now_cycles" (fun () ->
       Int64.to_float (Engine.now engine));
+  Registry.int_gauge registry "profiler_samples_total"
+    ~help:"pc samples taken by the continuous profiler" (fun () ->
+      Profiler.total_samples profiler);
+  Registry.gauge registry "profiler_period_cycles"
+    ~help:"profiler sampling period in guest cycles (0 = off)" (fun () ->
+      Int64.to_float (Profiler.period profiler));
+  Registry.int_gauge registry "flight_events_total"
+    ~help:"events ever written to the flight ring" (fun () ->
+      Flight.total flight);
+  Registry.int_gauge registry "flight_events_dropped_total"
+    ~help:"flight-ring entries overwritten by wrap" (fun () ->
+      Flight.dropped flight);
   {
     engine;
     mem;
@@ -158,6 +182,8 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
     registry;
     tracer;
     recorder;
+    profiler;
+    flight;
   }
 
 let cpu t = t.cpu
@@ -175,6 +201,18 @@ let load t = t.load
 let registry t = t.registry
 let tracer t = t.tracer
 let recorder t = t.recorder
+let profiler t = t.profiler
+let flight t = t.flight
+
+(* Arm (period > 0) or disarm (period = 0) continuous pc sampling: the
+   CPU's dispatch-loop cadence feeds the machine's profiler, attributing
+   each sample to the load accumulator's current category (guest,
+   mon_*, irq, stub, ...). *)
+let set_profiling t ~period =
+  Profiler.set_period t.profiler period;
+  Cpu.set_sampling t.cpu ~period
+    ~hook:(fun ~pc ~cpl ->
+      Profiler.sample t.profiler ~pc ~ring:cpl ~cat:(Stats.category t.load))
 
 let now t = Engine.now t.engine
 

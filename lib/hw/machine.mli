@@ -61,6 +61,25 @@ val tracer : t -> Vmm_obs.Tracer.t
     {!Vmm_replay.Recorder}. *)
 val recorder : t -> Vmm_replay.Recorder.t
 
+(** [profiler t] — the machine's continuous pc-sampling profiler
+    (disabled until {!set_profiling}).  One per machine, like the
+    registry and tracer, so fleets of instances never share state. *)
+val profiler : t -> Vmm_profile.Profiler.t
+
+(** [flight t] — the machine's always-on flight recorder.  Device taps
+    write every nondeterministic boundary event (timer fires, DMA
+    completion IRQs, UART/NIC ingress) into it regardless of recorder
+    state; the monitor adds traps, IRQ deliveries, watchdog/chaos
+    verdicts and lifecycle transitions. *)
+val flight : t -> Vmm_profile.Flight.t
+
+(** [set_profiling t ~period] arms ([period > 0]) or disarms
+    ([period = 0]) continuous pc sampling at one sample every [period]
+    guest cycles.  Samples attribute to the current cycle category and
+    the guest's privilege ring.  Sampling never perturbs guest-visible
+    behaviour (see {!Cpu.set_sampling}). *)
+val set_profiling : t -> period:int64 -> unit
+
 (** [now t] — current simulation time in cycles. *)
 val now : t -> int64
 

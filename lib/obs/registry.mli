@@ -1,6 +1,6 @@
 (** Metrics registry: named counters, gauges and histograms registered
     per subsystem, with a stable snapshot API and a Prometheus-style
-    text dump.
+    text exposition.
 
     Naming convention: [subsystem_name_unit] in [snake_case] —
     [scsi_reads_completed_total], [pic_delivery_latency_cycles],
@@ -11,7 +11,11 @@
     Counters and histograms are owned by the registry (created on
     registration); gauges are callbacks sampled at snapshot/dump time,
     so a subsystem can expose an internal mutable field without handing
-    out state. *)
+    out state.
+
+    Registries are plain values: one per {!Vmm_hw.Machine} (and one per
+    host-side session), never a process-wide singleton, so hundreds of
+    instances can coexist per domain and be collected with {!merge}. *)
 
 type t
 
@@ -27,20 +31,24 @@ type value =
 
 val create : unit -> t
 
-(** [counter t name] registers (or finds) a counter. *)
-val counter : t -> string -> Vmm_sim.Stats.counter
+(** [counter t name] registers (or finds) a counter.  [?help] sets the
+    [# HELP] text (last registration wins; a readable default is derived
+    from the name otherwise). *)
+val counter : ?help:string -> t -> string -> Vmm_sim.Stats.counter
 
 (** [gauge t name f] registers a gauge sampled via [f].  Re-registering
     replaces the callback (a reattached subsystem supersedes the old
     one). *)
-val gauge : t -> string -> (unit -> float) -> unit
+val gauge : ?help:string -> t -> string -> (unit -> float) -> unit
 
 (** [int_gauge t name f] — convenience wrapper over {!gauge}. *)
-val int_gauge : t -> string -> (unit -> int) -> unit
+val int_gauge : ?help:string -> t -> string -> (unit -> int) -> unit
 
 (** [histogram t name ~buckets ~width] registers (or finds) a histogram
     covering [[0, buckets*width)] plus an overflow bucket. *)
-val histogram : t -> string -> buckets:int -> width:float -> Vmm_sim.Stats.histogram
+val histogram :
+  ?help:string -> t -> string -> buckets:int -> width:float ->
+  Vmm_sim.Stats.histogram
 
 (** [find_histogram t name] — the registered histogram, if any. *)
 val find_histogram : t -> string -> Vmm_sim.Stats.histogram option
@@ -55,10 +63,24 @@ val names : t -> string list
     pure reads for this to hold — theirs are). *)
 val snapshot : t -> (string * value) list
 
-(** [dump t] — Prometheus-style text exposition: [# TYPE] comment plus
-    one sample line per metric ([_count]/[_mean]/[_p50]/[_p99] lines for
-    histograms), sorted by name, trailing newline. *)
+(** [dump t] — Prometheus text exposition, sorted by name, trailing
+    newline.  Every metric gets [# HELP] and [# TYPE] comments.
+    Counters and gauges emit one sample line; histograms emit the
+    scrapeable shape: cumulative [name_bucket{le="<upper>"}] samples
+    (the final bucket is [le="+Inf"] and equals [name_count]), then
+    [name_sum] and [name_count]. *)
 val dump : t -> string
+
+(** {2 Fleet collection}
+
+    [merge registries] — a pure fold of per-instance registries into a
+    fresh one; the inputs are never mutated.  Counters sum into new
+    counters; histograms with identical shapes sum bucket-wise into new
+    histograms; gauges compose into a callback summing the live
+    per-instance callbacks.  A name registered with different kinds (or
+    incompatible histogram shapes) across instances raises
+    [Invalid_argument]. *)
+val merge : t list -> t
 
 (** {2 Reset}
 

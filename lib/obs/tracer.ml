@@ -112,6 +112,22 @@ let instant t ~cat name =
 let add_complete t ?(tid = tid_dma) ~cat ~name ~start ~stop () =
   if t.enabled then record t (Complete { name; cat; tid; start; stop })
 
+(* Close every open span at the current instant, innermost first, via
+   the normal [end_span] path so exclusive-time attribution and parent
+   child-cycle bookkeeping stay exact.  Crash-bundle capture calls this
+   so spans open at crash time are flushed, not lost.  [end_span] is
+   gated on [enabled], so force it on for the drain: a tracer disabled
+   mid-run can still carry an open stack. *)
+let flush_open_spans t =
+  let flushed = List.length t.stack in
+  let was_enabled = t.enabled in
+  t.enabled <- true;
+  while t.stack <> [] do
+    end_span t
+  done;
+  t.enabled <- was_enabled;
+  flushed
+
 let events t = List.rev t.events
 let event_count t = t.count
 let depth t = List.length t.stack

@@ -80,6 +80,13 @@ val event_count : t -> int
 (** [depth t] — currently open spans. *)
 val depth : t -> int
 
+(** [flush_open_spans t] closes every open span at the current instant,
+    innermost first, through the normal {!end_span} path (exclusive-time
+    attribution stays exact).  Returns how many spans were flushed.
+    Crash-bundle capture uses this so spans open at crash time land in
+    the exported trace instead of being silently dropped. *)
+val flush_open_spans : t -> int
+
 val unbalanced_ends : t -> int
 val dropped : t -> int
 

@@ -1,0 +1,87 @@
+type section = {
+  s_name : string;
+  s_body : string;
+}
+
+let magic = "LWVMM-CRASH-BUNDLE v1"
+
+let valid_section_name name =
+  name <> ""
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '_' | '-' -> true | _ -> false)
+       name
+
+let section ~name body =
+  if not (valid_section_name name) then
+    invalid_arg (Printf.sprintf "Bundle.section: bad section name %S" name);
+  { s_name = name; s_body = body }
+
+let compose ~cause ~cycle sections =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (magic ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "cause=%s cycle=%Ld sections=%d\n" cause cycle
+       (List.length sections));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "--- begin %s ---\n" s.s_name);
+      Buffer.add_string buf s.s_body;
+      if s.s_body <> "" && s.s_body.[String.length s.s_body - 1] <> '\n' then
+        Buffer.add_char buf '\n';
+      Buffer.add_string buf (Printf.sprintf "--- end %s ---\n" s.s_name))
+    sections;
+  Buffer.contents buf
+
+let header text =
+  match String.split_on_char '\n' text with
+  | m :: hdr :: _ when m = magic ->
+    Some
+      (List.filter_map
+         (fun tok ->
+           match String.index_opt tok '=' with
+           | Some i ->
+             Some
+               ( String.sub tok 0 i,
+                 String.sub tok (i + 1) (String.length tok - i - 1) )
+           | None -> None)
+         (String.split_on_char ' ' hdr))
+  | _ -> None
+
+let sections text =
+  match String.split_on_char '\n' text with
+  | m :: _ when m = magic ->
+    let rec go lines acc current =
+      match lines with
+      | [] -> List.rev acc
+      | line :: rest ->
+        (match current with
+         | None ->
+           let pre = "--- begin " and post = " ---" in
+           if
+             String.length line > String.length pre + String.length post
+             && String.sub line 0 (String.length pre) = pre
+             && String.sub line
+                  (String.length line - String.length post)
+                  (String.length post)
+                = post
+           then
+             let name =
+               String.sub line (String.length pre)
+                 (String.length line - String.length pre
+                - String.length post)
+             in
+             go rest acc (Some (name, Buffer.create 256))
+           else go rest acc None
+         | Some (name, buf) ->
+           if line = Printf.sprintf "--- end %s ---" name then
+             go rest ((name, Buffer.contents buf) :: acc) None
+           else begin
+             Buffer.add_string buf line;
+             Buffer.add_char buf '\n';
+             go rest acc current
+           end)
+    in
+    go (String.split_on_char '\n' text) [] None
+  | _ -> []
+
+let find_section text name = List.assoc_opt name (sections text)

@@ -1,0 +1,32 @@
+(** Crash bundles: one self-describing text artifact assembling
+    everything needed to diagnose a dead guest offline — the flight
+    ring, the full-snapshot digest, the tail of the replay trace, the
+    metrics-registry snapshot, the crash report itself — composed from
+    pre-rendered sections.
+
+    The format is deliberately plain text: a magic first line, a
+    [cause=… cycle=… sections=N] header, then framed sections.  It can
+    be read with a pager, split with grep, parsed back with
+    {!sections}, shipped as a CI artifact, and served over the debug
+    link ([qR]) without any binary framing. *)
+
+type section
+
+val magic : string
+
+(** [section ~name body] — a named section.  Names are
+    [a-z0-9_-]; anything else raises [Invalid_argument]. *)
+val section : name:string -> string -> section
+
+(** [compose ~cause ~cycle sections] renders the bundle. *)
+val compose : cause:string -> cycle:int64 -> section list -> string
+
+(** [header text] — the header key/value pairs ([cause], [cycle],
+    [sections]); [None] when [text] is not a bundle. *)
+val header : string -> (string * string) list option
+
+(** [sections text] — every framed [(name, body)], in order; empty when
+    [text] is not a bundle. *)
+val sections : string -> (string * string) list
+
+val find_section : string -> string -> string option

@@ -1,0 +1,57 @@
+type entry = {
+  cycle : int64;
+  kind : string;
+  detail : string;
+}
+
+type t = {
+  ring : entry array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let no_entry = { cycle = 0L; kind = ""; detail = "" }
+let default_capacity = 512
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Flight.create: capacity < 1";
+  { ring = Array.make capacity no_entry; next = 0; total = 0 }
+
+let capacity t = Array.length t.ring
+
+(* Steady-state cost is exactly this: one record build, one array store,
+   two index updates.  No allocation beyond the entry itself, no I/O,
+   no formatting until a dump is requested. *)
+let note t ~cycle ~kind detail =
+  t.ring.(t.next) <- { cycle; kind; detail };
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let total t = t.total
+let retained t = min t.total (Array.length t.ring)
+let dropped t = t.total - retained t
+
+let entries t =
+  let n = retained t in
+  let cap = Array.length t.ring in
+  List.init n (fun i -> t.ring.((t.next - n + i + (2 * cap)) mod cap))
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) no_entry;
+  t.next <- 0;
+  t.total <- 0
+
+(* Self-describing text — the [qR] payload and the crash-bundle flight
+   section: a header line, then one [@cycle kind: detail] line per
+   retained entry, oldest first. *)
+let dump t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "flight total=%d retained=%d dropped=%d capacity=%d\n"
+       t.total (retained t) (dropped t) (capacity t));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "@%Ld %s: %s\n" e.cycle e.kind e.detail))
+    (entries t);
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** Always-on flight recorder: a fixed-size ring of recent structured
+    events — traps, IRQ deliveries, I/O and DMA activity, protocol
+    frames, watchdog/chaos verdicts — fed by the machine and the
+    monitor.
+
+    In steady state a recorded event costs one ring write (no
+    allocation beyond the entry, no formatting, no I/O); the ring is
+    only rendered when a dump is requested — on crash/wedge into the
+    crash bundle, or over the debug link via [qR].  When the ring wraps,
+    the oldest entries are overwritten and counted in {!dropped}: the
+    ring always holds the {e last} [capacity] events before the dump,
+    which is exactly the "last millisecond before it died" view. *)
+
+type entry = {
+  cycle : int64;  (** engine time the event was recorded *)
+  kind : string;  (** dot-separated source, e.g. [irq.deliver] *)
+  detail : string;
+}
+
+type t
+
+val default_capacity : int
+
+(** [create ()] — an empty ring of [capacity] entries (default 512). *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** [note t ~cycle ~kind detail] records one event, overwriting the
+    oldest when full. *)
+val note : t -> cycle:int64 -> kind:string -> string -> unit
+
+(** [total t] — events ever recorded. *)
+val total : t -> int
+
+(** [retained t] — events currently in the ring. *)
+val retained : t -> int
+
+(** [dropped t] — events overwritten by wrap ([total - retained]). *)
+val dropped : t -> int
+
+(** [entries t] — retained entries, oldest first. *)
+val entries : t -> entry list
+
+val clear : t -> unit
+
+(** [dump t] — self-describing text (the [qR] payload): a
+    [flight total=… retained=… dropped=… capacity=…] header, then one
+    [@cycle kind: detail] line per entry, oldest first. *)
+val dump : t -> string

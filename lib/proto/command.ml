@@ -22,6 +22,7 @@ type command =
   | Read_profile
   | Query_watchdog
   | Query_verify
+  | Query_flight
   | Restart
   | Detach
   | Resync
@@ -74,6 +75,7 @@ let command_to_wire = function
   | Read_profile -> "qP"
   | Query_watchdog -> "qW"
   | Query_verify -> "qV"
+  | Query_flight -> "qR"
   | Restart -> "R"
   | Detach -> "D"
   | Resync -> "!"
@@ -106,6 +108,7 @@ let command_of_wire s =
       else if s = "qP" then Some Read_profile
       else if s = "qW" then Some Query_watchdog
       else if s = "qV" then Some Query_verify
+      else if s = "qR" then Some Query_flight
       else None
     | 'R' -> Some Restart
     | 'D' -> Some Detach

@@ -32,7 +32,11 @@ type command =
   | Halt  (** [H] — stop a running target *)
   | Query_stop  (** [?] *)
   | Read_console  (** [qC] — drain the target-side console buffer *)
-  | Read_profile  (** [qP] — fetch the monitor's pc-sampling profile *)
+  | Read_profile
+      (** [qP] — fetch the continuous profiler's sample dump (textual
+          [samples=… period=… buckets=…] header plus one
+          [pc=… ring=… cat=… count=…] line per bucket, hex-encoded on
+          the wire like [qC]) *)
   | Query_watchdog
       (** [qW] — fetch the monitor's lifecycle/watchdog report (textual
           [key=value] pairs, hex-encoded on the wire like [qC]) *)
@@ -40,6 +44,10 @@ type command =
       (** [qV] — fetch the monitor's load-time static-verification
           report for the booted guest image (textual [key=value] pairs,
           hex-encoded on the wire like [qW]) *)
+  | Query_flight
+      (** [qR] — fetch the flight recorder: the crash bundle when the
+          guest has crashed or wedged, else the live flight-ring dump
+          (self-describing text, hex-encoded on the wire like [qW]) *)
   | Restart
       (** [R] — warm-restart the guest from its boot snapshot without
           dropping the debug session or the reliable-link state *)

@@ -101,6 +101,21 @@ let histogram_count h = h.total
 
 let histogram_mean h = if h.total = 0 then 0.0 else h.sum /. float_of_int h.total
 
+let histogram_sum h = h.sum
+let histogram_width h = h.width
+
+let copy_histogram h = { h with counts = Array.copy h.counts }
+
+let add_histograms a b =
+  if a.width <> b.width || Array.length a.counts <> Array.length b.counts then
+    invalid_arg "Stats.add_histograms: incompatible histogram shapes";
+  {
+    width = a.width;
+    counts = Array.mapi (fun i v -> v + b.counts.(i)) a.counts;
+    total = a.total + b.total;
+    sum = a.sum +. b.sum;
+  }
+
 let bucket_counts h = Array.copy h.counts
 
 let percentile h p =

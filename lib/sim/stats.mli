@@ -74,8 +74,26 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_mean : histogram -> float
 
+(** [histogram_sum h] — the running sum of every observed value (the
+    Prometheus [_sum] sample). *)
+val histogram_sum : histogram -> float
+
+(** [histogram_width h] — the fixed bucket width, from which the
+    cumulative [le] upper bounds derive: bucket [i] covers values
+    [< (i+1) * width], the final bucket is unbounded ([+Inf]). *)
+val histogram_width : histogram -> float
+
 (** [bucket_counts h] includes the final overflow bucket. *)
 val bucket_counts : histogram -> int array
+
+(** [copy_histogram h] — an independent copy (mutating either side never
+    affects the other). *)
+val copy_histogram : histogram -> histogram
+
+(** [add_histograms a b] — a fresh histogram holding the bucket-wise sum;
+    neither input is mutated.
+    @raise Invalid_argument when shapes (width, bucket count) differ. *)
+val add_histograms : histogram -> histogram -> histogram
 
 (** [percentile h p] approximates the [p]-th percentile ([0 <= p <= 100])
     from bucket midpoints; 0 on an empty histogram.

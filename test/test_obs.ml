@@ -118,6 +118,71 @@ let test_tracer_capacity () =
   check int "capacity respected" 2 (Tracer.event_count t);
   check int "overflow counted" 3 (Tracer.dropped t)
 
+let test_tracer_depth_tracking () =
+  let engine = Engine.create () in
+  let t = Tracer.create ~engine () in
+  Tracer.set_enabled t true;
+  check int "flat" 0 (Tracer.depth t);
+  Tracer.begin_span t ~cat:"mon_cpu" "a";
+  Tracer.begin_span t ~cat:"irq" "b";
+  Tracer.begin_span t ~cat:"stub" "c";
+  check int "three deep" 3 (Tracer.depth t);
+  Tracer.end_span t;
+  check int "two deep" 2 (Tracer.depth t);
+  Tracer.end_span t;
+  Tracer.end_span t;
+  check int "flat again" 0 (Tracer.depth t);
+  check int "no unbalanced ends" 0 (Tracer.unbalanced_ends t);
+  check int "all three recorded" 3 (Tracer.event_count t)
+
+let test_tracer_flush_open_spans () =
+  (* A crash can leave spans open; the bundle composer flushes them so
+     the trace still renders complete events. *)
+  let engine = Engine.create () in
+  let t = Tracer.create ~engine () in
+  Tracer.set_enabled t true;
+  Tracer.begin_span t ~cat:"mon_cpu" "outer";
+  Engine.advance engine 10L;
+  Tracer.begin_span t ~cat:"irq" "inner";
+  Engine.advance engine 5L;
+  check int "two flushed" 2 (Tracer.flush_open_spans t);
+  check int "nothing open" 0 (Tracer.depth t);
+  check int "both recorded as complete events" 2 (Tracer.event_count t);
+  (* innermost closed first: both categories carry their elapsed time *)
+  check
+    (Alcotest.list (Alcotest.pair string Alcotest.int64))
+    "flushed breakdown"
+    [ ("irq", 5L); ("mon_cpu", 10L) ]
+    (Tracer.breakdown t);
+  (* flushing did not manufacture unbalanced ends *)
+  check int "no unbalanced ends" 0 (Tracer.unbalanced_ends t);
+  (* idempotent when nothing is open *)
+  check int "nothing to flush" 0 (Tracer.flush_open_spans t);
+  (* and it drains even a disabled tracer: a crash dump must not lose
+     spans because tracing was toggled off on the way down *)
+  Tracer.begin_span t ~cat:"stub" "s";
+  Tracer.set_enabled t false;
+  check int "flushes while disabled" 1 (Tracer.flush_open_spans t);
+  check int "depth zero after disabled flush" 0 (Tracer.depth t)
+
+let test_tracer_dropped_accounting () =
+  let engine = Engine.create () in
+  let t = Tracer.create ~capacity:3 ~engine () in
+  Tracer.set_enabled t true;
+  for _ = 1 to 3 do
+    Tracer.instant t ~cat:"guest" "kept"
+  done;
+  check int "nothing dropped at capacity" 0 (Tracer.dropped t);
+  for _ = 1 to 4 do
+    Tracer.with_span t ~cat:"mon_cpu" "spilled" (fun () ->
+        Engine.advance engine 1L)
+  done;
+  check int "events capped" 3 (Tracer.event_count t);
+  check int "every overflow counted" 4 (Tracer.dropped t);
+  Tracer.clear t;
+  check int "clear resets events" 0 (Tracer.event_count t);
+  check int "clear resets dropped" 0 (Tracer.dropped t)
+
 let test_tracer_chrome_golden () =
   let engine = Engine.create () in
   let t = Tracer.create ~engine () in
@@ -201,16 +266,91 @@ let test_registry_dump_golden () =
   Stats.incr c;
   Stats.observe h 17.0;
   check string "prometheus text dump"
-    "# TYPE demo_events_total counter\n\
+    "# HELP demo_events_total demo events total\n\
+     # TYPE demo_events_total counter\n\
      demo_events_total 2\n\
+     # HELP demo_latency_cycles demo latency cycles\n\
      # TYPE demo_latency_cycles histogram\n\
+     demo_latency_cycles_bucket{le=\"10\"} 0\n\
+     demo_latency_cycles_bucket{le=\"20\"} 1\n\
+     demo_latency_cycles_bucket{le=\"30\"} 1\n\
+     demo_latency_cycles_bucket{le=\"40\"} 1\n\
+     demo_latency_cycles_bucket{le=\"+Inf\"} 1\n\
+     demo_latency_cycles_sum 17\n\
      demo_latency_cycles_count 1\n\
-     demo_latency_cycles_mean 17\n\
-     demo_latency_cycles_p50 15\n\
-     demo_latency_cycles_p99 15\n\
+     # HELP demo_queue_depth demo queue depth\n\
      # TYPE demo_queue_depth gauge\n\
      demo_queue_depth 3\n"
     (Registry.dump r)
+
+let test_registry_help_override () =
+  let r = Registry.create () in
+  ignore (Registry.counter ~help:"events seen by the demo" r "demo_events_total");
+  Registry.gauge r "demo_queue_depth" (fun () -> 0.0);
+  let dump = Registry.dump r in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length dump && (String.sub dump i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  check bool "explicit help text" true
+    (has "# HELP demo_events_total events seen by the demo\n");
+  check bool "derived help text" true
+    (has "# HELP demo_queue_depth demo queue depth\n")
+
+let test_registry_merge () =
+  (* Per-instance registries fold into a fleet view: counters and
+     histograms sum, gauges compose live, inputs stay untouched. *)
+  let mk live =
+    let r = Registry.create () in
+    let c = Registry.counter r "demo_events_total" in
+    Stats.incr c;
+    Stats.incr c;
+    Registry.gauge r "demo_queue_depth" (fun () -> !live);
+    let h = Registry.histogram r "demo_latency_cycles" ~buckets:4 ~width:10.0 in
+    Stats.observe h 17.0;
+    r
+  in
+  let l1 = ref 3.0 and l2 = ref 4.0 in
+  let r1 = mk l1 and r2 = mk l2 in
+  let merged = Registry.merge [ r1; r2 ] in
+  (match List.assoc "demo_events_total" (Registry.snapshot merged) with
+   | Registry.Counter n -> check Alcotest.int64 "counters summed" 4L n
+   | _ -> Alcotest.fail "expected a counter");
+  (match List.assoc "demo_queue_depth" (Registry.snapshot merged) with
+   | Registry.Gauge g -> check (Alcotest.float 1e-9) "gauges summed" 7.0 g
+   | _ -> Alcotest.fail "expected a gauge");
+  (match List.assoc "demo_latency_cycles" (Registry.snapshot merged) with
+   | Registry.Histogram { count; _ } ->
+     check int "histograms summed" 2 count
+   | _ -> Alcotest.fail "expected a histogram");
+  (* gauges are live: moving a source moves the merged view *)
+  l2 := 10.0;
+  (match List.assoc "demo_queue_depth" (Registry.snapshot merged) with
+   | Registry.Gauge g -> check (Alcotest.float 1e-9) "gauge stays live" 13.0 g
+   | _ -> Alcotest.fail "expected a gauge");
+  (* pure fold: the inputs were not mutated *)
+  (match List.assoc "demo_events_total" (Registry.snapshot r1) with
+   | Registry.Counter n -> check Alcotest.int64 "input untouched" 2L n
+   | _ -> Alcotest.fail "expected a counter");
+  (* incompatible kinds across instances are refused *)
+  let r3 = Registry.create () in
+  Registry.gauge r3 "demo_events_total" (fun () -> 0.0);
+  check bool "kind clash raises" true
+    (try
+       ignore (Registry.merge [ r1; r3 ]);
+       false
+     with Invalid_argument _ -> true);
+  (* and so are histograms with different shapes *)
+  let r4 = Registry.create () in
+  ignore (Registry.histogram r4 "demo_latency_cycles" ~buckets:8 ~width:5.0);
+  check bool "shape clash raises" true
+    (try
+       ignore (Registry.merge [ r1; r4 ]);
+       false
+     with Invalid_argument _ -> true)
 
 let test_registry_reset () =
   let r = Registry.create () in
@@ -293,6 +433,11 @@ let () =
           Alcotest.test_case "with_span on raise" `Quick
             test_tracer_with_span_exception;
           Alcotest.test_case "capacity" `Quick test_tracer_capacity;
+          Alcotest.test_case "depth tracking" `Quick test_tracer_depth_tracking;
+          Alcotest.test_case "flush open spans" `Quick
+            test_tracer_flush_open_spans;
+          Alcotest.test_case "dropped accounting" `Quick
+            test_tracer_dropped_accounting;
           Alcotest.test_case "chrome golden" `Quick test_tracer_chrome_golden;
         ] );
       ( "registry",
@@ -302,6 +447,8 @@ let () =
           Alcotest.test_case "snapshot stable" `Quick
             test_registry_snapshot_stable;
           Alcotest.test_case "dump golden" `Quick test_registry_dump_golden;
+          Alcotest.test_case "help override" `Quick test_registry_help_override;
+          Alcotest.test_case "merge" `Quick test_registry_merge;
           Alcotest.test_case "reset semantics" `Quick test_registry_reset;
         ] );
       ( "telemetry",

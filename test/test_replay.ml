@@ -101,13 +101,15 @@ let test_trace_rejects_version_drift () =
    chaos wrap, recover, and read the final-state digest.  With [replay]
    the same campaign consumes the recorded trace instead of the live
    chaos RNG. *)
-let drive ?replay ~seed () =
+let drive ?replay ?(profile = false) ~seed () =
   let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:test_costs () in
   let recorder = Machine.recorder m in
   (match replay with
    | None -> Recorder.start_record recorder
    | Some events -> Recorder.start_replay recorder events);
   let mon = Monitor.install m in
+  if profile then
+    Machine.set_profiling m ~period:Vmm_profile.Profiler.default_period;
   Monitor.boot_guest mon
     (Kernel.build (Kernel.default_config ~rate_mbps:50.0))
     ~entry:Kernel.entry;
@@ -157,6 +159,29 @@ let test_record_replay_converges () =
    | None -> ());
   check bool "final-state digest identical" true (digest' = digest);
   check bool "busy-cycle total identical" true (busy' = busy)
+
+let test_record_replay_profiled () =
+  (* The continuous profiler only reads pc/cpl, so arming it must not
+     perturb the simulation: a profiled run matches the unprofiled run
+     event-for-event and digest-for-digest at the same seed, and a
+     profiled replay of the profiled recording converges bit-exactly. *)
+  let events, digest, busy, _ = drive ~seed:11L () in
+  let events_p, digest_p, busy_p, _ = drive ~profile:true ~seed:11L () in
+  check int "same event count with profiler armed" (List.length events)
+    (List.length events_p);
+  List.iter2
+    (fun a b -> check bool "same events with profiler armed" true (Event.equal a b))
+    events events_p;
+  check bool "same digest with profiler armed" true (digest_p = digest);
+  check bool "same busy cycles with profiler armed" true (busy_p = busy);
+  let _, digest', busy', div = drive ~replay:events_p ~profile:true ~seed:11L () in
+  (match div with
+   | Some d ->
+     Alcotest.failf "profiled replay diverged: %s"
+       (Format.asprintf "%a" Recorder.pp_divergence d)
+   | None -> ());
+  check bool "profiled replay digest identical" true (digest' = digest);
+  check bool "profiled replay busy identical" true (busy' = busy)
 
 let test_divergence_detector () =
   let events, _, _, _ = drive ~seed:12L () in
@@ -304,6 +329,8 @@ let () =
         [
           Alcotest.test_case "record/replay converges" `Quick
             test_record_replay_converges;
+          Alcotest.test_case "record/replay with profiler armed" `Quick
+            test_record_replay_profiled;
           Alcotest.test_case "divergence detector" `Quick
             test_divergence_detector;
         ] );
