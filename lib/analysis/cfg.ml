@@ -11,7 +11,10 @@
 
 module Isa = Vmm_hw.Isa
 
-type flow =
+(* The flow classification lives with the decoder (Isa.flow) so the CPU's
+   block translator and this verifier can never disagree about what
+   terminates a basic block; re-export it under the historical name. *)
+type flow = Isa.flow =
   | Fallthrough
   | Jump of int
   | Branch of int
@@ -21,16 +24,7 @@ type flow =
   | Int_return
   | Terminal
 
-let flow_of = function
-  | Isa.Jmp t -> Jump t
-  | Isa.Jz t | Isa.Jnz t | Isa.Jlt t | Isa.Jge t | Isa.Jb t | Isa.Jae t ->
-    Branch t
-  | Isa.Call t -> Call_to t
-  | Isa.Jr _ -> Indirect
-  | Isa.Ret -> Return
-  | Isa.Iret -> Int_return
-  | Isa.Brk -> Terminal
-  | _ -> Fallthrough
+let flow_of = Isa.flow_of
 
 (* Diagnostic class (e) raw material: malformed control flow found while
    building the graph. *)

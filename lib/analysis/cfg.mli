@@ -9,7 +9,10 @@
     (interrupt gates, iret targets) can be registered at any time and
     exploration resumes incrementally. *)
 
-type flow =
+(** Re-export of {!Vmm_hw.Isa.flow}: the classification lives with the
+    decoder so the CPU's block translator and this verifier share one
+    notion of what terminates a basic block. *)
+type flow = Vmm_hw.Isa.flow =
   | Fallthrough
   | Jump of int
   | Branch of int  (** conditional: target plus fall-through *)

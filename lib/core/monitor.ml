@@ -819,22 +819,35 @@ let clear_profile t = Hashtbl.reset t.samples
    unknown). *)
 let profile_dump t =
   let prof = Machine.profiler t.machine in
-  if Profiler.enabled prof || Profiler.total_samples prof > 0 then
-    Profiler.dump prof
-  else begin
-    let pairs = profile t in
-    let b = Buffer.create 256 in
-    Buffer.add_string b
-      (Printf.sprintf "samples=%d period=0 buckets=%d\n"
-         (List.fold_left (fun acc (_, c) -> acc + c) 0 pairs)
-         (List.length pairs));
-    List.iter
-      (fun (pc, count) ->
-        Buffer.add_string b
-          (Printf.sprintf "pc=0x%x ring=0 cat=timer count=%d\n" pc count))
-      pairs;
-    Buffer.contents b
-  end
+  let base =
+    if Profiler.enabled prof || Profiler.total_samples prof > 0 then
+      Profiler.dump prof
+    else begin
+      let pairs = profile t in
+      let b = Buffer.create 256 in
+      Buffer.add_string b
+        (Printf.sprintf "samples=%d period=0 buckets=%d\n"
+           (List.fold_left (fun acc (_, c) -> acc + c) 0 pairs)
+           (List.length pairs));
+      List.iter
+        (fun (pc, count) ->
+          Buffer.add_string b
+            (Printf.sprintf "pc=0x%x ring=0 cat=timer count=%d\n" pc count))
+        pairs;
+      Buffer.contents b
+    end
+  in
+  (* Trailer: the block translator's cache counters ride along so a host
+     profiling session sees translation behaviour without a separate
+     query.  [Profiler.parse_dump] keeps only [pc=...] bucket lines, so
+     the extra line is transparent to existing consumers. *)
+  base
+  ^ Printf.sprintf
+      "jit compiled=%d hits=%d invalidations=%d chains=%d fallbacks=%d\n"
+      (Cpu.blocks_compiled t.cpu) (Cpu.block_hits t.cpu)
+      (Cpu.block_invalidations t.cpu)
+      (Cpu.block_chain_follows t.cpu)
+      (Cpu.block_fallbacks t.cpu)
 
 (* -- Lifecycle: watchdog, crash reporting, warm restart -- *)
 
@@ -1470,6 +1483,15 @@ let install ?(passthrough = default_passthrough) machine =
            }
          ~target:(make_target t) ~dispatch_cost:costs.Costs.stub_dispatch
          ~engine:(Machine.engine machine) ());
+  (* A planted breakpoint must head its own translated block: the BRK
+     patch itself already invalidates the compiled text (write
+     generations), but pinning keeps the translator from re-compiling a
+     run that would bury the trap site mid-block.  The predicate reads
+     the live table, so it tracks Z0/z0 traffic with no further hooks. *)
+  Cpu.set_jit_pin cpu (fun pc ->
+      match t.stub with
+      | Some stub -> Breakpoints.mem (Stub.breakpoints stub) ~addr:pc
+      | None -> false);
   register_metrics t;
   (* Open direct device access; everything else traps. *)
   List.iter

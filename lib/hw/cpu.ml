@@ -85,9 +85,52 @@ type t = {
   mutable ic_hits : int;
   mutable ic_misses : int;
   mutable ic_inval : int;
+  (* Block translator (threaded code).  [jit_cyc]/[jit_ret] accumulate
+     cycles and retirements in unboxed ints while a block chain runs and
+     are flushed to the engine/stats/retired counters at every point
+     where anything else could observe them; [jit_limit] is the cycle
+     budget of the current chain, relative to the engine clock at chain
+     entry, so the per-op continuation guard is one int compare. *)
+  jcache : jblock option array;
+  mutable jit_enabled : bool;
+  mutable jit_pin : int -> bool;
+      (* virtual pcs that must start their own block (planted traps);
+         installed by the monitor from the debug stub's breakpoint table *)
+  mutable jit_cyc : int;
+  mutable jit_ret : int;
+  mutable jit_limit : int;
+  mutable jit_vpn : int; (* virtual page of the executing block's text *)
+  mutable jb_compiled : int;
+  mutable jb_hits : int;
+  mutable jb_inval : int;
+  mutable jb_chains : int;
+  mutable jb_fallbacks : int;
+}
+
+(* Compiled basic block: a straight-line decoded run (optionally ending
+   in a direct/indirect jump, call or return) compiled into a chain of
+   OCaml closures — threaded code.  Like an icache slot it is physically
+   tagged and validated against the granule write generations captured
+   over its whole text at compile time plus the CPU-wide flush stamp, so
+   self-modifying stores, DMA over text, breakpoint patching and
+   LPTB/TLBFLUSH invalidate it exactly as they invalidate decoded
+   instructions today. *)
+and jblock = {
+  jb_ppc : int; (* physical address of the first instruction *)
+  jb_bytes : int; (* total encoded length *)
+  jb_gsum : int; (* summed granule generations over the text at compile *)
+  jb_flush : int; (* icache_gen at compile *)
+  jb_entry : t -> unit; (* head of the threaded-code chain *)
 }
 
 let table_entries = 64
+let jcache_slots = 1024
+let jcache_mask = jcache_slots - 1
+
+(* Longest run compiled into one block.  Long enough that hot loops and
+   leaf functions compile whole; short enough that a block's generation
+   probe at dispatch stays a handful of granule reads. *)
+let jit_max_block = 64
 
 let create ~mem ~bus ~engine ~costs ~load () =
   {
@@ -129,6 +172,18 @@ let create ~mem ~bus ~engine ~costs ~load () =
     ic_hits = 0;
     ic_misses = 0;
     ic_inval = 0;
+    jcache = Array.make jcache_slots None;
+    jit_enabled = true;
+    jit_pin = (fun _ -> false);
+    jit_cyc = 0;
+    jit_ret = 0;
+    jit_limit = 0;
+    jit_vpn = 0;
+    jb_compiled = 0;
+    jb_hits = 0;
+    jb_inval = 0;
+    jb_chains = 0;
+    jb_fallbacks = 0;
   }
 
 let set_pic t ~ack ~pending =
@@ -649,6 +704,592 @@ let exec t instr =
      | None -> raise (Fault_exn (Undefined 0x2E)))
   | Isa.Brk -> raise (Fault_exn Breakpoint_trap)
 
+(* -- Basic-block threaded-code translator --
+
+   [jit_run] replaces [step] inside the batched dispatch loop whenever no
+   per-instruction observer is armed (no trap flag, no retire stop, no
+   deliverable interrupt).  It compiles straight-line decoded runs into
+   chains of closures keyed by physical pc and executes them, chaining
+   across taken jumps/calls/returns while the cycle budget holds.
+
+   Bit-identity with the per-instruction interpreter rests on four
+   invariants:
+
+   1. Frozen clock.  While a chain runs, nothing reads the engine clock:
+      every charge lands in the unboxed [jit_cyc] accumulator, so true
+      time is always [now-at-entry + jit_cyc], and the per-op budget
+      guard [jit_cyc < jit_limit] is exactly the unbatched loop's
+      [now < min horizon next_sample] test.  The accumulator (and the
+      retirement accumulator [jit_ret]) is flushed before anything that
+      could observe the clock or counters runs: an interpreter fallback,
+      a fault hook, or returning to [run_batch].  Chains therefore stop
+      on the same instruction boundary where the unbatched loop would
+      have stopped for the horizon, a profiler sample, or an event.
+
+   2. Poll elision.  Compiled ops cannot change IF, HALT, the PIC, or
+      schedule events — STI/CLI/HLT/OUT/VMCALL and friends never compile
+      — so if no interrupt was deliverable when the chain started (the
+      dispatcher checks), none can become deliverable mid-chain, and the
+      skipped per-instruction polls were all no-ops.
+
+   3. Fetch elision.  Instruction 1's fetch-translate runs for real at
+      dispatch (charging a TLB miss and setting accessed bits exactly
+      like the interpreter's fetch).  Later ops skip it, which is only
+      visible if a data access evicts the code page's direct-mapped TLB
+      entry — the next fetch would walk again, charging cycles and
+      writing accessed bits.  Memory ops therefore guard on
+      [Mmu.tlb_covers] for the code page and bail to the dispatcher when
+      it fails (with paging off there is nothing to evict).  The only
+      tolerated divergence is the MMU's internal hit counter, which no
+      guest-visible path reads.
+
+   4. Text stability.  A block is (re)validated at every dispatch against
+      the granule write generations of its whole text plus the flush
+      stamp.  Mid-chain, the only writers are the compiled stores
+      themselves: each store checks its physical range against the
+      block's text and stops the chain short when it intersects, so the
+      remaining stale ops never run — the dispatcher revalidates,
+      recompiles from the fresh bytes and continues.  DMA and host writes
+      cannot happen mid-chain because no events dispatch mid-chain.
+
+   Faults propagate out of the chain as exceptions with pc still at the
+   faulting instruction (ops advance pc only after all faulting work is
+   done, like [exec]); the handler flushes the accumulators and
+   dispatches with [return_pc = pc], then returns to [run_batch] — hooks
+   may halt, stop, schedule or retarget the CPU, all of which the batch
+   loop re-checks. *)
+
+let jit_flush t =
+  if t.jit_cyc > 0 then begin
+    let c = Int64.of_int t.jit_cyc in
+    Engine.advance t.engine c;
+    Stats.note_busy t.load c;
+    t.jit_cyc <- 0
+  end;
+  if t.jit_ret > 0 then begin
+    t.retired <- Int64.add t.retired (Int64.of_int t.jit_ret);
+    t.jit_ret <- 0
+  end
+
+(* Translation for compiled ops: identical to [translate]/[load_u32]/...
+   except the TLB-miss penalty lands in the accumulator instead of the
+   engine (invariant 1 above). *)
+let jit_translate t ~access vaddr =
+  let paddr, extra =
+    Mmu.translate t.mmu t.mem ~ptb:t.ptb ~cpl:t.cpl access (Word.mask vaddr)
+  in
+  if extra > 0 then t.jit_cyc <- t.jit_cyc + extra;
+  paddr
+
+let jit_load_u32 t vaddr =
+  let vaddr = Word.mask vaddr in
+  if vaddr land 0xFFF <= Mmu.page_size - 4 then
+    Phys_mem.read_u32 t.mem (jit_translate t ~access:Mmu.Read vaddr)
+  else begin
+    let b0 = Phys_mem.read_u8 t.mem (jit_translate t ~access:Mmu.Read vaddr) in
+    let b1 =
+      Phys_mem.read_u8 t.mem (jit_translate t ~access:Mmu.Read (Word.add vaddr 1))
+    in
+    let b2 =
+      Phys_mem.read_u8 t.mem (jit_translate t ~access:Mmu.Read (Word.add vaddr 2))
+    in
+    let b3 =
+      Phys_mem.read_u8 t.mem (jit_translate t ~access:Mmu.Read (Word.add vaddr 3))
+    in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  end
+
+let jit_load_u8 t vaddr =
+  Phys_mem.read_u8 t.mem (jit_translate t ~access:Mmu.Read (Word.mask vaddr))
+
+(* Plain store, used by the block-final CALL (no ops follow, so a store
+   over this block's own text needs no special handling — the next
+   dispatch revalidates). *)
+let jit_store_u32 t vaddr v =
+  let vaddr = Word.mask vaddr in
+  if vaddr land 0xFFF <= Mmu.page_size - 4 then
+    Phys_mem.write_u32 t.mem (jit_translate t ~access:Mmu.Write vaddr) v
+  else
+    for i = 0 to 3 do
+      Phys_mem.write_u8 t.mem
+        (jit_translate t ~access:Mmu.Write (Word.add vaddr i))
+        ((v lsr (8 * i)) land 0xFF)
+    done
+
+(* Mid-block stores report whether they wrote over the block's own text
+   (invariant 4): [true] means the chain must stop before the next op. *)
+let jit_store_u32_chk t ~bppc ~bbytes vaddr v =
+  let vaddr = Word.mask vaddr in
+  if vaddr land 0xFFF <= Mmu.page_size - 4 then begin
+    let p = jit_translate t ~access:Mmu.Write vaddr in
+    Phys_mem.write_u32 t.mem p v;
+    p + 4 > bppc && p < bppc + bbytes
+  end
+  else begin
+    let hit = ref false in
+    for i = 0 to 3 do
+      let p = jit_translate t ~access:Mmu.Write (Word.add vaddr i) in
+      Phys_mem.write_u8 t.mem p ((v lsr (8 * i)) land 0xFF);
+      if p >= bppc && p < bppc + bbytes then hit := true
+    done;
+    !hit
+  end
+
+let jit_store_u8_chk t ~bppc ~bbytes vaddr v =
+  let p = jit_translate t ~access:Mmu.Write (Word.mask vaddr) in
+  Phys_mem.write_u8 t.mem p v;
+  p >= bppc && p < bppc + bbytes
+
+(* Chain terminator for blocks that end at a page boundary, a pinned
+   site, or an interpreter-only instruction: pc already points at the
+   next instruction, so the dispatcher takes over. *)
+let jit_block_end (_ : t) = ()
+
+(* Mid-block instruction set.  Every constructor accepted here has a
+   matching arm in [compile_op]; keep the two in sync.  The excluded
+   fallthrough instructions (I/O, privileged control, COPY/CSUM, RDTSC,
+   VMCALL, INT, HLT) end the block and run in the interpreter: they
+   reach devices, rings, the clock or the monitor — exactly where the
+   unbatched loop's per-instruction bookkeeping is observable. *)
+let jit_compiles_mid = function
+  | Isa.Nop | Isa.Movi _ | Isa.Mov _ | Isa.Add _ | Isa.Addi _ | Isa.Sub _
+  | Isa.And_ _ | Isa.Or_ _ | Isa.Xor_ _ | Isa.Shl _ | Isa.Shr _ | Isa.Mul _
+  | Isa.Cmp _ | Isa.Cmpi _ | Isa.Ld _ | Isa.St _ | Isa.Ldb _ | Isa.Stb _
+  | Isa.Push _ | Isa.Pop _ ->
+    true
+  | _ -> false
+
+(* Compile one straight-line instruction into an op closure.  Each op
+   charges its base cost into the accumulator, replicates [exec]'s work
+   and state-update order exactly (pc advances only after all faulting
+   work, flags after the result write), counts the retirement, and
+   tail-calls [next] while the cycle budget holds — memory ops, the only
+   ops that can disturb the TLB, additionally require the code page to
+   still be resident (invariant 3).  Returns [None] for instructions
+   that must run in the interpreter. *)
+let compile_op cpu instr ~bppc ~bbytes ~(next : t -> unit) : (t -> unit) option
+    =
+  let w = Isa.width in
+  let cyc = Isa.base_cycles cpu.costs instr in
+  match instr with
+  | Isa.Nop ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Movi (rd, imm) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.regs.(rd) <- imm;
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Mov (rd, rs) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.regs.(rd) <- t.regs.(rs);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Add (rd, a, b) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- Word.add r.(a) r.(b);
+        set_zn t r.(rd);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Addi (rd, a, imm) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- Word.add r.(a) imm;
+        set_zn t r.(rd);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Sub (rd, a, b) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- Word.sub r.(a) r.(b);
+        set_zn t r.(rd);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.And_ (rd, a, b) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- Word.logand r.(a) r.(b);
+        set_zn t r.(rd);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Or_ (rd, a, b) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- Word.logor r.(a) r.(b);
+        set_zn t r.(rd);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Xor_ (rd, a, b) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- Word.logxor r.(a) r.(b);
+        set_zn t r.(rd);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Shl (rd, a, b) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- Word.shift_left r.(a) r.(b);
+        set_zn t r.(rd);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Shr (rd, a, b) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- Word.shift_right r.(a) r.(b);
+        set_zn t r.(rd);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Mul (rd, a, b) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- Word.mul r.(a) r.(b);
+        set_zn t r.(rd);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Cmp (a, b) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        t.z <- Word.equal r.(a) r.(b);
+        t.n <- Word.signed_lt r.(a) r.(b);
+        t.c <- Word.unsigned_lt r.(a) r.(b);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Cmpi (a, imm) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        t.z <- Word.equal r.(a) imm;
+        t.n <- Word.signed_lt r.(a) imm;
+        t.c <- Word.unsigned_lt r.(a) imm;
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if t.jit_cyc < t.jit_limit then next t)
+  | Isa.Ld (rd, base, imm) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- jit_load_u32 t (Word.add r.(base) imm);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if
+          t.jit_cyc < t.jit_limit
+          && (t.ptb = 0 || Mmu.tlb_covers t.mmu ~vpn:t.jit_vpn)
+        then next t)
+  | Isa.St (base, imm, src) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        let hit = jit_store_u32_chk t ~bppc ~bbytes (Word.add r.(base) imm) r.(src) in
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if
+          (not hit)
+          && t.jit_cyc < t.jit_limit
+          && (t.ptb = 0 || Mmu.tlb_covers t.mmu ~vpn:t.jit_vpn)
+        then next t)
+  | Isa.Ldb (rd, base, imm) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        r.(rd) <- jit_load_u8 t (Word.add r.(base) imm);
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if
+          t.jit_cyc < t.jit_limit
+          && (t.ptb = 0 || Mmu.tlb_covers t.mmu ~vpn:t.jit_vpn)
+        then next t)
+  | Isa.Stb (base, imm, src) ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        let hit =
+          jit_store_u8_chk t ~bppc ~bbytes (Word.add r.(base) imm)
+            (r.(src) land 0xFF)
+        in
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if
+          (not hit)
+          && t.jit_cyc < t.jit_limit
+          && (t.ptb = 0 || Mmu.tlb_covers t.mmu ~vpn:t.jit_vpn)
+        then next t)
+  | Isa.Push rs ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        let sp = Word.sub r.(Isa.sp) 4 in
+        let hit = jit_store_u32_chk t ~bppc ~bbytes sp r.(rs) in
+        r.(Isa.sp) <- sp;
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if
+          (not hit)
+          && t.jit_cyc < t.jit_limit
+          && (t.ptb = 0 || Mmu.tlb_covers t.mmu ~vpn:t.jit_vpn)
+        then next t)
+  | Isa.Pop rd ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        let sp = r.(Isa.sp) in
+        let v = jit_load_u32 t sp in
+        r.(Isa.sp) <- Word.add sp 4;
+        r.(rd) <- v;
+        t.pc <- Word.add t.pc w;
+        t.jit_ret <- t.jit_ret + 1;
+        if
+          t.jit_cyc < t.jit_limit
+          && (t.ptb = 0 || Mmu.tlb_covers t.mmu ~vpn:t.jit_vpn)
+        then next t)
+  | _ -> None
+
+(* Compile a block-final control transfer.  These end the chain — the
+   dispatcher decides whether to follow (superblock chaining) — so they
+   carry no continuation guard.  Returns [None] for anything that is not
+   a compilable transfer (IRET, BRK and all fallthroughs take the
+   interpreter). *)
+let compile_final cpu instr : (t -> unit) option =
+  let w = Isa.width in
+  let cyc = Isa.base_cycles cpu.costs instr in
+  match instr with
+  | Isa.Jmp target ->
+    let tgt = Word.mask target in
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.pc <- tgt;
+        t.jit_ret <- t.jit_ret + 1)
+  | Isa.Jz target ->
+    let tgt = Word.mask target in
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.pc <- (if t.z then tgt else Word.add t.pc w);
+        t.jit_ret <- t.jit_ret + 1)
+  | Isa.Jnz target ->
+    let tgt = Word.mask target in
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.pc <- (if not t.z then tgt else Word.add t.pc w);
+        t.jit_ret <- t.jit_ret + 1)
+  | Isa.Jlt target ->
+    let tgt = Word.mask target in
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.pc <- (if t.n then tgt else Word.add t.pc w);
+        t.jit_ret <- t.jit_ret + 1)
+  | Isa.Jge target ->
+    let tgt = Word.mask target in
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.pc <- (if not t.n then tgt else Word.add t.pc w);
+        t.jit_ret <- t.jit_ret + 1)
+  | Isa.Jb target ->
+    let tgt = Word.mask target in
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.pc <- (if t.c then tgt else Word.add t.pc w);
+        t.jit_ret <- t.jit_ret + 1)
+  | Isa.Jae target ->
+    let tgt = Word.mask target in
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.pc <- (if not t.c then tgt else Word.add t.pc w);
+        t.jit_ret <- t.jit_ret + 1)
+  | Isa.Jr rs ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        t.pc <- Word.mask t.regs.(rs);
+        t.jit_ret <- t.jit_ret + 1)
+  | Isa.Call target ->
+    let tgt = Word.mask target in
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        let ret = Word.add t.pc w in
+        let sp = Word.sub r.(Isa.sp) 4 in
+        jit_store_u32 t sp ret;
+        r.(Isa.sp) <- sp;
+        t.pc <- tgt;
+        t.jit_ret <- t.jit_ret + 1)
+  | Isa.Ret ->
+    Some
+      (fun t ->
+        t.jit_cyc <- t.jit_cyc + cyc;
+        let r = t.regs in
+        let sp = r.(Isa.sp) in
+        let tgt = jit_load_u32 t sp in
+        r.(Isa.sp) <- Word.add sp 4;
+        t.pc <- Word.mask tgt;
+        t.jit_ret <- t.jit_ret + 1)
+  | _ -> None
+
+let jit_gsum t ~ppc ~bytes =
+  let g = Phys_mem.granule_bits in
+  let first = ppc lsr g and last = (ppc + bytes - 1) lsr g in
+  let sum = ref 0 in
+  for i = first to last do
+    sum := !sum + Phys_mem.generation t.mem (i lsl g)
+  done;
+  !sum
+
+(* Compile the run starting at [vpc] (physically at [ppc], both inside
+   one page — blocks never cross a page boundary, so virtual and
+   physical offsets advance in lockstep).  Stops at the page end, the
+   length cap, an interpreter-only instruction, an undecodable slot, or
+   a pinned pc (planted breakpoint sites must head their own block so
+   the trap fires before any compiled op runs).  Ops are chained back to
+   front; pc updates inside ops are pc-relative (or absolute targets
+   from the encoding), so a block is reusable across virtual mappings of
+   the same physical text — which is exactly what physical keying
+   promises. *)
+let compile_block t ~vpc ~ppc : jblock option =
+  if t.jit_pin vpc then None
+  else begin
+    let w = Isa.width in
+    let vroom = (Mmu.page_size - (vpc land (Mmu.page_size - 1))) / w in
+    let proom = (Phys_mem.size t.mem - ppc) / w in
+    let room = min jit_max_block (min vroom proom) in
+    let mids = Array.make (max room 1) Isa.Nop in
+    let n_mid = ref 0 in
+    let final = ref None in
+    let stop = ref false in
+    while (not !stop) && Option.is_none !final && !n_mid < room do
+      let off = !n_mid * w in
+      if !n_mid > 0 && t.jit_pin (vpc + off) then stop := true
+      else
+        match Isa.read t.mem (ppc + off) with
+        | exception Isa.Decode_error _ -> stop := true
+        | i ->
+          (match Isa.flow_of i with
+           | Isa.Fallthrough ->
+             if jit_compiles_mid i then begin
+               mids.(!n_mid) <- i;
+               incr n_mid
+             end
+             else stop := true
+           | Isa.Jump _ | Isa.Branch _ | Isa.Call_to _ | Isa.Indirect
+           | Isa.Return ->
+             final := Some i
+           | Isa.Int_return | Isa.Terminal -> stop := true)
+    done;
+    let tail, n_final =
+      match !final with
+      | Some i ->
+        (match compile_final t i with
+         | Some op -> (op, 1)
+         | None -> (jit_block_end, 0))
+      | None -> (jit_block_end, 0)
+    in
+    let total = !n_mid + n_final in
+    if total = 0 then None
+    else begin
+      (* The validated byte range always covers the full decoded run even
+         if closure construction bails early below: over-approximating
+         the text only invalidates more often, never less. *)
+      let bytes = (!n_mid + (match !final with Some _ -> 1 | None -> 0)) * w in
+      let bppc = ppc and bbytes = bytes in
+      let entry = ref tail in
+      for k = !n_mid - 1 downto 0 do
+        match compile_op t mids.(k) ~bppc ~bbytes ~next:!entry with
+        | Some op -> entry := op
+        | None ->
+          (* Unreachable while [jit_compiles_mid] and [compile_op] agree;
+             ending the block here keeps it safe even if they drift. *)
+          entry := jit_block_end
+      done;
+      t.jb_compiled <- t.jb_compiled + 1;
+      Some
+        {
+          jb_ppc = ppc;
+          jb_bytes = bytes;
+          jb_gsum = jit_gsum t ~ppc ~bytes;
+          jb_flush = t.icache_gen;
+          jb_entry = !entry;
+        }
+    end
+  end
+
+(* Direct-mapped lookup with full revalidation (invariant 4): stamp and
+   generation sum must both match, else recompile from current bytes. *)
+let jit_block_at t ~ppc : jblock option =
+  let slot = (ppc lsr 3) land jcache_mask in
+  match t.jcache.(slot) with
+  | Some b when b.jb_ppc = ppc ->
+    if b.jb_flush = t.icache_gen && jit_gsum t ~ppc ~bytes:b.jb_bytes = b.jb_gsum
+    then begin
+      t.jb_hits <- t.jb_hits + 1;
+      Some b
+    end
+    else begin
+      t.jb_inval <- t.jb_inval + 1;
+      let nb = compile_block t ~vpc:t.pc ~ppc in
+      t.jcache.(slot) <- nb;
+      nb
+    end
+  | prev ->
+    let nb = compile_block t ~vpc:t.pc ~ppc in
+    (match nb with
+     | Some _ -> t.jcache.(slot) <- nb
+     | None -> ignore prev);
+    nb
+
 let read_instr t vaddr =
   if vaddr land 0xFFF <= Mmu.page_size - Isa.width then
     Isa.read t.mem (translate t ~access:Mmu.Read ~cpl:0 vaddr)
@@ -694,6 +1335,82 @@ let step t =
   | Isa.Decode_error { opcode; _ } ->
     dispatch_fault t (Undefined opcode) ~return_pc:start_pc
 
+(* Dispatch loop of the block translator: execute compiled blocks from
+   the cache, chaining across taken transfers while the cycle budget
+   [limit] holds, and falling back to one interpreter [step] whenever the
+   pc cannot head a block (straddling fetch, out-of-RAM text,
+   interpreter-only instruction, pinned site).  At least one instruction
+   always retires.  See the invariant comment at the translator above
+   for why this is bit-identical to stepping. *)
+let jit_run t ~limit =
+  t.jit_cyc <- 0;
+  t.jit_ret <- 0;
+  let rel = Int64.sub limit (Engine.now t.engine) in
+  t.jit_limit <-
+    (if Int64.compare rel (Int64.of_int max_int) >= 0 then max_int
+     else if Int64.compare rel 0L < 0 then 0
+     else Int64.to_int rel);
+  let chained = ref false in
+  (try
+     let continue = ref true in
+     while !continue do
+       let pc = t.pc in
+       if pc land 0xFFF > Mmu.page_size - Isa.width then begin
+         (* Page-straddling fetch: the interpreter's byte-wise path. *)
+         jit_flush t;
+         t.jb_fallbacks <- t.jb_fallbacks + 1;
+         step t;
+         continue := false
+       end
+       else begin
+         (* Instruction 1's fetch-translate, for real: charges a miss
+            into the accumulator and sets accessed bits exactly like the
+            interpreter's fetch would. *)
+         let ppc = jit_translate t ~access:Mmu.Exec pc in
+         if ppc < 0 || ppc + Isa.width > Phys_mem.size t.mem then begin
+           (* Out-of-RAM text: [step]'s checked read raises Bus_error and
+              becomes a machine check.  Its own translate is a TLB hit
+              after the walk above, so nothing double-charges. *)
+           jit_flush t;
+           t.jb_fallbacks <- t.jb_fallbacks + 1;
+           step t;
+           continue := false
+         end
+         else
+           match jit_block_at t ~ppc with
+           | None ->
+             (* Interpreter-only instruction at pc (or pinned site); as
+                above, [step] refetches through the now-warm TLB. *)
+             jit_flush t;
+             t.jb_fallbacks <- t.jb_fallbacks + 1;
+             step t;
+             continue := false
+           | Some b ->
+             if !chained then t.jb_chains <- t.jb_chains + 1;
+             chained := true;
+             t.jit_vpn <- pc lsr 12;
+             b.jb_entry t;
+             if t.jit_cyc >= t.jit_limit then continue := false
+       end
+     done
+   with
+   | Fault_exn kind ->
+     jit_flush t;
+     dispatch_fault t kind ~return_pc:t.pc
+   | Mmu.Page_fault f ->
+     jit_flush t;
+     dispatch_fault t (Page f) ~return_pc:t.pc
+   | Phys_mem.Bus_error addr ->
+     jit_flush t;
+     dispatch_fault t (Machine_check addr) ~return_pc:t.pc
+   | Isa.Decode_error { opcode; _ } ->
+     jit_flush t;
+     dispatch_fault t (Undefined opcode) ~return_pc:t.pc
+   | e ->
+     jit_flush t;
+     raise e);
+  jit_flush t
+
 (* Tight stepping loop between event horizons.  The caller has already
    dispatched due events and polled once, so the first action is a step;
    the loop preserves the canonical dispatch/poll/step interleaving by
@@ -703,12 +1420,33 @@ let step t =
    exit condition returns control to the dispatcher *between* a step and
    the next poll — the same point where the unbatched loop runs its
    dispatch — so cycle accounting, trap ordering and IRQ delivery points
-   are bit-identical. *)
+   are bit-identical.
+
+   When the block translator is on and no per-instruction observer is
+   armed — no trap flag, no retire stop, no deliverable interrupt — the
+   step is replaced by [jit_run], bounded by the nearer of the horizon
+   and the next profiler sample so chains stop on exactly the boundary
+   the unbatched loop would have stopped on. *)
 let run_batch t ~horizon ~wake =
   let engine = t.engine in
   let continue = ref true in
   while !continue do
-    step t;
+    if
+      t.jit_enabled
+      && (not t.tf)
+      && (match t.retire_stop with None -> true | Some _ -> false)
+      && not (t.if_ && t.pic_pending ())
+    then begin
+      let limit =
+        if
+          Int64.compare t.sample_period 0L > 0
+          && Int64.compare t.next_sample horizon < 0
+        then t.next_sample
+        else horizon
+      in
+      jit_run t ~limit
+    end
+    else step t;
     (* Continuous pc sampling: a pure read of (pc, cpl) handed to the
        profiler between instructions.  It never advances the clock or
        schedules events, so enabling it cannot perturb guest-visible
@@ -749,6 +1487,25 @@ let sampling_period t = t.sample_period
 let icache_hits t = t.ic_hits
 let icache_misses t = t.ic_misses
 let icache_invalidations t = t.ic_inval
+
+(* -- Block-translator control and telemetry -- *)
+
+let jit_enabled t = t.jit_enabled
+let set_jit_enabled t v = t.jit_enabled <- v
+
+let set_jit_pin t pin =
+  t.jit_pin <- pin;
+  (* Pin-set changes that do not rewrite guest text (the stub's do) would
+     otherwise leave stale blocks spanning a newly pinned site; the O(1)
+     flush-stamp bump forces every block through recompilation, where the
+     new predicate is consulted. *)
+  t.icache_gen <- t.icache_gen + 1
+
+let blocks_compiled t = t.jb_compiled
+let block_hits t = t.jb_hits
+let block_invalidations t = t.jb_inval
+let block_chain_follows t = t.jb_chains
+let block_fallbacks t = t.jb_fallbacks
 let instructions_retired t = t.retired
 
 (* Reverse-debug support: checkpoint restore rewinds the retirement

@@ -194,6 +194,52 @@ val sampling_period : t -> int64
 val icache_hits : t -> int
 val icache_misses : t -> int
 val icache_invalidations : t -> int
+
+(** {2 Block translator}
+
+    [run_batch] normally executes through a basic-block threaded-code
+    translator: straight-line decoded runs are compiled into chains of
+    closures keyed by {e physical} pc, validated at every dispatch
+    against the {!Phys_mem} granule write generations of their whole
+    text plus the icache flush stamp (self-modifying code, DMA over
+    text, breakpoint patching and [LPTB]/[TLBFLUSH] invalidate compiled
+    blocks exactly as they invalidate decoded instructions), and chained
+    across taken jumps, calls and returns.  Architectural state,
+    cycle accounting, trap ordering, IRQ delivery points and profiler
+    sample boundaries are bit-identical to per-instruction stepping —
+    the translator is disabled automatically while a per-instruction
+    observer is armed (trap flag, retire stop, deliverable interrupt)
+    and falls back to the interpreter mid-chain on any fault, budget
+    boundary, or code-page TLB eviction. *)
+
+(** [set_jit_enabled t v] turns the translator on/off ([true] at
+    creation; {!Machine.create} honors [LWVMM_JIT=0]).  Toggling is safe
+    at any instruction boundary and never changes guest-visible
+    behaviour, only speed. *)
+val set_jit_enabled : t -> bool -> unit
+
+val jit_enabled : t -> bool
+
+(** [set_jit_pin t pred] registers pcs that must head their own block —
+    the monitor points this at the debug stub's breakpoint table so a
+    planted trap site is never buried mid-block.  Installing a predicate
+    flushes compiled blocks (O(1) stamp bump) so it takes effect
+    immediately. *)
+val set_jit_pin : t -> (int -> bool) -> unit
+
+val blocks_compiled : t -> int
+val block_hits : t -> int
+val block_invalidations : t -> int
+
+(** [block_chain_follows t] — dispatches that continued a chain within
+    one translator run (superblock chaining across taken transfers). *)
+val block_chain_follows : t -> int
+
+(** [block_fallbacks t] — translator dispatches that fell back to one
+    interpreter step (interpreter-only instruction, straddling fetch,
+    pinned site, out-of-RAM text). *)
+val block_fallbacks : t -> int
+
 val instructions_retired : t -> int64
 
 (** {2 Reverse-debug support}

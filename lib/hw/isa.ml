@@ -322,6 +322,35 @@ let base_cycles (c : Costs.t) = function
   | Rdtsc _ | Vmcall _ | Brk ->
     c.base_instr
 
+(* Control-flow shape, shared by the static verifier's CFG recovery
+   (lib/analysis.Cfg) and the CPU's block translator: both need the same
+   leader/terminator classification, and keeping it next to the decoder
+   means a new instruction cannot be added without deciding its shape. *)
+type flow =
+  | Fallthrough
+  | Jump of Word.t
+  | Branch of Word.t
+  | Call_to of Word.t
+  | Indirect
+  | Return
+  | Int_return
+  | Terminal
+
+let flow_of = function
+  | Jmp t -> Jump t
+  | Jz t | Jnz t | Jlt t | Jge t | Jb t | Jae t -> Branch t
+  | Call t -> Call_to t
+  | Jr _ -> Indirect
+  | Ret -> Return
+  | Iret -> Int_return
+  | Brk -> Terminal
+  | Nop | Hlt | Movi _ | Mov _ | Add _ | Addi _ | Sub _ | And_ _ | Or_ _
+  | Xor_ _ | Shl _ | Shr _ | Mul _ | Cmp _ | Cmpi _ | Ld _ | St _ | Ldb _
+  | Stb _ | Push _ | Pop _ | In_ _ | Ini _ | Out _ | Outi _ | Int_ _ | Sti
+  | Cli | Liht _ | Lptb _ | Lstk _ | Tlbflush | Copy _ | Csum _ | Rdtsc _
+  | Vmcall _ ->
+    Fallthrough
+
 let vec_debug_step = 1
 let vec_breakpoint = 3
 let vec_undefined = 6

@@ -93,6 +93,25 @@ val is_privileged : instr -> bool
     dynamic components (TLB misses, COPY length, port waits). *)
 val base_cycles : Costs.t -> instr -> int
 
+(** Control-flow shape of an instruction, shared by the static
+    verifier's CFG recovery ({!Vmm_analysis.Cfg} re-exports it) and the
+    CPU's basic-block translator: both need the same leader/terminator
+    classification.  [Fallthrough] covers every instruction whose sole
+    static successor is the next slot — including privileged and I/O
+    instructions, which fall through {e architecturally} even though the
+    translator refuses to compile them into a block. *)
+type flow =
+  | Fallthrough
+  | Jump of Word.t
+  | Branch of Word.t  (** conditional: target plus fall-through *)
+  | Call_to of Word.t
+  | Indirect  (** [Jr] — unknown target *)
+  | Return
+  | Int_return  (** [Iret] *)
+  | Terminal  (** [Brk] *)
+
+val flow_of : instr -> flow
+
 (** Fault vector numbers (interrupt-handling-table slots). *)
 val vec_debug_step : int
 

@@ -40,6 +40,10 @@ type t = {
   recorder : Recorder.t;
   profiler : Profiler.t;
   flight : Flight.t;
+  mutable jit_counters_mark : int;
+      (* sum of the CPU's block-cache counters at the last Perfetto
+         counter-track emission; counters only grow, so an unchanged sum
+         means nothing to emit *)
 }
 
 let default_mem_size = 16 * 1024 * 1024
@@ -50,6 +54,15 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
   let bus = Io_bus.create () in
   let load = Stats.load () in
   let cpu = Cpu.create ~mem ~bus ~engine ~costs ~load () in
+  (* LWVMM_JIT=0 forces the per-instruction interpreter; anything else
+     (including unset) leaves the block translator on.  Reading it here
+     means run, record and replay all honor the knob the way the CLI
+     driver honors LWVMM_PROFILE — and since the translator never changes
+     guest-visible state, a trace recorded in either mode replays in
+     either mode. *)
+  (match Sys.getenv_opt "LWVMM_JIT" with
+   | Some "0" -> Cpu.set_jit_enabled cpu false
+   | Some _ | None -> ());
   let recorder = Recorder.create () in
   (* Record/replay taps: every nondeterministic event at the machine
      boundary reports to the recorder (a no-op until a recording or
@@ -150,6 +163,21 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
       Cpu.icache_misses cpu);
   Registry.int_gauge registry "cpu_icache_invalidations_total" (fun () ->
       Cpu.icache_invalidations cpu);
+  Registry.int_gauge registry "cpu_block_compiled_total"
+    ~help:"basic blocks compiled by the threaded-code translator" (fun () ->
+      Cpu.blocks_compiled cpu);
+  Registry.int_gauge registry "cpu_block_hits_total"
+    ~help:"block-cache dispatches that revalidated a compiled block"
+    (fun () -> Cpu.block_hits cpu);
+  Registry.int_gauge registry "cpu_block_invalidations_total"
+    ~help:"compiled blocks dropped by generation/flush revalidation"
+    (fun () -> Cpu.block_invalidations cpu);
+  Registry.int_gauge registry "cpu_block_chain_follows_total"
+    ~help:"superblock chain follows across taken transfers" (fun () ->
+      Cpu.block_chain_follows cpu);
+  Registry.int_gauge registry "cpu_block_interp_fallbacks_total"
+    ~help:"translator dispatches that fell back to one interpreter step"
+    (fun () -> Cpu.block_fallbacks cpu);
   Registry.gauge registry "cpu_busy_cycles_total" (fun () ->
       Int64.to_float (Stats.busy_cycles load));
   Registry.gauge registry "sim_now_cycles" (fun () ->
@@ -184,6 +212,7 @@ let create ?(mem_size = default_mem_size) ?(costs = Costs.default) () =
     recorder;
     profiler;
     flight;
+    jit_counters_mark = 0;
   }
 
 let cpu t = t.cpu
@@ -226,6 +255,32 @@ let utilization t ~since ~since_busy =
 
 let idle t = Cpu.halted t.cpu || Cpu.stopped t.cpu
 
+(* Perfetto counter tracks for the block cache, sampled at batch
+   granularity from the dispatcher (never from inside a chain, so the
+   tracer stays invisible to guest timing).  Emitted only when armed and
+   only when some counter moved — the counters are monotone, so an
+   unchanged sum means an unchanged tuple. *)
+let emit_block_counters t =
+  if Tracer.enabled t.tracer then begin
+    let compiled = Cpu.blocks_compiled t.cpu in
+    let hits = Cpu.block_hits t.cpu in
+    let inval = Cpu.block_invalidations t.cpu in
+    let chains = Cpu.block_chain_follows t.cpu in
+    let fallbacks = Cpu.block_fallbacks t.cpu in
+    let mark = compiled + hits + inval + chains + fallbacks in
+    if mark <> t.jit_counters_mark then begin
+      t.jit_counters_mark <- mark;
+      let c name v =
+        Tracer.counter t.tracer ~cat:"jit" name (float_of_int v)
+      in
+      c "cpu_block_compiled" compiled;
+      c "cpu_block_hits" hits;
+      c "cpu_block_invalidations" inval;
+      c "cpu_block_chain_follows" chains;
+      c "cpu_block_interp_fallbacks" fallbacks
+    end
+  end
+
 let run_until t ~time =
   while Int64.compare (Engine.now t.engine) time < 0 do
     ignore (Engine.dispatch_due t.engine);
@@ -248,7 +303,8 @@ let run_until t ~time =
         | Some te when Int64.compare te time < 0 -> te
         | Some _ | None -> time
       in
-      Cpu.run_batch t.cpu ~horizon ~wake:(Engine.wake_generation t.engine)
+      Cpu.run_batch t.cpu ~horizon ~wake:(Engine.wake_generation t.engine);
+      emit_block_counters t
     end
   done
 

@@ -148,5 +148,7 @@ let probe mem ~ptb vaddr =
         in
         Some combined
 
+let tlb_covers t ~vpn = (t.tlb.(vpn land t.tlb_mask)).vpn = vpn
+
 let tlb_hits t = t.hits
 let tlb_misses t = t.misses

@@ -67,6 +67,16 @@ val translate :
     monitor's shadow-paging code to read the guest's tables. *)
 val probe : Phys_mem.t -> ptb:int -> int -> int option
 
+(** [tlb_covers t ~vpn] — the direct-mapped slot for virtual page [vpn]
+    still holds that page's entry.  The CPU's block translator uses this
+    as a per-instruction guard: while the code page stays resident, no
+    fetch in the block could have walked the tables (no TLB-miss charge,
+    no accessed-bit store), so skipping the per-instruction fetch
+    translation is invisible.  A data access that evicts the code page's
+    entry flips this to [false] and the block bails to the
+    interpreter. *)
+val tlb_covers : t -> vpn:int -> bool
+
 (** [tlb_hits t] / [tlb_misses t] expose counters for tests and benches. *)
 val tlb_hits : t -> int64
 

@@ -9,6 +9,7 @@ type event =
       stop : int64;
     }
   | Instant of { name : string; cat : string; tid : int; time : int64 }
+  | Counter of { name : string; cat : string; time : int64; value : float }
 
 type open_span = {
   span_name : string;
@@ -109,6 +110,10 @@ let instant t ~cat name =
     record t
       (Instant { name; cat; tid = tid_cpu; time = Engine.now t.engine })
 
+let counter t ~cat name value =
+  if t.enabled then
+    record t (Counter { name; cat; time = Engine.now t.engine; value })
+
 let add_complete t ?(tid = tid_dma) ~cat ~name ~start ~stop () =
   if t.enabled then record t (Complete { name; cat; tid; start; stop })
 
@@ -169,6 +174,14 @@ let to_chrome_json ?(cpu_hz = 1.26e9) t =
     | Instant { name; cat; tid; time } ->
       common ~name ~cat ~tid ~ts:time
         [ ("ph", Json.String "i"); ("s", Json.String "t") ]
+    | Counter { name; cat; time; value } ->
+      (* Chrome phase "C": Perfetto renders one counter track per name,
+         plotting args.value over time. *)
+      common ~name ~cat ~tid:tid_cpu ~ts:time
+        [
+          ("ph", Json.String "C");
+          ("args", Json.Obj [ ("value", Json.Float value) ]);
+        ]
   in
   Json.Obj
     [

@@ -24,6 +24,9 @@ type event =
     }  (** a closed span: Chrome phase "X" *)
   | Instant of { name : string; cat : string; tid : int; time : int64 }
       (** a point event: Chrome phase "i" *)
+  | Counter of { name : string; cat : string; time : int64; value : float }
+      (** a counter-track sample: Chrome phase "C"; Perfetto plots one
+          track per name (used for the CPU's block-cache counters) *)
 
 type t
 
@@ -49,6 +52,11 @@ val with_span : t -> cat:string -> string -> (unit -> 'a) -> 'a
 
 (** [instant t ~cat name] records a point event at the current time. *)
 val instant : t -> cat:string -> string -> unit
+
+(** [counter t ~cat name value] records a counter-track sample at the
+    current time.  Counter events bypass the nesting stack and the
+    category breakdown — they carry a value, not CPU time. *)
+val counter : t -> cat:string -> string -> float -> unit
 
 (** [add_complete t ?tid ~cat ~name ~start ~stop ()] records an
     already-timed span, e.g. an asynchronous device DMA whose completion

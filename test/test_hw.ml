@@ -1287,6 +1287,219 @@ let test_fetch_beyond_ram_machine_check () =
   check bool "halted in handler" true (Machine.run_until_halted ~limit:100 m);
   check int "machine check delivered" 1 (reg m 9)
 
+(* -- Block translator (threaded-code JIT) -- *)
+
+(* The translator only engages on the batched dispatch path
+   ([Machine.run_until]/[run_for]/[run_seconds] -> [Cpu.run_batch]);
+   [run_steps] and [run_until_halted] deliberately stay per-instruction.
+   Every test here therefore drives the machine by cycle budget. *)
+
+let run_batched ?(jit = true) ~cycles build =
+  let m = fresh_machine () in
+  Cpu.set_jit_enabled (Machine.cpu m) jit;
+  let a = Asm.create ~origin:0x1000 () in
+  build a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  Machine.run_for m ~cycles;
+  (m, p)
+
+let test_jit_compiles_and_chains () =
+  let m, _ =
+    run_batched ~cycles:100_000L (fun a ->
+        Asm.movi a Isa.sp (Asm.imm 0x8000);
+        Asm.movi a 2 (Asm.imm 0);
+        Asm.label a "loop";
+        Asm.call a (Asm.lbl "fn");
+        Asm.addi a 2 2 (Asm.imm 1);
+        Asm.jmp a (Asm.lbl "loop");
+        Asm.label a "fn";
+        Asm.addi a 3 3 (Asm.imm 1);
+        Asm.ret a)
+  in
+  let cpu = Machine.cpu m in
+  check bool "progress made" true (reg m 2 > 0);
+  check bool "blocks compiled" true (Cpu.blocks_compiled cpu > 0);
+  check bool "block cache hits" true (Cpu.block_hits cpu > 0);
+  check bool "superblock chains followed" true
+    (Cpu.block_chain_follows cpu > 0)
+
+(* A workload touching every compiled op class: ALU, memory, stack,
+   flags, a multiply, and a conditional back-edge. *)
+let jit_workload a =
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0);
+  Asm.movi a 4 (Asm.imm 0x4000);
+  Asm.label a "loop";
+  Asm.addi a 1 1 (Asm.imm 1);
+  Asm.st a 4 0 1;
+  Asm.ld a 5 4 0;
+  Asm.add a 6 6 5;
+  Asm.mul a 7 1 5;
+  Asm.push a 6;
+  Asm.pop a 8;
+  Asm.cmpi a 1 (Asm.imm 10_000_000);
+  Asm.jnz a (Asm.lbl "loop");
+  Asm.hlt a
+
+let test_jit_on_off_identical () =
+  (* Same program, same cycle budget, translator on vs off: every
+     architectural observable — clock, retirement count, busy cycles,
+     registers, pc, flags — must be bit-identical. *)
+  let observe jit =
+    let m, _ = run_batched ~jit ~cycles:200_000L jit_workload in
+    let cpu = Machine.cpu m in
+    ( Machine.now m,
+      Cpu.instructions_retired cpu,
+      Vmm_sim.Stats.busy_cycles (Machine.load m),
+      List.map (fun r -> Cpu.read_reg cpu r) [ 1; 4; 5; 6; 7; 8 ],
+      Cpu.pc cpu,
+      Cpu.flags_word cpu,
+      Cpu.blocks_compiled cpu > 0 )
+  in
+  let now_on, ret_on, busy_on, regs_on, pc_on, fl_on, compiled = observe true in
+  let now_off, ret_off, busy_off, regs_off, pc_off, fl_off, _ =
+    observe false
+  in
+  check bool "translator engaged" true compiled;
+  check bool "same clock" true (now_on = now_off);
+  check bool "same retirement count" true (ret_on = ret_off);
+  check bool "same busy cycles" true (busy_on = busy_off);
+  check bool "same registers" true (regs_on = regs_off);
+  check int "same pc" pc_off pc_on;
+  check int "same flags" fl_off fl_on
+
+let test_jit_self_modifying () =
+  (* The guest patches an instruction inside a block it already
+     executed: the store lands on compiled text, the generation check
+     must invalidate the block, and the re-compiled block must execute
+     the new bytes. *)
+  let enc = Isa.encode (Isa.Movi (1, 99)) in
+  let word off =
+    Char.code (Bytes.get enc off)
+    lor (Char.code (Bytes.get enc (off + 1)) lsl 8)
+    lor (Char.code (Bytes.get enc (off + 2)) lsl 16)
+    lor (Char.code (Bytes.get enc (off + 3)) lsl 24)
+  in
+  let m, _ =
+    run_batched ~cycles:50_000L (fun a ->
+        Asm.movi a 5 (Asm.imm 0);
+        (* enter via a jump so [patchme] heads its own block — the loop
+           back-edge then re-dispatches the patched block at the same
+           key and must see the invalidation *)
+        Asm.jmp a (Asm.lbl "patchme");
+        Asm.label a "patchme";
+        Asm.movi a 1 (Asm.imm 1);
+        Asm.addi a 5 5 (Asm.imm 1);
+        Asm.cmpi a 5 (Asm.imm 2);
+        Asm.jz a (Asm.lbl "done");
+        Asm.movi a 6 (Asm.imm (word 0));
+        Asm.movi a 7 (Asm.imm (word 4));
+        Asm.movi a 8 (Asm.lbl "patchme");
+        Asm.st a 8 0 6;
+        Asm.st a 8 4 7;
+        Asm.jmp a (Asm.lbl "patchme");
+        Asm.label a "done";
+        Asm.hlt a)
+  in
+  let cpu = Machine.cpu m in
+  check bool "halted at done" true (Cpu.halted cpu);
+  check int "patched instruction executed" 99 (reg m 1);
+  check bool "compiled text invalidated" true
+    (Cpu.block_invalidations cpu >= 1)
+
+let test_jit_dma_invalidation () =
+  (* Device DMA over compiled text: the block must re-validate against
+     the bumped write generations and recompile, even though the DMA'd
+     bytes are identical. *)
+  let m = fresh_machine () in
+  let cpu = Machine.cpu m and bus = Machine.bus m in
+  let base = Machine.Ports.scsi in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.label a "loop";
+  Asm.movi a 1 (Asm.imm 1);
+  Asm.jmp a (Asm.lbl "loop");
+  Machine.boot m (Asm.assemble a) ~entry:0x1000;
+  Machine.run_for m ~cycles:20_000L (* compile + warm the loop block *);
+  check bool "loop block compiled" true (Cpu.blocks_compiled cpu > 0);
+  let issue cmd =
+    Io_bus.write bus base 0 (* target *);
+    Io_bus.write bus (base + 1) 7 (* lba *);
+    Io_bus.write bus (base + 2) 512 (* bytes *);
+    Io_bus.write bus (base + 3) 0x1000 (* dma over the loop's text *);
+    Io_bus.write bus (base + 4) cmd;
+    ignore (Engine.run_until_idle (Machine.engine m));
+    Io_bus.write bus (base + 6) 3 (* ack *)
+  in
+  issue 2 (* write: latch the code bytes onto the disk *);
+  let inval0 = Cpu.block_invalidations cpu in
+  issue 1 (* read: DMA the same bytes back over the compiled text *);
+  Machine.run_for m ~cycles:20_000L;
+  check bool "dma invalidated compiled block" true
+    (Cpu.block_invalidations cpu > inval0);
+  check int "program unperturbed" 1 (reg m 1)
+
+let test_jit_breakpoint_patch () =
+  (* A BRK planted into an already-compiled block (the debug stub's
+     plant idiom) must invalidate the block and fire on the next pass —
+     never stay buried under stale threaded code. *)
+  let m = fresh_machine () in
+  let mem = Machine.mem m and cpu = Machine.cpu m in
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.movi a 1 (Asm.imm 0x2000);
+  Asm.liht a 1;
+  Asm.movi a 2 (Asm.imm 0);
+  Asm.label a "loop";
+  Asm.addi a 2 2 (Asm.imm 1);
+  Asm.jmp a (Asm.lbl "loop");
+  Asm.label a "handler";
+  Asm.movi a 9 (Asm.imm 1);
+  Asm.hlt a;
+  let p = Asm.assemble a in
+  Machine.boot m p ~entry:0x1000;
+  write_gate mem ~table:0x2000 ~vector:Isa.vec_breakpoint
+    ~handler:(Asm.symbol p "handler") ~ring:0 ~dpl:0;
+  Machine.run_for m ~cycles:20_000L (* compile + warm the loop block *);
+  check bool "loop block compiled" true (Cpu.blocks_compiled cpu > 0);
+  check bool "not yet trapped" true (reg m 9 = 0);
+  let inval0 = Cpu.block_invalidations cpu in
+  Isa.write mem (Asm.symbol p "loop") Isa.Brk;
+  Machine.run_for m ~cycles:20_000L;
+  check int "breakpoint handler ran" 1 (reg m 9);
+  check bool "halted in handler" true (Cpu.halted cpu);
+  check bool "plant invalidated compiled text" true
+    (Cpu.block_invalidations cpu > inval0);
+  check bool "trap fell back to the interpreter" true
+    (Cpu.block_fallbacks cpu > 0)
+
+let test_jit_set_ptb_remap () =
+  (* Same virtual pc, different physical frame after a PTB reload: the
+     physically-keyed block cache must compile and run the new frame's
+     code, not replay the old frame's block. *)
+  let m = fresh_machine () in
+  let mem = Machine.mem m and cpu = Machine.cpu m in
+  build_identity_tables mem ~pd:0x40000 ~pt:0x41000 ~mbytes:1 ~user:false;
+  let vaddr = 0x8000 in
+  let pte_addr = 0x41000 + (4 * (vaddr / 4096)) in
+  let place frame value =
+    Phys_mem.write_u32 mem pte_addr
+      (Mmu.make_pte ~frame ~writable:true ~user:false);
+    Isa.write mem frame (Isa.Movi (1, value));
+    Isa.write mem (frame + Isa.width) (Isa.Jmp vaddr)
+  in
+  place 0x10000 11;
+  Cpu.set_ptb cpu 0x40000;
+  Cpu.set_pc cpu vaddr;
+  Cpu.set_halted cpu false;
+  Machine.run_for m ~cycles:20_000L;
+  check int "old frame's code" 11 (reg m 1);
+  check bool "blocks compiled" true (Cpu.blocks_compiled cpu > 0);
+  place 0x11000 22;
+  Cpu.set_ptb cpu 0x40000 (* the guest's lptb remap idiom *);
+  Machine.run_for m ~cycles:20_000L;
+  check int "new frame's code" 22 (reg m 1)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1406,6 +1619,20 @@ let () =
           Alcotest.test_case "set_ptb remap" `Quick test_icache_set_ptb_remap;
           Alcotest.test_case "fetch beyond RAM" `Quick
             test_fetch_beyond_ram_machine_check;
+        ] );
+      ( "jit",
+        [
+          Alcotest.test_case "compiles, hits, chains" `Quick
+            test_jit_compiles_and_chains;
+          Alcotest.test_case "on/off bit-identical" `Quick
+            test_jit_on_off_identical;
+          Alcotest.test_case "self-modifying code" `Quick
+            test_jit_self_modifying;
+          Alcotest.test_case "dma invalidation" `Quick
+            test_jit_dma_invalidation;
+          Alcotest.test_case "breakpoint plant" `Quick
+            test_jit_breakpoint_patch;
+          Alcotest.test_case "set_ptb remap" `Quick test_jit_set_ptb_remap;
         ] );
       ( "properties",
         qsuite [ prop_mmu_probe_agrees_with_translate; prop_disassembly_roundtrip ] );

@@ -101,8 +101,9 @@ let test_trace_rejects_version_drift () =
    chaos wrap, recover, and read the final-state digest.  With [replay]
    the same campaign consumes the recorded trace instead of the live
    chaos RNG. *)
-let drive ?replay ?(profile = false) ~seed () =
+let drive ?replay ?(profile = false) ?(jit = true) ~seed () =
   let m = Machine.create ~mem_size:(16 * 1024 * 1024) ~costs:test_costs () in
+  Vmm_hw.Cpu.set_jit_enabled (Machine.cpu m) jit;
   let recorder = Machine.recorder m in
   (match replay with
    | None -> Recorder.start_record recorder
@@ -182,6 +183,32 @@ let test_record_replay_profiled () =
    | None -> ());
   check bool "profiled replay digest identical" true (digest' = digest);
   check bool "profiled replay busy identical" true (busy' = busy)
+
+let test_record_replay_jit_cross_mode () =
+  (* The block translator must be invisible to the recorder: a run with
+     the JIT off records the same events and lands on the same digest as
+     the JIT-on run at the same seed, and a trace recorded with the JIT
+     on replays bit-exactly with it off. *)
+  let events_on, digest_on, busy_on, _ = drive ~seed:13L () in
+  check bool "events recorded" true (List.length events_on > 0);
+  let events_off, digest_off, busy_off, _ = drive ~jit:false ~seed:13L () in
+  check int "same event count with JIT off" (List.length events_on)
+    (List.length events_off);
+  List.iter2
+    (fun a b -> check bool "same events with JIT off" true (Event.equal a b))
+    events_on events_off;
+  check bool "same digest with JIT off" true (digest_off = digest_on);
+  check bool "same busy cycles with JIT off" true (busy_off = busy_on);
+  let _, digest', busy', div =
+    drive ~replay:events_on ~jit:false ~seed:13L ()
+  in
+  (match div with
+   | Some d ->
+     Alcotest.failf "cross-mode replay diverged: %s"
+       (Format.asprintf "%a" Recorder.pp_divergence d)
+   | None -> ());
+  check bool "cross-mode replay digest identical" true (digest' = digest_on);
+  check bool "cross-mode replay busy identical" true (busy' = busy_on)
 
 let test_divergence_detector () =
   let events, _, _, _ = drive ~seed:12L () in
@@ -329,6 +356,8 @@ let () =
         [
           Alcotest.test_case "record/replay converges" `Quick
             test_record_replay_converges;
+          Alcotest.test_case "record/replay across JIT modes" `Quick
+            test_record_replay_jit_cross_mode;
           Alcotest.test_case "record/replay with profiler armed" `Quick
             test_record_replay_profiled;
           Alcotest.test_case "divergence detector" `Quick
