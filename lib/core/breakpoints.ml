@@ -1,11 +1,40 @@
-type t = { table : (int, string) Hashtbl.t }
+type mode = Patch | Virtual
 
-let create () = { table = Hashtbl.create 16 }
+let mode_of_env () =
+  match Sys.getenv_opt "LWVMM_BP" with
+  | Some "patch" -> Patch
+  | Some _ | None -> Virtual
+
+type t = {
+  mode : mode;
+  table : (int, string) Hashtbl.t;
+  pages : (int, int) Hashtbl.t; (* page base -> armed-site count *)
+}
+
+let page_mask = lnot (Vmm_hw.Mmu.page_size - 1)
+let page_of addr = addr land page_mask
+
+let create ?mode () =
+  let mode = match mode with Some m -> m | None -> mode_of_env () in
+  { mode; table = Hashtbl.create 16; pages = Hashtbl.create 8 }
+
+let mode t = t.mode
+
+let page_incr t page =
+  Hashtbl.replace t.pages page
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.pages page))
+
+let page_decr t page =
+  match Hashtbl.find_opt t.pages page with
+  | Some 1 -> Hashtbl.remove t.pages page
+  | Some n -> Hashtbl.replace t.pages page (n - 1)
+  | None -> ()
 
 let add t ~addr ~saved =
   if Hashtbl.mem t.table addr then false
   else begin
     Hashtbl.add t.table addr saved;
+    page_incr t (page_of addr);
     true
   end
 
@@ -13,6 +42,7 @@ let remove t ~addr =
   match Hashtbl.find_opt t.table addr with
   | Some saved ->
     Hashtbl.remove t.table addr;
+    page_decr t (page_of addr);
     Some saved
   | None -> None
 
@@ -20,10 +50,17 @@ let saved_at t ~addr = Hashtbl.find_opt t.table addr
 let mem t ~addr = Hashtbl.mem t.table addr
 let count t = Hashtbl.length t.table
 
+let page_armed t ~page =
+  Hashtbl.length t.pages > 0 && Hashtbl.mem t.pages (page_of page)
+
+let armed_pages t =
+  List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) t.pages [])
+
 let addresses t =
   List.sort compare (Hashtbl.fold (fun addr _ acc -> addr :: acc) t.table [])
 
 let clear t =
   let entries = Hashtbl.fold (fun addr saved acc -> (addr, saved) :: acc) t.table [] in
   Hashtbl.reset t.table;
+  Hashtbl.reset t.pages;
   entries

@@ -1,11 +1,28 @@
-(** Breakpoint table for the debug stub.
+(** Breakpoint table for the debug stub — dual mode.
 
-    Each entry remembers the original instruction bytes that the BRK patch
-    replaced, so continue/step-over can restore and re-insert them. *)
+    [Patch] is the legacy mechanism: plant a [BRK] in guest text and
+    remember the original bytes so continue/step-over can restore and
+    re-insert them.  [Virtual] is the page-permission design (Price 2019):
+    guest text is never touched; instead every page holding an armed site
+    is mapped no-execute in the shadow tables and the monitor fields the
+    resulting exec faults.  The table itself is mode-agnostic — it always
+    records addresses, saved bytes (empty in virtual mode) and per-page
+    armed-site counts; the stub and monitor consult [mode] to decide what
+    arming means. *)
+
+type mode = Patch | Virtual
 
 type t
 
-val create : unit -> t
+(** [create ?mode ()] — default mode comes from the [LWVMM_BP] environment
+    variable ("patch" selects [Patch]; anything else, or unset, selects
+    [Virtual]). *)
+val create : ?mode:mode -> unit -> t
+
+val mode : t -> mode
+
+(** [mode_of_env ()] — the mode [create] would pick from [LWVMM_BP]. *)
+val mode_of_env : unit -> mode
 
 (** [add t ~addr ~saved] registers a breakpoint; [false] when one already
     exists at [addr] (the caller must not double-patch). *)
@@ -20,9 +37,19 @@ val saved_at : t -> addr:int -> string option
 val mem : t -> addr:int -> bool
 val count : t -> int
 
+(** [page_armed t ~page] — some armed site lives on the 4 KiB page
+    containing [page] (any address on the page may be passed).  O(1), and
+    the empty-table case is a single length check — this sits on the
+    monitor's page-fault path. *)
+val page_armed : t -> page:int -> bool
+
+(** [armed_pages t] — sorted page base addresses holding at least one
+    armed site. *)
+val armed_pages : t -> int list
+
 (** [addresses t] — sorted list of breakpoint addresses. *)
 val addresses : t -> int list
 
 (** [clear t] forgets everything (detach); returns the entries that were
-    present so the caller can unpatch them. *)
+    present so the caller can unpatch/disarm them. *)
 val clear : t -> (int * string) list

@@ -81,12 +81,21 @@ type t = {
   watchpoints : Watchpoints.t;
   samples : (int, int) Hashtbl.t;
       (* pc -> hits; sampled at every reflected timer interrupt *)
-  mutable reprotect_page : int option;
-      (* page to re-protect after a monitor-internal single step *)
+  mutable reprotect_pages : int list;
+      (* pages to re-protect after a monitor-internal single step.  A
+         list, not a slot: one stepped instruction can need several
+         pages opened at once (e.g. a fetch from a breakpoint-armed page
+         storing to a watched page), and losing one would leave it
+         permanently unprotected *)
   mutable mon_step_only : bool;
       (* the trap flag was set by the monitor, not the stub *)
   mutable watch_resume : int option;
       (* page to step across when the stub resumes after a watch hit *)
+  mutable vbp_pass : int option;
+      (* one-shot pass for virtual breakpoints: the next exec fault
+         landing exactly on this pc is stepped through, not reported —
+         how resuming off a hit makes progress while the site stays
+         armed *)
   console_buf : Buffer.t;
   mutable shutdown : bool;
   (* load-time static verification *)
@@ -118,6 +127,9 @@ type t = {
   mutable c_fault : int;
   mutable c_hyper : int;
   mutable c_escal : int;
+  mutable c_vbp_faults : int;
+  mutable c_vbp_hits : int;
+  mutable c_vbp_steps : int;
   mutable c_inject : int;
   mutable c_crashes : int;
   mutable c_restarts : int;
@@ -554,16 +566,30 @@ let emulate_io t port pc =
 
 (* -- Shadow page-fault handling -- *)
 
+(* Virtual breakpoints: does the (virtual) page holding [addr] carry an
+   armed site?  Consulted on every shadow fill — the empty-table case is
+   one hash-length check, so the no-breakpoints hot path stays flat. *)
+let vbp_page_armed t addr =
+  match t.stub with
+  | Some stub ->
+    let bps = Stub.breakpoints stub in
+    Breakpoints.mode bps = Breakpoints.Virtual
+    && Breakpoints.page_armed bps ~page:addr
+  | None -> false
+
 let fill_shadow t ~vaddr ~frame ~writable ~user =
   (* Watched pages stay read-only in the shadow so every store traps. *)
   let writable =
     writable && not (Watchpoints.page_watched t.watchpoints (vaddr land lnot 0xFFF))
   in
-  (try Shadow.map t.shadow ~vaddr ~frame ~writable ~user
+  (* Pages with armed virtual breakpoints stay readable/writable (guest
+     data reads see pristine text) but no-execute: every fetch traps. *)
+  let nx = vbp_page_armed t vaddr in
+  (try Shadow.map t.shadow ~vaddr ~frame ~writable ~user ~nx
    with Shadow.Out_of_shadow_memory ->
      Shadow.clear t.shadow;
      Cpu.set_ptb t.cpu (Shadow.root t.shadow);
-     Shadow.map t.shadow ~vaddr ~frame ~writable ~user);
+     Shadow.map t.shadow ~vaddr ~frame ~writable ~user ~nx);
   Cpu.flush_tlb t.cpu;
   charge t t.costs.Costs.shadow_pt_sync
 
@@ -571,14 +597,25 @@ let fill_shadow t ~vaddr ~frame ~writable ~user =
    watch), single-step the faulting instruction, and re-protect on the
    step trap.  [mon_step_only] distinguishes the monitor's own trap-flag
    use from a host-requested single step happening at the same time. *)
-let unprotect_for_step t page =
-  t.mon_step_only <- not (Cpu.trap_flag t.cpu);
+let unprotect_for_step ?(for_write = false) t page =
+  (* Only the first unprotect of a step window may claim the trap flag:
+     a later one in the same window would read the flag the monitor just
+     set and wrongly conclude the stub asked for the step. *)
+  if t.reprotect_pages = [] then
+    t.mon_step_only <- not (Cpu.trap_flag t.cpu);
   let frame, writable, user =
     if t.v_ptb = 0 then (page, true, true)
     else
       match Mmu.probe (Machine.mem t.machine) ~ptb:t.v_ptb page with
       | Some pte -> (Mmu.frame_of pte, Mmu.is_writable pte, Mmu.is_user pte)
       | None -> (page, true, true)
+  in
+  (* A virtual-breakpoint step-through only needs the page executable;
+     lifting a watchpoint's write protection at the same time would let
+     watched stores on a shared page slip through unreported.  Only the
+     watch machinery itself ([for_write]) may bypass its protection. *)
+  let writable =
+    writable && (for_write || not (Watchpoints.page_watched t.watchpoints page))
   in
   (try Shadow.map t.shadow ~vaddr:page ~frame ~writable ~user
    with Shadow.Out_of_shadow_memory ->
@@ -587,12 +624,44 @@ let unprotect_for_step t page =
      Shadow.map t.shadow ~vaddr:page ~frame ~writable ~user);
   Cpu.flush_tlb t.cpu;
   Cpu.set_trap_flag t.cpu true;
-  t.reprotect_page <- Some page
+  if not (List.mem page t.reprotect_pages) then
+    t.reprotect_pages <- page :: t.reprotect_pages
 
-let reprotect_after_step t page =
-  Shadow.unmap t.shadow ~vaddr:page;
+let reprotect_after_step t pages =
+  List.iter (fun page -> Shadow.unmap t.shadow ~vaddr:page) pages;
   Cpu.flush_tlb t.cpu;
-  t.reprotect_page <- None
+  t.reprotect_pages <- []
+
+(* An exec fault on a page carrying armed virtual breakpoints.  Hit
+   detection keys on [pc] — the faulting instruction's address — not the
+   fault vaddr, so an instruction straddling into an armed page does not
+   masquerade as a hit on its tail byte.  Anything that is not a hit
+   (unrelated code sharing the hot page, a one-shot pass after resume)
+   is transparently stepped through: map the page executable for exactly
+   one instruction, then the step trap re-protects it.  The pass is
+   consumed by the first vbp exec fault regardless of match, so a stale
+   pass can never swallow a later legitimate hit. *)
+let handle_vbp_fault t ~vaddr ~pc =
+  t.c_vbp_faults <- t.c_vbp_faults + 1;
+  let stub = get_stub t in
+  let pass = t.vbp_pass in
+  t.vbp_pass <- None;
+  if Breakpoints.mem (Stub.breakpoints stub) ~addr:pc && pass <> Some pc then begin
+    t.c_vbp_hits <- t.c_vbp_hits + 1;
+    trace t Vmm_sim.Trace.Info
+      (Printf.sprintf "virtual breakpoint hit at pc 0x%x" pc);
+    emit_event t "monitor.vbp" (Event.Vbp_hit { pc });
+    (* Same stop the BRK trap would have produced: Break at the site's
+       pc, before the instruction executes — wire-identical to patch
+       mode.  (During an [rs] replay the stub grants itself a pass and
+       sets the trap flag instead of stopping; the retried fetch then
+       takes the step-through path below.) *)
+    Stub.on_breakpoint stub ~pc
+  end
+  else begin
+    t.c_vbp_steps <- t.c_vbp_steps + 1;
+    unprotect_for_step t (vaddr land lnot 0xFFF)
+  end
 
 let handle_page_fault t (f : Mmu.fault) pc =
   span t "mon_shadow" "page_fault" @@ fun () ->
@@ -602,6 +671,11 @@ let handle_page_fault t (f : Mmu.fault) pc =
   if t.v_ptb = 0 then begin
     if
       Vm_layout.guest_owns t.layout vaddr
+      && f.Mmu.access = Mmu.Exec
+      && vbp_page_armed t vaddr
+    then handle_vbp_fault t ~vaddr ~pc
+    else if
+      Vm_layout.guest_owns t.layout vaddr
       && f.Mmu.access = Mmu.Write
       && Watchpoints.page_watched t.watchpoints page
     then begin
@@ -609,7 +683,7 @@ let handle_page_fault t (f : Mmu.fault) pc =
       | Some _ ->
         t.watch_resume <- Some page;
         Stub.on_watchpoint (get_stub t) ~pc ~addr:vaddr
-      | None -> unprotect_for_step t page
+      | None -> unprotect_for_step ~for_write:true t page
     end
     else if Vm_layout.guest_owns t.layout vaddr then
       fill_shadow t ~vaddr ~frame:page ~writable:true ~user:true
@@ -627,7 +701,9 @@ let handle_page_fault t (f : Mmu.fault) pc =
         && ((t.v_cpl < 3) || user)
       in
       let page = vaddr land lnot 0xFFF in
-      if
+      if guest_allows && f.Mmu.access = Mmu.Exec && vbp_page_armed t vaddr
+      then handle_vbp_fault t ~vaddr ~pc
+      else if
         guest_allows && f.Mmu.access = Mmu.Write
         && Watchpoints.page_watched t.watchpoints page
       then begin
@@ -637,7 +713,7 @@ let handle_page_fault t (f : Mmu.fault) pc =
           trace t Vmm_sim.Trace.Info
             (Printf.sprintf "watchpoint hit: store to 0x%x at pc 0x%x" vaddr pc);
           Stub.on_watchpoint (get_stub t) ~pc ~addr:vaddr
-        | None -> unprotect_for_step t page
+        | None -> unprotect_for_step ~for_write:true t page
       end
       else if guest_allows then fill_shadow t ~vaddr ~frame ~writable ~user
       else
@@ -775,12 +851,19 @@ let handle_fault t kind pc =
   | Cpu.Step_trap ->
     span t "stub" "step_trap" @@ fun () ->
     world_switch t;
-    (match t.reprotect_page with
-     | Some page ->
-       reprotect_after_step t page;
-       if t.mon_step_only then Cpu.set_trap_flag t.cpu false
+    (match t.reprotect_pages with
+     | _ :: _ as pages ->
+       reprotect_after_step t pages;
+       if t.mon_step_only then begin
+         Cpu.set_trap_flag t.cpu false;
+         (* A virtual IRQ raised during the protected step was deferred
+            by the trap flag ([kick] refuses while TF is set); deliver
+            it now or a guest spinning on a protected page never takes
+            another interrupt. *)
+         kick t
+       end
        else Stub.on_step_trap (get_stub t) ~pc
-     | None -> Stub.on_step_trap (get_stub t) ~pc)
+     | [] -> Stub.on_step_trap (get_stub t) ~pc)
   | Cpu.Undefined opcode ->
     span t "mon_cpu" "undefined" @@ fun () ->
     world_switch t;
@@ -1048,7 +1131,31 @@ let register_metrics t =
       | Some r -> r.Verifier.instructions
       | None -> 0);
   g "analysis_blocks" (fun () ->
-      match t.last_verify with Some r -> r.Verifier.blocks | None -> 0)
+      match t.last_verify with Some r -> r.Verifier.blocks | None -> 0);
+  (* Virtual breakpoints: armed footprint plus the fault economics
+     (faults = hits + step-throughs; steps/hit is the overhead of
+     sharing a hot page with unrelated code). *)
+  let vbps f =
+    match t.stub with Some stub -> f (Stub.breakpoints stub) | None -> 0
+  in
+  g "bp_virtual_mode" (fun () ->
+      vbps (fun bps ->
+          match Breakpoints.mode bps with
+          | Breakpoints.Virtual -> 1
+          | Breakpoints.Patch -> 0));
+  g "bp_virtual_armed_sites" (fun () ->
+      vbps (fun bps ->
+          if Breakpoints.mode bps = Breakpoints.Virtual then
+            Breakpoints.count bps
+          else 0));
+  g "bp_virtual_armed_pages" (fun () ->
+      vbps (fun bps ->
+          if Breakpoints.mode bps = Breakpoints.Virtual then
+            List.length (Breakpoints.armed_pages bps)
+          else 0));
+  g "bp_virtual_exec_faults_total" (fun () -> t.c_vbp_faults);
+  g "bp_virtual_hits_total" (fun () -> t.c_vbp_hits);
+  g "bp_virtual_step_throughs_total" (fun () -> t.c_vbp_steps)
 
 (* Warm restart: put guest-visible state back to the boot snapshot while
    the debug plane — stub, reliable link, watchpoint table, host session
@@ -1079,9 +1186,13 @@ let restart_guest t =
     t.v_halted <- false;
     t.shutdown <- false;
     t.lifecycle <- Healthy;
-    t.reprotect_page <- None;
+    t.reprotect_pages <- [];
     t.mon_step_only <- false;
     t.watch_resume <- None;
+    t.vbp_pass <- None;
+    (* Armed virtual breakpoints survive the restart by construction:
+       the table is stub state, and the shadow clear below means every
+       armed page re-arms (NX) on its first post-restart fill. *)
     Shadow.clear t.shadow;
     Cpu.set_ptb t.cpu (Shadow.root t.shadow);
     Cpu.set_cpl t.cpu 1;
@@ -1225,9 +1336,10 @@ let restore_checkpoint t (full : Snapshot.Full.t) =
   Cpu.flush_tlb t.cpu;
   t.lifecycle <- Healthy;
   t.shutdown <- false;
-  t.reprotect_page <- None;
+  t.reprotect_pages <- [];
   t.mon_step_only <- false;
   t.watch_resume <- None;
+  t.vbp_pass <- None;
   (match t.watchdog with Some w -> Watchdog.note_reset w | None -> ());
   trace t Vmm_sim.Trace.Info
     (Printf.sprintf "checkpoint restored: retired=%Ld pc=0x%x"
@@ -1304,6 +1416,10 @@ let flight_query t =
 
 (* -- Stub target -- *)
 
+let vbp_sync_page t addr =
+  Shadow.unmap t.shadow ~vaddr:(addr land lnot 0xFFF);
+  Cpu.flush_tlb t.cpu
+
 let make_target t =
   {
     Stub.read_registers =
@@ -1331,7 +1447,7 @@ let make_target t =
         (match t.watch_resume with
          | Some page ->
            t.watch_resume <- None;
-           unprotect_for_step t page
+           unprotect_for_step ~for_write:true t page
          | None -> ());
         kick t);
     set_step = (fun flag -> Cpu.set_trap_flag t.cpu flag);
@@ -1406,6 +1522,13 @@ let make_target t =
                    Stub.on_retire_stop (get_stub t) ~pc:(Cpu.pc cpu) )));
     set_replay_mute =
       (fun flag -> Recorder.set_muted (Machine.recorder t.machine) flag);
+    (* Arming and disarming both just resync the page: drop its shadow
+       mapping (and with the TLB flush, every compiled block touching
+       it) so the next fetch refills with NX recomputed from the live
+       table. *)
+    vbp_arm = (fun ~page -> vbp_sync_page t page);
+    vbp_disarm = (fun ~page -> vbp_sync_page t page);
+    vbp_pass = (fun ~pc -> t.vbp_pass <- Some pc);
   }
 
 (* -- Construction -- *)
@@ -1433,9 +1556,10 @@ let install ?(passthrough = default_passthrough) machine =
       stub = None;
       watchpoints = Watchpoints.create ();
       samples = Hashtbl.create 256;
-      reprotect_page = None;
+      reprotect_pages = [];
       mon_step_only = false;
       watch_resume = None;
+      vbp_pass = None;
       console_buf = Buffer.create 256;
       shutdown = false;
       passthrough;
@@ -1460,6 +1584,9 @@ let install ?(passthrough = default_passthrough) machine =
       c_fault = 0;
       c_hyper = 0;
       c_escal = 0;
+      c_vbp_faults = 0;
+      c_vbp_hits = 0;
+      c_vbp_steps = 0;
       c_inject = 0;
       c_crashes = 0;
       c_restarts = 0;
@@ -1487,10 +1614,17 @@ let install ?(passthrough = default_passthrough) machine =
      patch itself already invalidates the compiled text (write
      generations), but pinning keeps the translator from re-compiling a
      run that would bury the trap site mid-block.  The predicate reads
-     the live table, so it tracks Z0/z0 traffic with no further hooks. *)
+     the live table, so it tracks Z0/z0 traffic with no further hooks.
+     Patch mode only: virtual breakpoints never appear in guest text —
+     the armed page is NX in the shadow, and since every block dispatch
+     performs a real exec translation, a compiled run reaching the page
+     faults at the exact boundary pc with no per-site pinning. *)
   Cpu.set_jit_pin cpu (fun pc ->
       match t.stub with
-      | Some stub -> Breakpoints.mem (Stub.breakpoints stub) ~addr:pc
+      | Some stub ->
+        let bps = Stub.breakpoints stub in
+        Breakpoints.mode bps = Breakpoints.Patch
+        && Breakpoints.mem bps ~addr:pc
       | None -> false);
   register_metrics t;
   (* Open direct device access; everything else traps. *)

@@ -45,7 +45,7 @@ let clear t =
   t.live <- 0;
   t.pd <- alloc_page t
 
-let map t ~vaddr ~frame ~writable ~user =
+let map ?(nx = false) t ~vaddr ~frame ~writable ~user =
   let pde_addr = t.pd + (4 * Mmu.dir_index vaddr) in
   let pde = Phys_mem.read_u32 t.mem pde_addr in
   let pt =
@@ -60,7 +60,8 @@ let map t ~vaddr ~frame ~writable ~user =
   let pte_addr = pt + (4 * Mmu.table_index vaddr) in
   let old = Phys_mem.read_u32 t.mem pte_addr in
   if not (Mmu.is_present old) then t.live <- t.live + 1;
-  Phys_mem.write_u32 t.mem pte_addr (Mmu.make_pte ~frame ~writable ~user);
+  let pte = Mmu.make_pte ~frame ~writable ~user in
+  Phys_mem.write_u32 t.mem pte_addr (if nx then pte lor Mmu.pte_nx else pte);
   t.fills <- t.fills + 1
 
 let unmap t ~vaddr =

@@ -26,9 +26,12 @@ val root : t -> int
 val clear : t -> unit
 
 (** [map t ~vaddr ~frame ~writable ~user] installs a 4 KiB translation.
-    The caller has already validated frame ownership.
+    The caller has already validated frame ownership.  [?nx] marks the
+    leaf no-execute — used for pages holding armed virtual breakpoints,
+    which stay readable/writable but trap every fetch into the monitor.
     @raise Out_of_shadow_memory when the arena is exhausted. *)
-val map : t -> vaddr:int -> frame:int -> writable:bool -> user:bool -> unit
+val map :
+  ?nx:bool -> t -> vaddr:int -> frame:int -> writable:bool -> user:bool -> unit
 
 (** [unmap t ~vaddr] clears one shadow entry if present (used when the
     guest invalidates a single page). *)

@@ -28,6 +28,10 @@ type target = {
   checkpoint_restore : max_retired:int64 -> int64 option;
   set_retire_stop : int64 option -> unit;
   set_replay_mute : bool -> unit;
+  (* page-permission virtual breakpoints *)
+  vbp_arm : page:int -> unit;
+  vbp_disarm : page:int -> unit;
+  vbp_pass : pc:int -> unit;
 }
 
 type run_state =
@@ -57,6 +61,8 @@ type t = {
 }
 
 let brk_bytes = Bytes.to_string (Isa.encode Isa.Brk)
+
+let virtual_mode t = Breakpoints.mode t.breakpoints = Breakpoints.Virtual
 
 let get_endpoint t =
   match t.endpoint with Some e -> e | None -> assert false
@@ -119,23 +125,44 @@ and stop_with t reason =
   t.target.stop ();
   t.state <- Stopped reason
 
-(* Breakpoint patching. *)
+(* Breakpoint arming.
+
+   Patch mode plants BRK over the guest's instruction and remembers the
+   original bytes.  Virtual mode never touches guest memory: the address
+   goes in the table and the monitor is told to drop the page's shadow
+   mapping, so the next fetch from it refills no-execute and every
+   subsequent fetch traps ([vbp_arm]/[vbp_disarm] are that resync; the
+   NX decision itself is recomputed from the table at fill time). *)
 
 and patch_brk t addr =
   match t.target.read_memory ~addr ~len:Isa.width with
-  | None -> false
+  | None -> false (* unmapped/invalid address in both modes *)
   | Some saved ->
-    if Breakpoints.add t.breakpoints ~addr ~saved then
+    if virtual_mode t then begin
+      if Breakpoints.add t.breakpoints ~addr ~saved:"" then
+        t.target.vbp_arm ~page:addr;
+      true (* re-arming an armed site is idempotent *)
+    end
+    else if Breakpoints.add t.breakpoints ~addr ~saved then
       t.target.write_memory ~addr ~data:brk_bytes
     else true (* already present: idempotent *)
 
 and unpatch_brk t addr =
   match Breakpoints.remove t.breakpoints ~addr with
-  | Some saved -> ignore (t.target.write_memory ~addr ~data:saved)
+  | Some saved ->
+    if virtual_mode t then t.target.vbp_disarm ~page:addr
+    else ignore (t.target.write_memory ~addr ~data:saved)
   | None -> ()
 
-(* Make patches invisible: splice saved bytes into data read from memory. *)
+(* Make patches invisible: splice saved bytes into data read from memory.
+   Virtual mode has nothing to hide — guest text is pristine — so reads
+   pass through untouched (splicing stale plant-time bytes would in fact
+   corrupt the view of self-modifying text). *)
 and splice_saved t ~addr ~len data =
+  if virtual_mode t then data
+  else splice_saved_patch t ~addr ~len data
+
+and splice_saved_patch t ~addr ~len data =
   let buf = Bytes.of_string data in
   List.iter
     (fun bp_addr ->
@@ -149,8 +176,15 @@ and splice_saved t ~addr ~len data =
     (Breakpoints.addresses t.breakpoints);
   Bytes.to_string buf
 
-(* Writes that overlap a patch update the saved copy, not the BRK bytes. *)
+(* Writes that overlap a patch update the saved copy, not the BRK bytes.
+   Virtual mode writes straight through: armed sites live only in the
+   table and the shadow NX overlay, neither of which a data write can
+   touch. *)
 and write_memory_spliced t ~addr ~data =
+  if virtual_mode t then t.target.write_memory ~addr ~data
+  else write_memory_spliced_patch t ~addr ~data
+
+and write_memory_spliced_patch t ~addr ~data =
   let len = String.length data in
   let bps = Breakpoints.addresses t.breakpoints in
   let overlapping =
@@ -185,22 +219,35 @@ and write_memory_spliced t ~addr ~data =
 
 and continue_guest t =
   let pc = t.target.current_pc () in
-  if Breakpoints.mem t.breakpoints ~addr:pc then begin
-    (* Step across the patched instruction, then re-insert it. *)
-    unpatch_brk t pc;
-    t.target.set_step true;
-    t.state <- Step_over pc
-  end
-  else t.state <- Running;
+  (if Breakpoints.mem t.breakpoints ~addr:pc then
+     if virtual_mode t then begin
+       (* One-shot pass: the monitor steps through the first exec fault
+          at this pc instead of re-reporting the hit we resumed from.
+          The site stays armed the whole time. *)
+       t.target.vbp_pass ~pc;
+       t.state <- Running
+     end
+     else begin
+       (* Step across the patched instruction, then re-insert it. *)
+       unpatch_brk t pc;
+       t.target.set_step true;
+       t.state <- Step_over pc
+     end
+   else t.state <- Running);
   t.target.resume ()
 
 and step_guest t =
   let pc = t.target.current_pc () in
   let repatch =
-    if Breakpoints.mem t.breakpoints ~addr:pc then begin
-      unpatch_brk t pc;
-      Some pc
-    end
+    if Breakpoints.mem t.breakpoints ~addr:pc then
+      if virtual_mode t then begin
+        t.target.vbp_pass ~pc;
+        None (* nothing planted, nothing to re-patch *)
+      end
+      else begin
+        unpatch_brk t pc;
+        Some pc
+      end
     else None
   in
   t.target.set_step true;
@@ -234,10 +281,14 @@ and reverse_guest t ~as_step =
       | None -> send_reply t (Command.Error 0x04)
       | Some at ->
         t.reverse_ops <- t.reverse_ops + 1;
-        List.iter
-          (fun addr ->
-            ignore (t.target.write_memory ~addr ~data:brk_bytes))
-          (Breakpoints.addresses t.breakpoints);
+        (* Virtual breakpoints survive the restore by construction: the
+           restore cleared the shadow tables and the table-driven refill
+           re-arms every page lazily.  Only patch mode must re-plant. *)
+        if not (virtual_mode t) then
+          List.iter
+            (fun addr ->
+              ignore (t.target.write_memory ~addr ~data:brk_bytes))
+            (Breakpoints.addresses t.breakpoints);
         send_reply t Command.Ok_reply;
         if Int64.compare at target_retired >= 0 then begin
           (* The checkpoint sits exactly on the target boundary: no
@@ -358,8 +409,11 @@ and handle_command t command =
     Reliable.set_sequenced (get_endpoint t) true;
     send_reply t Command.Sync_ok
   | Command.Detach ->
+    let was_virtual = virtual_mode t in
     List.iter
-      (fun (addr, saved) -> ignore (t.target.write_memory ~addr ~data:saved))
+      (fun (addr, saved) ->
+        if was_virtual then t.target.vbp_disarm ~page:addr
+        else ignore (t.target.write_memory ~addr ~data:saved))
       (Breakpoints.clear t.breakpoints);
     (match t.state with
      | Stopped _ ->
@@ -384,9 +438,15 @@ let on_breakpoint t ~pc =
   match t.state with
   | Replaying { as_step = true } when Breakpoints.mem t.breakpoints ~addr:pc ->
     (* [rs] re-execution: breakpoints along the replayed path are not
-       stops — unpatch, trap-step across, re-patch on the step trap. *)
-    unpatch_brk t pc;
-    t.replay_bp <- Some pc;
+       stops.  Patch mode: unpatch, trap-step across, re-patch on the
+       step trap.  Virtual mode: grant a one-shot pass (the retried
+       fetch faults again and the monitor steps through) — the site
+       never leaves the table. *)
+    if virtual_mode t then t.target.vbp_pass ~pc
+    else begin
+      unpatch_brk t pc;
+      t.replay_bp <- Some pc
+    end;
     t.target.set_step true
   | Replaying { as_step = false } ->
     (* [rc] re-execution: first breakpoint after the checkpoint wins. *)
@@ -463,12 +523,15 @@ let on_wedge t ~pc =
 (* Called by the monitor from inside a warm restart, after the snapshot
    restore overwrote guest memory: re-plant every breakpoint (the saved
    bytes still match — they are the boot-image bytes the restore just
-   wrote back) and forget any stop state; the guest is running again. *)
+   wrote back) and forget any stop state; the guest is running again.
+   Virtual breakpoints need no re-plant: the restart cleared the shadow
+   tables and the table-driven NX refill re-arms every page lazily. *)
 let note_restart t =
   end_replay t;
-  List.iter
-    (fun addr -> ignore (t.target.write_memory ~addr ~data:brk_bytes))
-    (Breakpoints.addresses t.breakpoints);
+  if not (virtual_mode t) then
+    List.iter
+      (fun addr -> ignore (t.target.write_memory ~addr ~data:brk_bytes))
+      (Breakpoints.addresses t.breakpoints);
   t.target.set_step false;
   t.state <- Running
 

@@ -3,10 +3,16 @@
     Lives inside the monitor, owns the communication device, speaks the
     {!Vmm_proto} protocol with the host debugger, and controls the guest
     through a narrow {!target} interface: registers, memory, stop/resume
-    and the single-step flag.  Breakpoints are implemented by patching the
-    guest's instruction with BRK and remembering the original bytes; the
-    stub makes the patch invisible to memory reads and steps across it on
-    continue. *)
+    and the single-step flag.
+
+    Breakpoints come in two modes (see {!Breakpoints.mode}, selected by
+    [LWVMM_BP]).  Patch mode plants BRK over the guest's instruction and
+    remembers the original bytes; the stub makes the patch invisible to
+    host memory reads and steps across it on continue.  Virtual mode
+    (default) never mutates guest memory: armed pages are mapped
+    no-execute in the shadow tables and the monitor fields the exec
+    faults, so the wire semantics ([Z0]/[z0]/[T] stops) are identical
+    while the guest can neither observe nor corrupt its breakpoints. *)
 
 (** What the stub needs from the monitor/machine. *)
 type target = {
@@ -57,6 +63,18 @@ type target = {
   set_replay_mute : bool -> unit;
       (** mute the machine recorder while re-executing replayed history
           so it is not logged twice *)
+  vbp_arm : page:int -> unit;
+      (** a virtual breakpoint was armed at this address: drop the
+          page's shadow mapping so the next fetch refills no-execute
+          (the NX decision is recomputed from the table at fill time) *)
+  vbp_disarm : page:int -> unit;
+      (** a virtual breakpoint was removed at this address: resync the
+          page's shadow mapping the same way — the refill re-arms only
+          if other sites remain on the page *)
+  vbp_pass : pc:int -> unit;
+      (** grant a one-shot pass: the next exec fault landing exactly on
+          [pc] is stepped through instead of reported, so resuming off a
+          virtual-breakpoint hit makes progress without disarming it *)
 }
 
 type t
@@ -78,7 +96,9 @@ val create :
 (** [on_rx_byte t byte] — a byte arrived on the debug link. *)
 val on_rx_byte : t -> int -> unit
 
-(** [on_breakpoint t ~pc] — the guest executed BRK. *)
+(** [on_breakpoint t ~pc] — the guest executed BRK (patch mode / guest's
+    own trap) or a virtual-breakpoint exec fault matched an armed site;
+    either way the stop reports [Break pc] identically on the wire. *)
 val on_breakpoint : t -> pc:int -> unit
 
 (** [on_step_trap t ~pc] — the guest retired a single-stepped

@@ -14,6 +14,7 @@ let entries_per_table = 1024
 let pte_present = 0x1
 let pte_writable = 0x2
 let pte_user = 0x4
+let pte_nx = 0x8
 let pte_accessed = 0x20
 let pte_dirty = 0x40
 
@@ -26,6 +27,7 @@ let frame_of pte = pte land 0xFFFFF000
 let is_present pte = pte land pte_present <> 0
 let is_writable pte = pte land pte_writable <> 0
 let is_user pte = pte land pte_user <> 0
+let is_nx pte = pte land pte_nx <> 0
 let dir_index vaddr = (vaddr lsr 22) land 0x3FF
 let table_index vaddr = (vaddr lsr 12) land 0x3FF
 
@@ -37,6 +39,7 @@ type tlb_entry = {
   mutable frame : int;
   mutable writable : bool;
   mutable user : bool;
+  mutable nx : bool;
   mutable pte_addr : int;
   mutable dirty : bool; (* PTE dirty bit already set via this entry *)
 }
@@ -60,6 +63,7 @@ let create costs =
             frame = 0;
             writable = false;
             user = false;
+            nx = false;
             pte_addr = 0;
             dirty = false;
           });
@@ -72,11 +76,13 @@ let create costs =
 let flush t =
   Array.iter (fun e -> e.vpn <- -1) t.tlb
 
-let check_perms ~cpl ~access ~writable ~user ~vaddr =
+let check_perms ~cpl ~access ~writable ~user ~nx ~vaddr =
   if cpl = 3 && not user then
     raise (Page_fault { vaddr; access; not_present = false });
   match access with
   | Write when not writable ->
+    raise (Page_fault { vaddr; access; not_present = false })
+  | Exec when nx ->
     raise (Page_fault { vaddr; access; not_present = false })
   | Write | Read | Exec -> ()
 
@@ -98,7 +104,8 @@ let translate t mem ~ptb ~cpl access vaddr =
     let entry = t.tlb.(vpn land t.tlb_mask) in
     if entry.vpn = vpn then begin
       t.hits <- Int64.add t.hits 1L;
-      check_perms ~cpl ~access ~writable:entry.writable ~user:entry.user ~vaddr;
+      check_perms ~cpl ~access ~writable:entry.writable ~user:entry.user
+        ~nx:entry.nx ~vaddr;
       (* Write-hit fast path: once this entry has set the PTE dirty bit,
          later write hits skip the PTE read-modify-write entirely.  A flush
          (LPTB/TLBFLUSH) drops the entry, so table edits behave as on real
@@ -113,10 +120,13 @@ let translate t mem ~ptb ~cpl access vaddr =
     else begin
       t.misses <- Int64.add t.misses 1L;
       let pde, pde_addr, pte, pte_addr = walk mem ~ptb ~vaddr ~access in
-      (* Effective permissions combine both levels, like x86. *)
+      (* Effective permissions combine both levels, like x86.  NX is
+         restrictive at either level (shadow directories never set it, so
+         in practice only leaf PTEs carry it). *)
       let writable = is_writable pde && is_writable pte in
       let user = is_user pde && is_user pte in
-      check_perms ~cpl ~access ~writable ~user ~vaddr;
+      let nx = is_nx pde || is_nx pte in
+      check_perms ~cpl ~access ~writable ~user ~nx ~vaddr;
       Phys_mem.write_u32 mem pde_addr (pde lor pte_accessed);
       let dirty = if access = Write then pte_dirty else 0 in
       Phys_mem.write_u32 mem pte_addr (pte lor pte_accessed lor dirty);
@@ -124,6 +134,7 @@ let translate t mem ~ptb ~cpl access vaddr =
       entry.frame <- frame_of pte;
       entry.writable <- writable;
       entry.user <- user;
+      entry.nx <- nx;
       entry.pte_addr <- pte_addr;
       entry.dirty <- access = Write;
       (frame_of pte lor (vaddr land 0xFFF), t.costs.tlb_miss)

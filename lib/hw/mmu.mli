@@ -29,6 +29,14 @@ val entries_per_table : int
 val pte_present : int
 val pte_writable : int
 val pte_user : int
+
+(** No-execute (bit 3, reserved on real IA-32).  Only the monitor's shadow
+    tables set it — it is the mechanism behind page-permission virtual
+    breakpoints: an armed page stays readable/writable (pristine data
+    reads) but any fetch from it raises [Page_fault] with [access = Exec]
+    and [not_present = false] into the monitor. *)
+val pte_nx : int
+
 val pte_accessed : int
 val pte_dirty : int
 
@@ -40,6 +48,7 @@ val frame_of : int -> int
 val is_present : int -> bool
 val is_writable : int -> bool
 val is_user : int -> bool
+val is_nx : int -> bool
 
 (** [dir_index vaddr] and [table_index vaddr] split a virtual address. *)
 val dir_index : int -> int

@@ -12,6 +12,7 @@ type payload =
   | Wedge of { pc : int }
   | Crash of { vector : int; pc : int }
   | Checkpoint of { index : int; retired : int64 }
+  | Vbp_hit of { pc : int }
 
 type t = { cycle : int64; source : string; payload : payload }
 
@@ -30,6 +31,7 @@ let pp_payload fmt = function
   | Crash { vector; pc } -> Format.fprintf fmt "crash vector=%d pc=0x%x" vector pc
   | Checkpoint { index; retired } ->
     Format.fprintf fmt "checkpoint index=%d retired=%Ld" index retired
+  | Vbp_hit { pc } -> Format.fprintf fmt "vbp pc=0x%x" pc
 
 let pp fmt t =
   Format.fprintf fmt "@@%Ld %s: %a" t.cycle t.source pp_payload t.payload
@@ -58,6 +60,7 @@ let payload_fields = function
   | Checkpoint { index; retired } ->
     ( "checkpoint",
       [ ("index", J.Int index); ("retired", J.Int (Int64.to_int retired)) ] )
+  | Vbp_hit { pc } -> ("vbp", [ ("pc", J.Int pc) ])
 
 let to_json t =
   let kind, fields = payload_fields t.payload in
@@ -122,6 +125,9 @@ let payload_of_json j kind =
     let* index = int_field j "index" in
     let* retired = int_field j "retired" in
     Ok (Checkpoint { index; retired = Int64.of_int retired })
+  | "vbp" ->
+    let* pc = int_field j "pc" in
+    Ok (Vbp_hit { pc })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 
 let of_json j =
