@@ -1465,21 +1465,40 @@ let analysis () =
       );
     ]
   in
+  let clock = Unix.gettimeofday in (* determinism-ok: host-side timing *)
   let results =
     List.map
       (fun (name, kcfg) ->
         let program = Kernel.build kcfg in
         let report =
-          ref (Vmm_analysis.Verifier.verify cfg ~entry:Kernel.entry program)
+          ref (Vmm_analysis.Verifier.verify ~clock cfg ~entry:Kernel.entry program)
         in
         (* Host wall-clock times the verifier itself (instructions/sec
-           of real time); no simulation involved. *)
-        let t0 = Unix.gettimeofday () in (* determinism-ok: host-side timing *)
+           of real time); no simulation involved.  The verifier's own
+           [clock] hook yields per-pass seconds, accumulated below. *)
+        let passes = Hashtbl.create 4 in
+        let note r =
+          List.iter
+            (fun (pass, s) ->
+              Hashtbl.replace passes pass
+                (s +. Option.value ~default:0.0 (Hashtbl.find_opt passes pass)))
+            r.Vmm_analysis.Verifier.timings
+        in
+        let t0 = clock () in
         for _ = 1 to iters do
-          report := Vmm_analysis.Verifier.verify cfg ~entry:Kernel.entry program
+          report := Vmm_analysis.Verifier.verify ~clock cfg ~entry:Kernel.entry program;
+          note !report
         done;
-        let dt = (Unix.gettimeofday () -. t0) /. float_of_int iters in (* determinism-ok: see above *)
+        let dt = (clock () -. t0) /. float_of_int iters in
         let r = !report in
+        let per_pass =
+          List.filter_map
+            (fun pass ->
+              Option.map
+                (fun total -> (pass, total /. float_of_int iters))
+                (Hashtbl.find_opt passes pass))
+            [ "absint"; "check"; "summary"; "races" ]
+        in
         let ips =
           if dt > 0.0 then float_of_int r.Vmm_analysis.Verifier.instructions /. dt
           else 0.0
@@ -1488,7 +1507,10 @@ let analysis () =
           name r.Vmm_analysis.Verifier.instructions
           r.Vmm_analysis.Verifier.blocks (dt *. 1000.0) ips
           (if r.Vmm_analysis.Verifier.clean then "clean" else "DIRTY");
-        (name, r, dt, ips))
+        List.iter
+          (fun (pass, s) -> Printf.printf "  %-16s %.3f ms\n" pass (s *. 1000.0))
+          per_pass;
+        (name, r, dt, ips, per_pass))
       variants
   in
   write_json "BENCH_analysis.json"
@@ -1499,7 +1521,7 @@ let analysis () =
            ( "programs",
              Json.List
                (List.map
-                  (fun (name, r, dt, ips) ->
+                  (fun (name, r, dt, ips, per_pass) ->
                     Json.Obj
                       [
                         ("program", Json.String name);
@@ -1512,20 +1534,51 @@ let analysis () =
                         ("blocks", Json.Int r.Vmm_analysis.Verifier.blocks);
                         ("functions", Json.Int r.Vmm_analysis.Verifier.functions);
                         ("roots", Json.Int r.Vmm_analysis.Verifier.roots);
+                        ( "summaries",
+                          Json.Int r.Vmm_analysis.Verifier.summaries );
+                        ( "summary_incomplete",
+                          Json.Int r.Vmm_analysis.Verifier.summary_incomplete );
+                        ( "race_sites",
+                          Json.Int
+                            (List.length r.Vmm_analysis.Verifier.race_sites) );
                         ("seconds_per_verify", Json.Float dt);
                         ("instructions_per_second", Json.Float ips);
+                        ( "pass_seconds",
+                          Json.Obj
+                            (List.map
+                               (fun (pass, s) -> (pass, Json.Float s))
+                               per_pass) );
                       ])
                   results) );
          ]));
   List.iter
-    (fun (name, r, _, _) ->
+    (fun (name, r, _, _, _) ->
       if not r.Vmm_analysis.Verifier.clean then begin
         Printf.eprintf "analysis: shipped program '%s' has diagnostics:\n%s\n"
           name
           (Vmm_analysis.Verifier.render r);
         exit 1
       end)
-    results
+    results;
+  (* Throughput floor: the interprocedural pass must not silently
+     regress verifier speed.  Opt-in via env so dev-machine noise never
+     fails a local run. *)
+  match Sys.getenv_opt "BENCH_ANALYSIS_MIN_IPS" with
+  | None -> ()
+  | Some floor_s -> (
+    match float_of_string_opt (String.trim floor_s) with
+    | None -> ()
+    | Some floor ->
+      List.iter
+        (fun (name, _, _, ips, _) ->
+          if ips < floor then begin
+            Printf.eprintf
+              "analysis: '%s' throughput %.0f instrs/s below the \
+               BENCH_ANALYSIS_MIN_IPS floor %.0f\n"
+              name ips floor;
+            exit 1
+          end)
+        results)
 
 (* ---------------------------------------------------------------- *)
 (* M1 — bechamel microbenchmarks.                                   *)

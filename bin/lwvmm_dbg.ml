@@ -199,34 +199,99 @@ let lint_config () =
     entry_ring = 0;
   }
 
-let lint image_file origin entry =
+(* Machine-readable lint report: one object per image, with the race
+   pass and interprocedural-summary results alongside the classic
+   counters. *)
+let lint_json reports =
+  let module J = Vmm_obs.Json in
+  J.List
+    (List.map
+       (fun (name, _symbols, (r : Verifier.report)) ->
+         J.Obj
+           [
+             ("program", J.String name);
+             ("clean", J.Bool r.Verifier.clean);
+             ( "diagnostics",
+               J.List
+                 (List.map
+                    (fun (d : Verifier.diagnostic) ->
+                      J.Obj
+                        [
+                          ("class", J.String (Verifier.class_name d.Verifier.cls));
+                          ("addr", J.Int d.Verifier.addr);
+                          ("detail", J.String d.Verifier.detail);
+                        ])
+                    r.Verifier.diagnostics) );
+             ("instructions", J.Int r.Verifier.instructions);
+             ("blocks", J.Int r.Verifier.blocks);
+             ("functions", J.Int r.Verifier.functions);
+             ("roots", J.Int r.Verifier.roots);
+             ("summaries", J.Int r.Verifier.summaries);
+             ("summary_incomplete", J.Int r.Verifier.summary_incomplete);
+             ( "race_sites",
+               J.List
+                 (List.map
+                    (fun (s : Vmm_analysis.Races.site) ->
+                      J.Obj
+                        [
+                          ("load", J.Int s.Vmm_analysis.Races.load_pc);
+                          ("store", J.Int s.Vmm_analysis.Races.store_pc);
+                          ("lo", J.Int s.Vmm_analysis.Races.lo);
+                          ("hi", J.Int s.Vmm_analysis.Races.hi);
+                          ("vector", J.Int s.Vmm_analysis.Races.vector);
+                          ("handler", J.Int s.Vmm_analysis.Races.handler);
+                          ( "handler_writes",
+                            J.Bool s.Vmm_analysis.Races.handler_writes );
+                        ])
+                    r.Verifier.race_sites) );
+           ])
+       reports)
+
+(* Exit codes: 0 clean, 1 diagnostics found, 2 the image could not be
+   loaded or decoded — so CI can tell a dirty guest from a broken
+   artifact path. *)
+let lint image_file origin entry json =
   let cfg = lint_config () in
-  let reports =
+  match
     match image_file with
-    | Some path ->
-      let ic = open_in_bin path in
-      let image = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
-      close_in ic;
-      let origin = Option.value origin ~default:0x1000 in
-      [ (path, None, Verifier.verify_image cfg ~origin ?entry image) ]
+    | Some path -> (
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            Bytes.of_string (really_input_string ic (in_channel_length ic)))
+      with
+      | image ->
+        let origin = Option.value origin ~default:0x1000 in
+        Ok [ (path, None, Verifier.verify_image cfg ~origin ?entry image) ]
+      | exception exn ->
+        Error (Printf.sprintf "cannot load %s: %s" path (Printexc.to_string exn)))
     | None ->
-      List.map
-        (fun (name, kcfg) ->
-          let p = Kernel.build kcfg in
-          ( name,
-            Some (Symbols.of_program p),
-            Verifier.verify cfg ~entry:Kernel.entry p ))
-        [
-          ("guest kernel (kernel mode)", Kernel.default_config ~rate_mbps:50.0);
-          ( "guest kernel (user mode)",
-            { (Kernel.default_config ~rate_mbps:50.0) with Kernel.user_mode = true } );
-        ]
-  in
-  List.iter
-    (fun (name, symbols, r) ->
-      Printf.printf "%s: %s\n" name (Verifier.render ?symbols r))
-    reports;
-  if List.exists (fun (_, _, r) -> not r.Verifier.clean) reports then 1 else 0
+      Ok
+        (List.map
+           (fun (name, kcfg) ->
+             let p = Kernel.build kcfg in
+             ( name,
+               Some (Symbols.of_program p),
+               Verifier.verify cfg ~entry:Kernel.entry p ))
+           [
+             ("guest kernel (kernel mode)", Kernel.default_config ~rate_mbps:50.0);
+             ( "guest kernel (user mode)",
+               { (Kernel.default_config ~rate_mbps:50.0) with Kernel.user_mode = true } );
+           ])
+  with
+  | Error msg ->
+    Printf.eprintf "lint: %s\n" msg;
+    2
+  | Ok reports ->
+    if json then print_endline (Vmm_obs.Json.to_string (lint_json reports))
+    else
+      List.iter
+        (fun (name, symbols, r) ->
+          Printf.printf "%s: %s\n" name (Verifier.render ?symbols r))
+        reports;
+    if List.exists (fun (_, _, r) -> not r.Verifier.clean) reports then 1 else 0
 
 (* -- record / replay: deterministic capture of a debug campaign --
 
@@ -374,7 +439,9 @@ let image_file =
   let doc =
     "Raw LWM-32 image file to lint instead of the shipped guest kernel."
   in
-  Arg.(value & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc)
+  (* [string], not [file]: a missing path must exit 2 ("failed to
+     load"), not die in option parsing. *)
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"IMAGE" ~doc)
 
 let origin_arg =
   let doc = "Load address of the raw image (default 0x1000)." in
@@ -390,12 +457,18 @@ let run' rate fast_uart lossy script =
 
 let run_term = Term.(const run' $ rate $ fast_uart $ lossy $ script)
 
+let json_flag =
+  let doc = "Emit the report as JSON (one object per image) instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let lint_cmd =
   let doc =
-    "statically verify a guest image (CFG + abstract interpretation); \
-     exits non-zero on any diagnostic"
+    "statically verify a guest image (CFG + abstract interpretation + \
+     interprocedural race pass); exit 1 on diagnostics, 2 when the image \
+     fails to load"
   in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint $ image_file $ origin_arg $ entry_arg)
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const lint $ image_file $ origin_arg $ entry_arg $ json_flag)
 
 let run_cmd =
   let doc = "boot the guest under the monitor and open the debug REPL" in

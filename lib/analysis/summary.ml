@@ -1,0 +1,464 @@
+(* Interprocedural stage of the guest-image verifier: function discovery
+   with call-summary propagation of the interrupt-enable state, plus
+   per-function memory-access summaries over the interval domain.
+
+   The interrupt-enable (IF) lattice is a may-set over {enabled,
+   disabled}.  A function's effect on IF is summarized as a transformer
+   [xfer = { dep; forced }] with the semantics
+
+     apply x i = (if x.dep then i else 0) lor x.forced
+
+   — [dep] records that some path through the function preserves the
+   caller's IF, [forced] the bits some path forces.  The transformer
+   join is exact as a set transformer (apply (join a b) i is precisely
+   apply a i ∪ apply b i), so the only precision loss comes from code
+   the traversal cannot follow: an indirect jump ([Jr]) or a call to an
+   unresolvable target marks the function [incomplete], and everything
+   whose IF state flows through such a function is demoted to inexact.
+   The race pass only trusts {e exact} states, keeping the verifier's
+   zero-false-positive contract. *)
+
+module Isa = Vmm_hw.Isa
+
+(* -- IF may-set -- *)
+
+type ifs = int
+
+let if_enabled = 1
+let if_disabled = 2
+let if_either = 3
+
+(* -- Function IF transformers -- *)
+
+type xfer = { dep : bool; forced : ifs }
+
+let xfer_bottom = { dep = false; forced = 0 }
+let xfer_identity = { dep = true; forced = 0 }
+let apply x i = (if x.dep then i else 0) lor x.forced
+let xfer_join a b = { dep = a.dep || b.dep; forced = a.forced lor b.forced }
+
+(* [compose f g] — run [f], then [g]. *)
+let xfer_compose f g =
+  { dep = f.dep && g.dep; forced = (if g.dep then f.forced else 0) lor g.forced }
+
+let xfer_equal a b = a.dep = b.dep && a.forced = b.forced
+
+(* A joined transformer maps the single input [i] to more than one
+   outcome exactly when different paths through the function leave the
+   caller's mask in different states. *)
+let xfer_divergent_for x i =
+  let out = apply x i in
+  out land (out - 1) <> 0
+
+(* -- Access summaries -- *)
+
+type interval = { lo : int; hi : int }
+
+(* Interval lists are kept sorted, disjoint and short: overlapping or
+   adjacent ranges merge, and past [interval_cap] the whole list widens
+   to its hull — per-function widening, mirroring the register domain. *)
+let interval_cap = 32
+
+let normalize ivs =
+  let sorted = List.sort (fun a b -> compare (a.lo, a.hi) (b.lo, b.hi)) ivs in
+  let merged =
+    List.fold_left
+      (fun acc iv ->
+        match acc with
+        | prev :: rest when iv.lo <= prev.hi + 1 ->
+          { prev with hi = max prev.hi iv.hi } :: rest
+        | _ -> iv :: acc)
+      [] sorted
+  in
+  let merged = List.rev merged in
+  if List.length merged > interval_cap then
+    match (merged, List.rev merged) with
+    | first :: _, last :: _ -> [ { lo = first.lo; hi = last.hi } ]
+    | _ -> merged
+  else merged
+
+let intervals_overlap ivs ~lo ~hi =
+  List.exists (fun iv -> iv.lo <= hi && lo <= iv.hi) ivs
+
+type access = {
+  reads : interval list;
+  writes : interval list;
+  reads_unknown : bool;  (* some load address could not be bounded *)
+  writes_unknown : bool;  (* some store address could not be bounded *)
+}
+
+let access_empty =
+  { reads = []; writes = []; reads_unknown = false; writes_unknown = false }
+
+type func = {
+  entry : int;
+  body : int list;  (* sorted instruction addresses, callees excluded *)
+  callees : int list;  (* resolved direct call targets *)
+  xfer : xfer;
+  xfer_exact : bool;
+  incomplete : bool;
+      (* the body reaches a [Jr] or an unresolvable call target: the
+         traversal under-approximates, so summaries derived from it
+         carry no proof weight *)
+  access : access;
+}
+
+type ifstate = { may : ifs; exact : bool }
+
+type t = {
+  funcs : (int, func) Hashtbl.t;
+  ifs : (int, ifstate) Hashtbl.t;
+}
+
+let func_at t entry = Hashtbl.find_opt t.funcs entry
+let ifs_at t addr = Hashtbl.find_opt t.ifs addr
+let function_count t = Hashtbl.length t.funcs
+
+let incomplete_count t =
+  Hashtbl.fold (fun _ f n -> if f.incomplete then n + 1 else n) t.funcs 0
+
+let functions t =
+  List.sort compare (Hashtbl.fold (fun e _ acc -> e :: acc) t.funcs [])
+
+(* ---------------------------------------------------------------- *)
+(* Function discovery                                                *)
+
+(* Intraprocedural membership: follow successors from the entry, but
+   never into a callee — at a call site only the return edge continues
+   the function.  Shared tails belong to every function reaching them. *)
+let explore_body cfg entry =
+  let seen = Hashtbl.create 64 in
+  let incomplete = ref false in
+  let pending = Queue.create () in
+  let push a = if not (Hashtbl.mem seen a) then Queue.add a pending in
+  push entry;
+  while not (Queue.is_empty pending) do
+    let a = Queue.pop pending in
+    if not (Hashtbl.mem seen a) then begin
+      match Cfg.instr_at cfg a with
+      | None -> ()
+      | Some i ->
+        Hashtbl.replace seen a ();
+        (match Cfg.flow_of i with
+        | Cfg.Call_to target ->
+          let next = a + Isa.width in
+          let succs = Cfg.successors cfg a in
+          if not (List.mem target succs) then
+            (* unresolvable callee: its effect on IF and memory is
+               unknown to the traversal *)
+            incomplete := true;
+          if List.mem next succs then push next
+        | Cfg.Indirect -> incomplete := true
+        | Cfg.Fallthrough | Cfg.Jump _ | Cfg.Branch _ ->
+          List.iter push (Cfg.successors cfg a)
+        | Cfg.Return | Cfg.Int_return | Cfg.Terminal -> ())
+    end
+  done;
+  let body = List.sort compare (Hashtbl.fold (fun a () acc -> a :: acc) seen []) in
+  (body, !incomplete)
+
+(* Callgraph transformer fixpoint: recompute every function's
+   transformer against the current callee table until nothing grows.
+   The per-function lattice has four points, so this terminates. *)
+let xfer_fixpoint bodies xfers compute_xfer =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun entry b ->
+        let x = compute_xfer entry b in
+        let old =
+          match Hashtbl.find_opt xfers entry with
+          | Some x -> x
+          | None -> xfer_bottom
+        in
+        let j = xfer_join old x in
+        if not (xfer_equal j old) then begin
+          Hashtbl.replace xfers entry j;
+          changed := true
+        end)
+      bodies
+  done
+
+(* ---------------------------------------------------------------- *)
+
+let compute ~cfg ~roots ~regs_at =
+  let entries = Hashtbl.create 32 in
+  List.iter (fun (r, _) -> if Cfg.instr_at cfg r <> None then Hashtbl.replace entries r ()) roots;
+  List.iter
+    (fun (_, tgt) -> if Cfg.instr_at cfg tgt <> None then Hashtbl.replace entries tgt ())
+    (Cfg.calls cfg);
+
+  (* body + direct callees per function *)
+  let bodies = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun entry () ->
+      let body, incomplete = explore_body cfg entry in
+      let in_body = Hashtbl.create 64 in
+      List.iter (fun a -> Hashtbl.replace in_body a ()) body;
+      let callees =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (site, tgt) ->
+               if Hashtbl.mem in_body site && Hashtbl.mem entries tgt then
+                 Some tgt
+               else None)
+             (Cfg.calls cfg))
+      in
+      Hashtbl.replace bodies entry (body, in_body, callees, incomplete))
+    entries;
+
+  (* -- IF-transformer fixpoint over the call graph --
+     Bottom-initialized; each round recomputes every function's
+     transformer from its body and the current callee transformers.
+     The lattice is finite (2 x 4 per function), so this terminates. *)
+  let xfers : (int, xfer) Hashtbl.t = Hashtbl.create 32 in
+  let xfer_of entry =
+    match Hashtbl.find_opt xfers entry with
+    | Some x -> x
+    | None -> xfer_bottom
+  in
+  let compute_xfer entry (body, _, _, _) =
+    (* forward dataflow inside the body: transformer from function entry
+       to each program point *)
+    let at : (int, xfer) Hashtbl.t = Hashtbl.create 64 in
+    let work = Queue.create () in
+    let propagate a x =
+      match Hashtbl.find_opt at a with
+      | None ->
+        Hashtbl.replace at a x;
+        Queue.add a work
+      | Some old ->
+        let j = xfer_join old x in
+        if not (xfer_equal j old) then begin
+          Hashtbl.replace at a j;
+          Queue.add a work
+        end
+    in
+    let in_body =
+      let h = Hashtbl.create 64 in
+      List.iter (fun a -> Hashtbl.replace h a ()) body;
+      h
+    in
+    propagate entry xfer_identity;
+    let ret_state = ref None in
+    let note_ret x =
+      ret_state :=
+        Some (match !ret_state with None -> x | Some r -> xfer_join r x)
+    in
+    while not (Queue.is_empty work) do
+      let a = Queue.pop work in
+      match (Cfg.instr_at cfg a, Hashtbl.find_opt at a) with
+      | Some i, Some x ->
+        let out =
+          match i with
+          | Isa.Sti -> { dep = false; forced = if_enabled }
+          | Isa.Cli -> { dep = false; forced = if_disabled }
+          | _ -> x
+        in
+        (match Cfg.flow_of i with
+        | Cfg.Call_to target ->
+          let next = a + Isa.width in
+          let succs = Cfg.successors cfg a in
+          let after =
+            if List.mem target succs then xfer_compose out (xfer_of target)
+            else (* unresolvable callee already marked incomplete *) out
+          in
+          if List.mem next succs && Hashtbl.mem in_body next then
+            propagate next after
+        | Cfg.Return -> note_ret out
+        | Cfg.Fallthrough | Cfg.Jump _ | Cfg.Branch _ ->
+          List.iter
+            (fun s -> if Hashtbl.mem in_body s then propagate s out)
+            (Cfg.successors cfg a)
+        | Cfg.Indirect | Cfg.Int_return | Cfg.Terminal -> ())
+      | _ -> ()
+    done;
+    (* no reachable Ret: the function never returns to its caller, so
+       its transformer contributes nothing at return sites (bottom) *)
+    match !ret_state with Some x -> x | None -> xfer_bottom
+  in
+  xfer_fixpoint bodies xfers compute_xfer;
+
+  (* transformer exactness: poisoned by an incomplete body anywhere in
+     the callee closure (monotone decreasing, iterate to stability) *)
+  let exact : (int, bool) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter (fun entry _ -> Hashtbl.replace exact entry true) bodies;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun entry (_, _, callees, incomplete) ->
+        let now =
+          (not incomplete)
+          && List.for_all
+               (fun c -> Option.value ~default:false (Hashtbl.find_opt exact c))
+               callees
+        in
+        if Hashtbl.find exact entry && not now then begin
+          Hashtbl.replace exact entry false;
+          changed := true
+        end)
+      bodies
+  done;
+
+  (* -- access summaries -- *)
+  let access_of (body, _, _, _) =
+    let reads = ref [] and writes = ref [] in
+    let reads_unknown = ref false and writes_unknown = ref false in
+    let bounds_of a reg off =
+      match regs_at a with
+      | None -> None
+      | Some regs -> Domain.bounds (Domain.add regs.(reg) (Domain.const off))
+    in
+    List.iter
+      (fun a ->
+        match Cfg.instr_at cfg a with
+        | Some (Isa.Ld (_, rb, off)) -> (
+          match bounds_of a rb off with
+          | Some (lo, hi) -> reads := { lo; hi = hi + 3 } :: !reads
+          | None -> reads_unknown := true)
+        | Some (Isa.Ldb (_, rb, off)) -> (
+          match bounds_of a rb off with
+          | Some (lo, hi) -> reads := { lo; hi } :: !reads
+          | None -> reads_unknown := true)
+        | Some (Isa.St (rb, off, _)) -> (
+          match bounds_of a rb off with
+          | Some (lo, hi) -> writes := { lo; hi = hi + 3 } :: !writes
+          | None -> writes_unknown := true)
+        | Some (Isa.Stb (rb, off, _)) -> (
+          match bounds_of a rb off with
+          | Some (lo, hi) -> writes := { lo; hi } :: !writes
+          | None -> writes_unknown := true)
+        | Some (Isa.Copy (rd, rs, rl)) -> (
+          match regs_at a with
+          | None -> ()
+          | Some regs -> (
+            match Domain.bounds regs.(rl) with
+            | Some (_, lhi) when lhi > 0 ->
+              (match Domain.bounds regs.(rd) with
+              | Some (lo, hi) -> writes := { lo; hi = hi + lhi - 1 } :: !writes
+              | None -> writes_unknown := true);
+              (match Domain.bounds regs.(rs) with
+              | Some (lo, hi) -> reads := { lo; hi = hi + lhi - 1 } :: !reads
+              | None -> reads_unknown := true)
+            | Some _ -> ()
+            | None ->
+              writes_unknown := true;
+              reads_unknown := true))
+        (* Push/Pop address the per-context stack frame, never shared
+           state; including them would make every function conflict
+           with every handler through the stack region. *)
+        | _ -> ())
+      body;
+    {
+      reads = normalize !reads;
+      writes = normalize !writes;
+      reads_unknown = !reads_unknown;
+      writes_unknown = !writes_unknown;
+    }
+  in
+
+  let funcs = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun entry ((body, _, callees, incomplete) as b) ->
+      Hashtbl.replace funcs entry
+        {
+          entry;
+          body;
+          callees;
+          xfer = xfer_of entry;
+          xfer_exact = Hashtbl.find exact entry;
+          incomplete;
+          access = access_of b;
+        })
+    bodies;
+
+  (* -- global per-instruction IF dataflow --
+     Roots seed their known entry state; calls propagate into the callee
+     body directly and across the call via the callee's transformer.
+     [exact] decays through inexact transformers and unresolved calls;
+     the may-set and exactness lattices are finite, so the worklist
+     terminates. *)
+  let ifs : (int, ifstate) Hashtbl.t = Hashtbl.create 256 in
+  let work = Queue.create () in
+  let propagate a s =
+    if s.may <> 0 && Cfg.instr_at cfg a <> None then
+      match Hashtbl.find_opt ifs a with
+      | None ->
+        Hashtbl.replace ifs a s;
+        Queue.add a work
+      | Some old ->
+        let j = { may = old.may lor s.may; exact = old.exact && s.exact } in
+        if j <> old then begin
+          Hashtbl.replace ifs a j;
+          Queue.add a work
+        end
+  in
+  List.iter (fun (r, i) -> propagate r { may = i; exact = true }) roots;
+  while not (Queue.is_empty work) do
+    let a = Queue.pop work in
+    match (Cfg.instr_at cfg a, Hashtbl.find_opt ifs a) with
+    | Some i, Some s ->
+      let out =
+        match i with
+        | Isa.Sti -> { s with may = if_enabled }
+        | Isa.Cli -> { s with may = if_disabled }
+        (* Int_: the gate clears IF for the handler, whose iret restores
+           the caller's flags word — IF is preserved across the
+           fall-through edge *)
+        | _ -> s
+      in
+      (match Cfg.flow_of i with
+      | Cfg.Call_to target ->
+        let next = a + Isa.width in
+        let succs = Cfg.successors cfg a in
+        let resolved = List.mem target succs && Hashtbl.mem funcs target in
+        if resolved then propagate target out;
+        if List.mem next succs then
+          if resolved then begin
+            let f = Hashtbl.find funcs target in
+            propagate next
+              {
+                may = apply f.xfer out.may;
+                exact = out.exact && f.xfer_exact;
+              }
+          end
+          else propagate next { may = if_either; exact = false }
+      | Cfg.Fallthrough | Cfg.Jump _ | Cfg.Branch _ ->
+        List.iter (fun su -> propagate su out) (Cfg.successors cfg a)
+      (* Return: flows to the caller through the call-site transformer.
+         Int_return: iret targets recovered by the verifier enter the
+         root list with their frame's IF bit. *)
+      | Cfg.Indirect | Cfg.Return | Cfg.Int_return | Cfg.Terminal -> ())
+    | _ -> ()
+  done;
+
+  { funcs; ifs }
+
+(* ---------------------------------------------------------------- *)
+(* Transitive (whole-call-tree) access summary                       *)
+
+let transitive t entry =
+  let seen = Hashtbl.create 16 in
+  let acc = ref access_empty in
+  let incomplete = ref false in
+  let rec go e =
+    if not (Hashtbl.mem seen e) then begin
+      Hashtbl.replace seen e ();
+      match Hashtbl.find_opt t.funcs e with
+      | None -> incomplete := true
+      | Some f ->
+        incomplete := !incomplete || f.incomplete;
+        acc :=
+          {
+            reads = normalize (f.access.reads @ !acc.reads);
+            writes = normalize (f.access.writes @ !acc.writes);
+            reads_unknown = !acc.reads_unknown || f.access.reads_unknown;
+            writes_unknown = !acc.writes_unknown || f.access.writes_unknown;
+          };
+        List.iter go f.callees
+    end
+  in
+  go entry;
+  (!acc, !incomplete)

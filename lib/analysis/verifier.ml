@@ -27,6 +27,8 @@ type diag_class =
   | Text_write
   | Control_flow
   | Port_io
+  | Irq_race
+  | Unbalanced_mask
 
 type diagnostic = { cls : diag_class; addr : int; detail : string }
 
@@ -37,6 +39,10 @@ type report = {
   blocks : int;
   functions : int;
   roots : int;
+  summaries : int;
+  summary_incomplete : int;
+  race_sites : Races.site list;
+  timings : (string * float) list;
 }
 
 type config = {
@@ -67,6 +73,8 @@ let class_name = function
   | Text_write -> "text-write"
   | Control_flow -> "control-flow"
   | Port_io -> "port-io"
+  | Irq_race -> "irq-race"
+  | Unbalanced_mask -> "unbalanced-mask"
 
 (* ---------------------------------------------------------------- *)
 (* Abstract state                                                    *)
@@ -126,7 +134,11 @@ let rec take n = function
 
 (* ---------------------------------------------------------------- *)
 
-let verify_image config ~origin ?entry image =
+(* [clock] feeds the per-pass timings in the report; the default is a
+   constant so library users stay deterministic (the bench passes a real
+   clock). *)
+let verify_image ?(clock = fun () -> 0.) config ~origin ?entry image =
+  let t0 = clock () in
   let entry = match entry with Some e -> e | None -> origin in
   let cfg = Cfg.create ~origin image in
   let states : (int, astate) Hashtbl.t = Hashtbl.create 512 in
@@ -134,6 +146,10 @@ let verify_image config ~origin ?entry image =
   let work = Queue.create () in
   let queued = Hashtbl.create 512 in
   let iht_bases = Hashtbl.create 4 in
+  (* raw material for the interprocedural stage: IHT gates and the
+     constant-frame iret edges the fixpoint discovers *)
+  let gates = ref [] in
+  let iret_roots = ref [] in
   let enqueue a =
     if not (Hashtbl.mem queued a) then begin
       Hashtbl.add queued a ();
@@ -263,6 +279,8 @@ let verify_image config ~origin ?entry image =
             let regs' = Array.copy regs in
             regs'.(Isa.sp) <-
               (match rest with sp' :: _ -> sp' | [] -> Domain.top);
+            if not (List.mem (pc, flags) !iret_roots) then
+              iret_roots := (pc, flags) :: !iret_roots;
             Cfg.add_root cfg pc;
             propagate pc
               { regs = regs'; rings = 1 lsl ring; depth = 0; stack = [] }
@@ -297,8 +315,10 @@ let verify_image config ~origin ?entry image =
                 Int32.to_int (Bytes.get_int32_le image o) land 0xFFFFFFFF
               in
               let handler = word off and info = word (off + 4) in
-              if info land 1 = 1 then
+              if info land 1 = 1 then begin
+                gates := (vec, handler) :: !gates;
                 fresh_roots := (handler, (info lsr 1) land 3) :: !fresh_roots
+              end
             end
           done
         end)
@@ -309,6 +329,8 @@ let verify_image config ~origin ?entry image =
         (fun (h, ring) -> add_abs_root h (fresh_state ~rings:(1 lsl ring)))
         !fresh_roots
   done;
+
+  let t_fixpoint = clock () in
 
   (* ------------------------------------------------------------ *)
   (* Check pass over the fixpoint states.                          *)
@@ -391,6 +413,51 @@ let verify_image config ~origin ?entry image =
       | Cfg.Undecodable { at; opcode } ->
         flag Control_flow at (Printf.sprintf "undecodable opcode 0x%02x" opcode))
     (Cfg.issues cfg);
+  let t_check = clock () in
+
+  (* ------------------------------------------------------------ *)
+  (* Interprocedural stage (pass 3) + race pass (pass 4).          *)
+  let regs_at a =
+    match Hashtbl.find_opt states a with
+    | Some st -> Some st.regs
+    | None -> None
+  in
+  let if_roots =
+    (* the monitor boots the guest with virtual IF clear, and gate
+       delivery clears it for the handler; an iret target inherits the
+       IF bit of its constant return frame *)
+    (entry, Summary.if_disabled)
+    :: List.map (fun (_, h) -> (h, Summary.if_disabled)) !gates
+    @ List.map
+        (fun (pc, flags) ->
+          ( pc,
+            if flags land 0x200 <> 0 then Summary.if_enabled
+            else Summary.if_disabled ))
+        !iret_roots
+  in
+  let summary = Summary.compute ~cfg ~roots:if_roots ~regs_at in
+  let t_summary = clock () in
+  let races = Races.analyze ~cfg ~summary ~gates:!gates ~regs_at in
+  List.iter
+    (fun (s : Races.site) ->
+      flag Irq_race s.store_pc
+        (Printf.sprintf
+           "rmw of 0x%x..0x%x (load at 0x%x) can be interleaved by vector %d \
+            handler 0x%x (%s)"
+           s.lo s.hi s.load_pc s.vector s.handler
+           (if s.handler_writes then "write/write" else "handler reads")))
+    races.sites;
+  List.iter
+    (fun a -> flag Unbalanced_mask a "hlt reachable only with interrupts masked (wedge)")
+    races.wedges;
+  List.iter
+    (fun (fentry, ret) ->
+      flag Unbalanced_mask ret
+        (Printf.sprintf
+           "cli/sti balance of function 0x%x diverges across paths" fentry))
+    races.divergent;
+  let t_races = clock () in
+
   let diagnostics =
     List.sort (fun a b -> compare (a.addr, a.cls) (b.addr, b.cls)) !diags
   in
@@ -407,10 +474,20 @@ let verify_image config ~origin ?entry image =
     blocks = List.length (Cfg.blocks cfg);
     functions;
     roots = List.length (Cfg.roots cfg);
+    summaries = Summary.function_count summary;
+    summary_incomplete = Summary.incomplete_count summary;
+    race_sites = races.sites;
+    timings =
+      [
+        ("absint", t_fixpoint -. t0);
+        ("check", t_check -. t_fixpoint);
+        ("summary", t_summary -. t_check);
+        ("races", t_races -. t_summary);
+      ];
   }
 
-let verify config ?entry (program : Asm.program) =
-  verify_image config ~origin:program.origin ?entry program.code
+let verify ?clock config ?entry (program : Asm.program) =
+  verify_image ?clock config ~origin:program.origin ?entry program.code
 
 (* ---------------------------------------------------------------- *)
 (* Rendering                                                         *)
@@ -423,10 +500,15 @@ let render ?symbols r =
   in
   let b = Buffer.create 256 in
   Printf.bprintf b
-    "analysis: %s (%d instructions, %d blocks, %d functions, %d roots)"
+    "analysis: %s (%d instructions, %d blocks, %d functions, %d roots, %d \
+     summaries%s, %d race site(s))"
     (if r.clean then "clean"
      else Printf.sprintf "%d diagnostic(s)" (List.length r.diagnostics))
-    r.instructions r.blocks r.functions r.roots;
+    r.instructions r.blocks r.functions r.roots r.summaries
+    (if r.summary_incomplete > 0 then
+       Printf.sprintf " [%d incomplete]" r.summary_incomplete
+     else "")
+    (List.length r.race_sites);
   List.iter
     (fun d ->
       Printf.bprintf b "\n  [%s] %s: %s" (class_name d.cls) (fmt_addr d.addr)
@@ -439,10 +521,13 @@ let render ?symbols r =
 let summary r =
   let b = Buffer.create 128 in
   Printf.bprintf b
-    "analysis=%s diags=%d instructions=%d blocks=%d functions=%d roots=%d"
+    "analysis=%s diags=%d instructions=%d blocks=%d functions=%d roots=%d \
+     summaries=%d incomplete=%d races=%d"
     (if r.clean then "clean" else "dirty")
     (List.length r.diagnostics)
-    r.instructions r.blocks r.functions r.roots;
+    r.instructions r.blocks r.functions r.roots r.summaries
+    r.summary_incomplete
+    (List.length r.race_sites);
   List.iteri
     (fun i d ->
       if i < 8 then

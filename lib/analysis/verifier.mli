@@ -13,7 +13,7 @@
     frames) can hide real bugs but never flag correct code.  See
     docs/ANALYSIS.md. *)
 
-(** Diagnostic classes (a)–(f) of the verifier. *)
+(** Diagnostic classes (a)–(h) of the verifier. *)
 type diag_class =
   | Monitor_store  (** (a) store/copy can reach non-guest-owned memory *)
   | Privileged_reach
@@ -24,6 +24,13 @@ type diag_class =
       (** (e) fall-through off the image, misaligned or undecodable
           targets *)
   | Port_io  (** (f) port I/O outside the configured bitmap *)
+  | Irq_race
+      (** (g) non-atomic read-modify-write of a location an asynchronous
+          IHT handler also touches, on a path where interrupts are
+          provably enabled inside the window ({!Races}) *)
+  | Unbalanced_mask
+      (** (h) provably divergent cli/sti balance, including [Hlt]
+          reachable only with interrupts masked (wedge) *)
 
 type diagnostic = { cls : diag_class; addr : int; detail : string }
 
@@ -34,6 +41,16 @@ type report = {
   blocks : int;  (** basic blocks *)
   functions : int;  (** distinct call targets plus roots *)
   roots : int;  (** entry, gate handlers, discovered iret targets *)
+  summaries : int;  (** functions summarized by the interprocedural pass *)
+  summary_incomplete : int;
+      (** summaries degraded by [Jr] or an unresolvable call — present
+          but carrying no proof weight *)
+  race_sites : Races.site list;
+      (** raw race-pass output, one entry per (store, vector) pair; the
+          monitor samples these for dynamic cross-validation *)
+  timings : (string * float) list;
+      (** per-pass seconds from the [clock] argument; all zero under the
+          deterministic default clock *)
 }
 
 type config = {
@@ -54,10 +71,15 @@ val default_config : config
 
 val class_name : diag_class -> string
 
-(** [verify config program] — [entry] defaults to the program origin. *)
-val verify : config -> ?entry:int -> Vmm_hw.Asm.program -> report
+(** [verify config program] — [entry] defaults to the program origin.
+    [clock] feeds the per-pass [timings]; the default is a constant
+    function, keeping library callers deterministic (record/replay
+    safe).  Benchmarks pass a real monotonic clock. *)
+val verify :
+  ?clock:(unit -> float) -> config -> ?entry:int -> Vmm_hw.Asm.program -> report
 
-val verify_image : config -> origin:int -> ?entry:int -> bytes -> report
+val verify_image :
+  ?clock:(unit -> float) -> config -> origin:int -> ?entry:int -> bytes -> report
 
 (** Multi-line human rendering; addresses go through
     {!Vmm_debugger.Symbols.format_addr} when a table is given. *)

@@ -9,6 +9,10 @@ type t = {
   mode : mode;
   table : (int, string) Hashtbl.t;
   pages : (int, int) Hashtbl.t; (* page base -> armed-site count *)
+  observe : (int, unit) Hashtbl.t;
+      (* observe-only sites (race witnesses): they keep their page NX in
+         virtual mode but never stop the guest — an exec fault there is
+         noted and stepped through transparently *)
 }
 
 let page_mask = lnot (Vmm_hw.Mmu.page_size - 1)
@@ -16,7 +20,12 @@ let page_of addr = addr land page_mask
 
 let create ?mode () =
   let mode = match mode with Some m -> m | None -> mode_of_env () in
-  { mode; table = Hashtbl.create 16; pages = Hashtbl.create 8 }
+  {
+    mode;
+    table = Hashtbl.create 16;
+    pages = Hashtbl.create 8;
+    observe = Hashtbl.create 8;
+  }
 
 let mode t = t.mode
 
@@ -59,8 +68,32 @@ let armed_pages t =
 let addresses t =
   List.sort compare (Hashtbl.fold (fun addr _ acc -> addr :: acc) t.table [])
 
+let add_observe t ~addr =
+  if Hashtbl.mem t.observe addr then false
+  else begin
+    Hashtbl.add t.observe addr ();
+    page_incr t (page_of addr);
+    true
+  end
+
+let remove_observe t ~addr =
+  if Hashtbl.mem t.observe addr then begin
+    Hashtbl.remove t.observe addr;
+    page_decr t (page_of addr);
+    true
+  end
+  else false
+
+let observe_mem t ~addr = Hashtbl.mem t.observe addr
+let observe_count t = Hashtbl.length t.observe
+
+let observed t =
+  List.sort compare (Hashtbl.fold (fun addr () acc -> addr :: acc) t.observe [])
+
+(* Detach clears only the stub's breakpoints: observe sites belong to the
+   monitor's race-witness machinery and keep their page refcounts. *)
 let clear t =
   let entries = Hashtbl.fold (fun addr saved acc -> (addr, saved) :: acc) t.table [] in
+  List.iter (fun (addr, _) -> page_decr t (page_of addr)) entries;
   Hashtbl.reset t.table;
-  Hashtbl.reset t.pages;
   entries

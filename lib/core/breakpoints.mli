@@ -50,6 +50,25 @@ val armed_pages : t -> int list
 (** [addresses t] — sorted list of breakpoint addresses. *)
 val addresses : t -> int list
 
-(** [clear t] forgets everything (detach); returns the entries that were
-    present so the caller can unpatch/disarm them. *)
+(** Observe-only sites: the monitor's race-witness machinery arms these
+    on statically-reported race windows.  They share the per-page
+    armed-site counts (so their pages map NX in virtual mode) but live
+    outside the stub's table — an exec fault at one never stops the
+    guest, and {!clear} (stub detach) leaves them armed. *)
+
+(** [add_observe t ~addr] — [false] if already observed. *)
+val add_observe : t -> addr:int -> bool
+
+(** [remove_observe t ~addr] — [true] if it was present. *)
+val remove_observe : t -> addr:int -> bool
+
+val observe_mem : t -> addr:int -> bool
+val observe_count : t -> int
+
+(** Sorted observe-site addresses. *)
+val observed : t -> int list
+
+(** [clear t] forgets the stub's breakpoints (detach); returns the
+    entries that were present so the caller can unpatch/disarm them.
+    Observe-only sites survive. *)
 val clear : t -> (int * string) list

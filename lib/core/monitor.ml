@@ -12,6 +12,7 @@ module Asm = Vmm_hw.Asm
 module Scsi = Vmm_hw.Scsi
 module Nic = Vmm_hw.Nic
 module Verifier = Vmm_analysis.Verifier
+module Races = Vmm_analysis.Races
 module Recorder = Vmm_replay.Recorder
 module Event = Vmm_replay.Event
 module Profiler = Vmm_profile.Profiler
@@ -63,6 +64,16 @@ type crash_report = {
 
 type lifecycle = Healthy | Crashed of crash_report
 
+(* One statically-reported race site under dynamic observation: an
+   observe-only virtual breakpoint on the load opens the window, and a
+   virtual-interrupt delivery landing inside [(load_pc, store_pc]] with
+   the site's vector is a witnessed interleaving. *)
+type race_watch = {
+  rsite : Races.site;
+  mutable rw_windows : int;  (* executions of the load observed *)
+  mutable rw_witnessed : int;  (* handler deliveries inside the window *)
+}
+
 type t = {
   machine : Machine.t;
   cpu : Cpu.t;
@@ -104,6 +115,11 @@ type t = {
   mutable boot_image : (Asm.program * int) option;
   mutable last_verify : Verifier.report option;
   mutable c_verifies : int;
+  (* dynamic cross-validation of statically-reported races *)
+  mutable race_witness : bool;
+  mutable race_sites : race_watch array;
+  mutable c_race_windows : int;
+  mutable c_race_witnessed : int;
   (* lifecycle & recovery *)
   mutable lifecycle : lifecycle;
   mutable snapshot : Snapshot.t option;
@@ -400,6 +416,31 @@ let kick t =
         Hashtbl.replace t.samples pc
           (1 + Option.value ~default:0 (Hashtbl.find_opt t.samples pc))
       end;
+      (* Race-witness cross-validation: this delivery preempts the
+         mainline at [pc].  If that pc lies strictly inside a sampled
+         RMW window and the vector matches the static report, the
+         handler really is interleaving the read-modify-write — upgrade
+         the diagnostic from "static" to "witnessed".  Flight-ring only:
+         the replay stream must not change with witnessing on. *)
+      if Array.length t.race_sites > 0 then begin
+        let pc = Cpu.pc t.cpu in
+        Array.iter
+          (fun w ->
+            let s = w.rsite in
+            if
+              s.Races.vector = vvector
+              && s.Races.load_pc < pc
+              && pc <= s.Races.store_pc
+            then begin
+              w.rw_witnessed <- w.rw_witnessed + 1;
+              t.c_race_witnessed <- t.c_race_witnessed + 1;
+              flight_note t "race.witness"
+                (Printf.sprintf
+                   "vector %d interleaved rmw 0x%x..0x%x at pc 0x%x" vvector
+                   s.Races.load_pc s.Races.store_pc pc)
+            end)
+          t.race_sites
+      end;
       if t.v_halted then begin
         t.v_halted <- false;
         Cpu.set_halted t.cpu false
@@ -659,6 +700,20 @@ let handle_vbp_fault t ~vaddr ~pc =
     Stub.on_breakpoint stub ~pc
   end
   else begin
+    (* Observe-only race-witness site: count the open window, note it in
+       the flight ring, and fall through to the transparent step — the
+       guest never stops and the replay stream is untouched. *)
+    if Breakpoints.observe_mem (Stub.breakpoints stub) ~addr:pc then begin
+      Array.iter
+        (fun w ->
+          if w.rsite.Races.load_pc = pc then begin
+            w.rw_windows <- w.rw_windows + 1;
+            t.c_race_windows <- t.c_race_windows + 1
+          end)
+        t.race_sites;
+      flight_note t "race.window"
+        (Printf.sprintf "rmw window opened at 0x%x" pc)
+    end;
     t.c_vbp_steps <- t.c_vbp_steps + 1;
     unprotect_for_step t (vaddr land lnot 0xFFF)
   end
@@ -1045,11 +1100,30 @@ let set_verify_on_boot t flag = t.verify_on_boot <- flag
 let verify_on_boot t = t.verify_on_boot
 let verification t = t.last_verify
 
-(* The [qV] payload; same flat [key=value] shape as [qW]. *)
+(* The [qV] payload; same flat [key=value] shape as [qW].  When race
+   witnessing is armed, a wire-compatible trailer reports the dynamic
+   cross-validation state: sampled sites, observed windows, and one
+   [wN=0xSTORE:COUNT] token per site actually witnessed. *)
 let verify_report_text t =
   match t.last_verify with
-  | Some r -> Verifier.summary r
   | None -> "analysis=off"
+  | Some r ->
+    let base = Verifier.summary r in
+    if Array.length t.race_sites = 0 then base
+    else begin
+      let b = Buffer.create 160 in
+      Buffer.add_string b base;
+      Printf.bprintf b " witness=on wsites=%d wwindows=%d wseen=%d"
+        (Array.length t.race_sites)
+        t.c_race_windows t.c_race_witnessed;
+      Array.iteri
+        (fun i w ->
+          if w.rw_witnessed > 0 then
+            Printf.bprintf b " w%d=0x%x:%d" i w.rsite.Races.store_pc
+              w.rw_witnessed)
+        t.race_sites;
+      Buffer.contents b
+    end
 
 (* Monitor exit counters, shadow state and the guest-side debug link
    join the machine registry (kvm_stat style: one place to read why the
@@ -1132,6 +1206,18 @@ let register_metrics t =
       | None -> 0);
   g "analysis_blocks" (fun () ->
       match t.last_verify with Some r -> r.Verifier.blocks | None -> 0);
+  (* Interprocedural race pass + its dynamic cross-validation. *)
+  g "analysis_race_sites" (fun () ->
+      match t.last_verify with
+      | Some r -> List.length r.Verifier.race_sites
+      | None -> 0);
+  g "analysis_summary_incomplete" (fun () ->
+      match t.last_verify with
+      | Some r -> r.Verifier.summary_incomplete
+      | None -> 0);
+  g "race_witness_armed_sites" (fun () -> Array.length t.race_sites);
+  g "race_windows_total" (fun () -> t.c_race_windows);
+  g "race_witnessed_total" (fun () -> t.c_race_witnessed);
   (* Virtual breakpoints: armed footprint plus the fault economics
      (faults = hits + step-throughs; steps/hit is the overhead of
      sharing a hot page with unrelated code). *)
@@ -1357,6 +1443,42 @@ let restore_checkpoint t (full : Snapshot.Full.t) =
 
 let bundle_trace_tail = 64
 
+(* The [static-races] bundle section: the verifier's race sites with the
+   dynamic cross-validation verdict folded in, one {!Races.render_site}
+   line each, so post-mortem triage reads the warnings next to the
+   flight ring that may have witnessed them. *)
+let static_races_text t =
+  match t.last_verify with
+  | None -> "analysis=off\n"
+  | Some r ->
+    let b = Buffer.create 256 in
+    Printf.bprintf b "sites=%d sampled=%d windows=%d witnessed=%d\n"
+      (List.length r.Verifier.race_sites)
+      (Array.length t.race_sites)
+      t.c_race_windows t.c_race_witnessed;
+    List.iter
+      (fun (s : Races.site) ->
+        let watch =
+          Array.fold_left
+            (fun acc w ->
+              if
+                w.rsite.Races.load_pc = s.Races.load_pc
+                && w.rsite.Races.store_pc = s.Races.store_pc
+                && w.rsite.Races.vector = s.Races.vector
+              then Some w
+              else acc)
+            None t.race_sites
+        in
+        let status, windows =
+          match watch with
+          | Some w when w.rw_witnessed > 0 -> ("witnessed", w.rw_windows)
+          | Some w -> ("static", w.rw_windows)
+          | None -> ("static", 0)
+        in
+        Printf.bprintf b "%s\n" (Races.render_site ~status ~windows s))
+      r.Verifier.race_sites;
+    Buffer.contents b
+
 let compose_crash_bundle t ~cause =
   let machine = t.machine in
   (* Close spans left open by the interrupted scopes into the tracer
@@ -1396,6 +1518,7 @@ let compose_crash_bundle t ~cause =
       Bundle.section ~name:"profile" (profile_dump t);
       Bundle.section ~name:"snapshot-digest" snapshot_text;
       Bundle.section ~name:"trace-tail" trace_tail;
+      Bundle.section ~name:"static-races" (static_races_text t);
       Bundle.section ~name:"metrics"
         (Vmm_obs.Registry.dump (Machine.registry machine));
     ]
@@ -1419,6 +1542,57 @@ let flight_query t =
 let vbp_sync_page t addr =
   Shadow.unmap t.shadow ~vaddr:(addr land lnot 0xFFF);
   Cpu.flush_tlb t.cpu
+
+(* -- Race-witness arming --
+
+   Observe-only virtual breakpoints on a sample of the statically
+   reported race sites.  Virtual mode only: arming is a shadow-unmap
+   (the page re-fills NX), so nothing touches guest text and the replay
+   stream is unchanged — witnessing writes to the flight ring, never to
+   the recorder. *)
+
+let race_sample_cap = 8
+
+let disarm_race_sites t =
+  (match t.stub with
+  | Some stub ->
+    let bps = Stub.breakpoints stub in
+    Array.iter
+      (fun w ->
+        if Breakpoints.remove_observe bps ~addr:w.rsite.Races.load_pc then
+          vbp_sync_page t w.rsite.Races.load_pc)
+      t.race_sites
+  | None -> ());
+  t.race_sites <- [||]
+
+let arm_race_sites t =
+  disarm_race_sites t;
+  if t.race_witness then
+    match (t.stub, t.last_verify) with
+    | Some stub, Some r
+      when Breakpoints.mode (Stub.breakpoints stub) = Breakpoints.Virtual ->
+      let sample = take race_sample_cap r.Verifier.race_sites in
+      t.race_sites <-
+        Array.of_list
+          (List.map
+             (fun rsite -> { rsite; rw_windows = 0; rw_witnessed = 0 })
+             sample);
+      let bps = Stub.breakpoints stub in
+      Array.iter
+        (fun w ->
+          if Breakpoints.add_observe bps ~addr:w.rsite.Races.load_pc then
+            vbp_sync_page t w.rsite.Races.load_pc)
+        t.race_sites
+    | _ -> ()
+
+let set_race_witness t flag =
+  t.race_witness <- flag;
+  if flag then arm_race_sites t else disarm_race_sites t
+
+let race_witness t = t.race_witness
+let race_witness_sites t = Array.length t.race_sites
+let race_windows t = t.c_race_windows
+let race_witnessed t = t.c_race_witnessed
 
 let make_target t =
   {
@@ -1567,6 +1741,10 @@ let install ?(passthrough = default_passthrough) machine =
       boot_image = None;
       last_verify = None;
       c_verifies = 0;
+      race_witness = false;
+      race_sites = [||];
+      c_race_windows = 0;
+      c_race_witnessed = 0;
       lifecycle = Healthy;
       snapshot = None;
       checkpoints = [];
@@ -1681,6 +1859,10 @@ let boot_guest t program ~entry =
      never blocks the boot). *)
   t.boot_image <- Some (program, entry);
   if t.verify_on_boot then ignore (verify_guest t program ~entry);
+  (* Re-sample race sites against the image just loaded.  (A warm
+     restart needs no re-arm: the observe table is stub state and the
+     shadow clear re-arms every observed page NX on its first fill.) *)
+  if t.race_witness then arm_race_sites t;
   trace t Vmm_sim.Trace.Info
     (Printf.sprintf "guest booted at 0x%x (ring 1, shadow paging)" entry)
 

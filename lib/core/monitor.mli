@@ -263,5 +263,36 @@ val verification : t -> Vmm_analysis.Verifier.report option
 (** [verify_report_text t] — the [qV] payload: flat [key=value] pairs
     ([analysis=clean|dirty], counts, and the first diagnostics as
     [dN=<class>@0xADDR] tokens); ["analysis=off"] before any
-    verification ran. *)
+    verification ran.  With race witnessing armed, a wire-compatible
+    trailer follows: [witness=on wsites= wwindows= wseen=] plus one
+    [wN=0xSTORE:COUNT] token per site actually witnessed. *)
 val verify_report_text : t -> string
+
+(** {2 Race-witness cross-validation}
+
+    The verifier's interprocedural race pass ({!Vmm_analysis.Races})
+    reports static [irq-race] sites.  When witnessing is enabled the
+    monitor arms observe-only virtual breakpoints on a sample of those
+    sites' load addresses: every execution of the load is counted as an
+    open window ([race.window] flight note), and a virtual-interrupt
+    delivery landing strictly inside the window with the reported vector
+    upgrades the site to "witnessed" ([race.witness] flight note, [qV]
+    trailer, [static-races] crash-bundle section).  Observation is
+    flight-ring only — the record/replay event stream and golden digests
+    are unchanged — and requires virtual breakpoint mode (a no-op under
+    [Patch]). *)
+
+(** [set_race_witness t flag] — arm (sampling the latest report) or
+    disarm.  Sites re-sample automatically on the next boot. *)
+val set_race_witness : t -> bool -> unit
+
+val race_witness : t -> bool
+
+(** Number of sites currently under observation. *)
+val race_witness_sites : t -> int
+
+(** Total open windows observed (executions of a sampled load). *)
+val race_windows : t -> int
+
+(** Total witnessed interleavings (deliveries inside an open window). *)
+val race_witnessed : t -> int

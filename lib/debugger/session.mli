@@ -64,8 +64,11 @@ val query_watchdog :
 (** [query_verify t] — the monitor's load-time static-verification
     report ([qV]): the raw text plus its parsed [key=value] fields.
     Keys include [analysis] ([clean]/[dirty]/[off]), the [diags]/
-    [instructions]/[blocks]/[functions]/[roots] counters, and the first
-    diagnostics as [dN] fields. *)
+    [instructions]/[blocks]/[functions]/[roots]/[summaries]/[races]
+    counters, and the first diagnostics as [dN] fields.  With race
+    witnessing armed the monitor appends a wire-compatible trailer
+    ([witness]/[wsites]/[wwindows]/[wseen] and per-site [wN] tokens)
+    which parses through the same [key=value] splitter. *)
 val query_verify :
   ?timeout_s:float -> t -> (string * (string * string) list) option
 

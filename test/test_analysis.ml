@@ -9,13 +9,23 @@ module Machine = Vmm_hw.Machine
 module Domain = Vmm_analysis.Domain
 module Cfg = Vmm_analysis.Cfg
 module Verifier = Vmm_analysis.Verifier
+module Races = Vmm_analysis.Races
 module Vm_layout = Core.Vm_layout
+module Monitor = Core.Monitor
+module Breakpoints = Core.Breakpoints
 module Kernel = Vmm_guest.Kernel
 module Symbols = Vmm_debugger.Symbols
+module Session = Vmm_debugger.Session
+module Bundle = Vmm_profile.Bundle
 
 let check = Alcotest.check
 let bool = Alcotest.bool
 let int = Alcotest.int
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 (* The monitor's view of a 16 MiB machine: guest owns everything below
    monitor_base (12 MiB). *)
@@ -296,12 +306,325 @@ let test_summary_format () =
   let s = Verifier.summary dirty in
   check bool "dirty summary" true
     (String.length s >= 14 && String.sub s 0 14 = "analysis=dirty");
-  let contains hay needle =
-    let nh = String.length hay and nn = String.length needle in
-    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-    go 0
+  check bool "first diagnostic listed" true (contains s "d0=");
+  check bool "summary counters present" true
+    (contains s "summaries=" && contains s "races=")
+
+(* -- Interprocedural race pass: seeded corpus -- *)
+
+(* A guest whose mainline runs an unmasked load/add/store on a shared
+   counter while the timer gate's handler touches the same word.  The
+   knobs select the clean variants the pass must stay silent on. *)
+let race_guest ?(mask = `None) ?(handler_shares = true) () =
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x20000);
+  Asm.movi a 1 (Asm.lbl "iht");
+  Asm.liht a 1;
+  (* periodic timer: ~1.2 kHz so the dynamic witness has many shots *)
+  Asm.movi a 2 (Asm.imm 1000);
+  Asm.outi a (Asm.imm Machine.Ports.pit) 2;
+  Asm.movi a 2 (Asm.imm 0);
+  Asm.outi a (Asm.imm (Machine.Ports.pit + 1)) 2;
+  Asm.movi a 2 (Asm.imm 1);
+  Asm.outi a (Asm.imm (Machine.Ports.pit + 2)) 2;
+  Asm.sti a;
+  (match mask with
+  | `None -> ()
+  | `Cli -> Asm.cli a
+  | `Nested ->
+    Asm.cli a;
+    Asm.cli a);
+  Asm.movi a 2 (Asm.imm 0x6000);
+  Asm.label a "rmw_load";
+  Asm.ld a 3 2 0;
+  Asm.addi a 3 3 (Asm.imm 1);
+  Asm.label a "rmw_store";
+  Asm.st a 2 0 3;
+  Asm.jmp a (Asm.lbl "rmw_load");
+  Asm.label a "timer_handler";
+  Asm.movi a 4 (Asm.imm (if handler_shares then 0x6000 else 0x7000));
+  Asm.ld a 5 4 0;
+  Asm.addi a 5 5 (Asm.imm 1);
+  Asm.st a 4 0 5;
+  Asm.movi a 6 (Asm.imm 0x20);
+  Asm.outi a (Asm.imm Machine.Ports.pic) 6;
+  Asm.iret a;
+  Asm.align a 8;
+  Asm.label a "iht";
+  for v = 0 to 63 do
+    if v = Isa.vec_irq_base_default + Machine.Irq.timer then begin
+      Asm.word a (Asm.lbl "timer_handler");
+      Asm.word a (Asm.imm 1)
+    end
+    else begin
+      Asm.word a (Asm.imm 0);
+      Asm.word a (Asm.imm 0)
+    end
+  done;
+  Asm.assemble a
+
+let test_seed_irq_race () =
+  let p = race_guest () in
+  let r = Verifier.verify config p in
+  check bool "class g only" true (classes r = [ Verifier.Irq_race ]);
+  let d = List.hd r.Verifier.diagnostics in
+  check int "flagged at the store" (Asm.symbol p "rmw_store") d.Verifier.addr;
+  (match r.Verifier.race_sites with
+   | [ s ] ->
+     check int "load pc" (Asm.symbol p "rmw_load") s.Races.load_pc;
+     check int "store pc" (Asm.symbol p "rmw_store") s.Races.store_pc;
+     check int "window lo" 0x6000 s.Races.lo;
+     check int "window hi" 0x6003 s.Races.hi;
+     check int "vector"
+       (Isa.vec_irq_base_default + Machine.Irq.timer)
+       s.Races.vector;
+     check int "handler" (Asm.symbol p "timer_handler") s.Races.handler;
+     check bool "handler writes" true s.Races.handler_writes
+   | sites -> Alcotest.failf "expected one race site, got %d" (List.length sites))
+
+let test_race_masked_clean () =
+  (* cli before the RMW closes the window; the pass must stay silent *)
+  assert_clean "masked RMW guest" (race_guest ~mask:`Cli ()) config;
+  assert_clean "nested-cli RMW guest" (race_guest ~mask:`Nested ()) config
+
+let test_race_disjoint_clean () =
+  (* the handler touches a different word: footprints do not intersect *)
+  assert_clean "disjoint-handler guest" (race_guest ~handler_shares:false ()) config
+
+(* (h) a helper whose cli/sti effect depends on the path taken *)
+let test_seed_divergent_mask () =
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.call a (Asm.lbl "maybe_sti");
+  Asm.label a "spin";
+  Asm.jmp a (Asm.lbl "spin");
+  Asm.label a "maybe_sti";
+  Asm.cmpi a 1 (Asm.imm 0);
+  Asm.jz a (Asm.lbl "skip");
+  Asm.sti a;
+  Asm.label a "skip";
+  Asm.ret a;
+  let p = Asm.assemble a in
+  let r = Verifier.verify config p in
+  check bool "class h only" true (classes r = [ Verifier.Unbalanced_mask ]);
+  let d = List.hd r.Verifier.diagnostics in
+  check int "flagged at the ret" (Asm.symbol p "skip") d.Verifier.addr
+
+(* (h) hlt reachable only with interrupts masked: the classic wedge *)
+let test_seed_hlt_wedge () =
+  let a = Asm.create ~origin:0x1000 () in
+  Asm.movi a Isa.sp (Asm.imm 0x8000);
+  Asm.label a "idle";
+  Asm.hlt a;
+  Asm.jmp a (Asm.lbl "idle");
+  let p = Asm.assemble a in
+  let r = Verifier.verify config p in
+  check bool "class h only" true (classes r = [ Verifier.Unbalanced_mask ]);
+  let d = List.hd r.Verifier.diagnostics in
+  check int "flagged at the hlt" (Asm.symbol p "idle") d.Verifier.addr
+
+(* Jr degrades the enclosing summary to advisory instead of guessing *)
+let test_jr_summary_incomplete () =
+  let r = Verifier.verify config (crash_guest `Jump_to_void) in
+  check bool "still clean" true r.Verifier.clean;
+  check bool "summary flagged incomplete" true
+    (r.Verifier.summary_incomplete >= 1)
+
+let test_kernel_summaries () =
+  let p = Kernel.build (Kernel.default_config ~rate_mbps:100.) in
+  let r = Verifier.verify config ~entry:Kernel.entry p in
+  check bool "summaries computed" true (r.Verifier.summaries >= 3);
+  check bool "kernel summaries complete" true
+    (r.Verifier.summary_incomplete = 0);
+  check bool "no race sites in kernel" true (r.Verifier.race_sites = [])
+
+(* -- Race-site wire format -- *)
+
+let test_site_roundtrip () =
+  let site =
+    {
+      Races.load_pc = 0x1040;
+      store_pc = 0x1050;
+      lo = 0x6000;
+      hi = 0x6003;
+      vector = 35;
+      handler = 0x2000;
+      handler_writes = true;
+    }
   in
-  check bool "first diagnostic listed" true (contains s "d0=")
+  List.iter
+    (fun (status, windows) ->
+      let line = Races.render_site ~status ~windows site in
+      match Races.parse_site line with
+      | Some (s, st, w) ->
+        check bool "site fields survive" true (s = site);
+        check Alcotest.string "status survives" status st;
+        check int "windows survive" windows w
+      | None -> Alcotest.failf "rendered site did not parse: %s" line)
+    [ ("static", 0); ("witnessed", 17) ];
+  check bool "garbage rejected" true (Races.parse_site "not a site" = None)
+
+(* -- Fixpoint termination & determinism on random instruction soups -- *)
+
+let reg_gen = QCheck.Gen.int_bound 15
+let imm_gen = QCheck.Gen.map (fun v -> v land 0xFFFFFFFF) QCheck.Gen.int
+
+let instr_gen : Isa.instr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let r = reg_gen and i = imm_gen in
+  oneof
+    [
+      return Isa.Nop;
+      return Isa.Hlt;
+      map2 (fun a b -> Isa.Movi (a, b)) r i;
+      map2 (fun a b -> Isa.Mov (a, b)) r r;
+      map3 (fun a b c -> Isa.Add (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Addi (a, b, c)) r r i;
+      map3 (fun a b c -> Isa.Sub (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.And_ (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Or_ (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Xor_ (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Shl (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Shr (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Mul (a, b, c)) r r r;
+      map2 (fun a b -> Isa.Cmp (a, b)) r r;
+      map2 (fun a b -> Isa.Cmpi (a, b)) r i;
+      map3 (fun a b c -> Isa.Ld (a, b, c)) r r i;
+      map3 (fun a b c -> Isa.St (a, b, c)) r i r;
+      map3 (fun a b c -> Isa.Ldb (a, b, c)) r r i;
+      map3 (fun a b c -> Isa.Stb (a, b, c)) r i r;
+      map (fun a -> Isa.Jmp a) i;
+      map (fun a -> Isa.Jz a) i;
+      map (fun a -> Isa.Jnz a) i;
+      map (fun a -> Isa.Jlt a) i;
+      map (fun a -> Isa.Jge a) i;
+      map (fun a -> Isa.Jb a) i;
+      map (fun a -> Isa.Jae a) i;
+      map (fun a -> Isa.Jr a) r;
+      map (fun a -> Isa.Call a) i;
+      return Isa.Ret;
+      map (fun a -> Isa.Push a) r;
+      map (fun a -> Isa.Pop a) r;
+      map2 (fun a b -> Isa.In_ (a, b)) r r;
+      map2 (fun a b -> Isa.Ini (a, b)) r i;
+      map2 (fun a b -> Isa.Out (a, b)) r r;
+      map2 (fun a b -> Isa.Outi (a, b)) i r;
+      map (fun v -> Isa.Int_ (v land 0x3F)) (int_bound 63);
+      return Isa.Iret;
+      return Isa.Sti;
+      return Isa.Cli;
+      map (fun a -> Isa.Liht a) r;
+      map (fun a -> Isa.Lptb a) r;
+      map2 (fun a b -> Isa.Lstk (a land 15, b)) (int_bound 15) r;
+      return Isa.Tlbflush;
+      map3 (fun a b c -> Isa.Copy (a, b, c)) r r r;
+      map3 (fun a b c -> Isa.Csum (a, b, c)) r r r;
+      map (fun a -> Isa.Rdtsc a) r;
+      map (fun a -> Isa.Vmcall a) i;
+      return Isa.Brk;
+    ]
+
+let soup_arbitrary =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 1 64) instr_gen)
+    ~print:(fun l -> String.concat "; " (List.map Isa.to_string l))
+
+let prop_fixpoint_deterministic =
+  QCheck.Test.make ~name:"interprocedural fixpoint terminates, deterministic"
+    ~count:300 soup_arbitrary (fun instrs ->
+      let image = Bytes.concat Bytes.empty (List.map Isa.encode instrs) in
+      (* termination: both runs return at all; determinism: identically *)
+      let r1 = Verifier.verify_image config ~origin:0x1000 image in
+      let r2 = Verifier.verify_image config ~origin:0x1000 image in
+      r1 = r2)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* -- Dynamic cross-validation: static sites witnessed end to end -- *)
+
+(* Pin virtual-breakpoint mode: observe-only sites are a no-op under
+   [Patch], and [Breakpoints.create] reads LWVMM_BP at install time. *)
+let with_virtual_mode f =
+  let prev = Sys.getenv_opt "LWVMM_BP" in
+  Unix.putenv "LWVMM_BP" "virtual";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "LWVMM_BP" (Option.value prev ~default:"virtual"))
+    f
+
+let test_witnessed_race () =
+  with_virtual_mode @@ fun () ->
+  let m = Machine.create ~mem_size:(16 * 1024 * 1024) () in
+  let mon = Monitor.install m in
+  Monitor.set_race_witness mon true;
+  let p = race_guest () in
+  Monitor.boot_guest mon p ~entry:0x1000;
+  check int "one site armed" 1 (Monitor.race_witness_sites mon);
+  (* deterministic simulation: run until the timer lands inside the
+     window (bounded so a regression fails rather than hangs) *)
+  let rec run n =
+    if n > 0 && Monitor.race_witnessed mon = 0 then begin
+      Machine.run_seconds m 0.01;
+      run (n - 1)
+    end
+  in
+  run 100;
+  check bool "windows observed" true (Monitor.race_windows mon > 0);
+  check bool "race witnessed" true (Monitor.race_witnessed mon > 0);
+  (* the qV payload carries the witness trailer over the wire *)
+  let session = Session.attach m in
+  (match Session.query_verify session with
+   | Some (text, fields) ->
+     check bool "irq-race diagnostic" true (contains text "irq-race");
+     check (Alcotest.option Alcotest.string) "witness armed" (Some "on")
+       (List.assoc_opt "witness" fields);
+     check (Alcotest.option Alcotest.string) "one site sampled" (Some "1")
+       (List.assoc_opt "wsites" fields);
+     (match List.assoc_opt "wseen" fields with
+      | Some n -> check bool "witnessed over the wire" true (int_of_string n > 0)
+      | None -> Alcotest.fail "missing wseen field");
+     check bool "per-site token" true
+       (contains text
+          (Printf.sprintf "w0=0x%x:" (Asm.symbol p "rmw_store")))
+   | None -> Alcotest.fail "no qV reply");
+  (* the flight ring records both window opens and the interleaving *)
+  let flight = Monitor.flight_report mon in
+  check bool "window note" true (contains flight "race.window");
+  check bool "witness note" true (contains flight "race.witness");
+  (* crash bundles carry the static-races section, parseable per line *)
+  Monitor.inject mon Monitor.Iht_clobber;
+  Machine.run_seconds m 0.02;
+  check bool "guest crashed" true (Monitor.crashed mon);
+  (match Monitor.crash_bundle mon with
+   | Some bundle ->
+     (match Bundle.find_section bundle "static-races" with
+      | Some body ->
+        let lines =
+          List.filter (fun l -> String.length l > 0) (String.split_on_char '\n' body)
+        in
+        (match lines with
+         | header :: rest ->
+           check bool "section header" true (contains header "sites=1");
+           let parsed = List.filter_map Races.parse_site rest in
+           check int "every site line parses" (List.length rest)
+             (List.length parsed);
+           check bool "witnessed status in bundle" true
+             (List.exists (fun (_, status, _) -> status = "witnessed") parsed)
+         | [] -> Alcotest.fail "static-races section empty")
+      | None -> Alcotest.fail "static-races section missing")
+   | None -> Alcotest.fail "crash produced no bundle")
+
+let test_observe_sites_survive_detach () =
+  (* stub detach clears the breakpoint table; observe-only sites stay *)
+  let b = Breakpoints.create ~mode:Breakpoints.Virtual () in
+  check bool "observe armed" true (Breakpoints.add_observe b ~addr:0x1040);
+  check bool "bp armed" true (Breakpoints.add b ~addr:0x1080 ~saved:"");
+  ignore (Breakpoints.clear b);
+  check bool "bp gone" false (Breakpoints.mem b ~addr:0x1080);
+  check bool "observe survives" true (Breakpoints.observe_mem b ~addr:0x1040);
+  check bool "page still armed" true (Breakpoints.page_armed b ~page:0x1040);
+  check bool "disarm" true (Breakpoints.remove_observe b ~addr:0x1040);
+  check bool "page released" false (Breakpoints.page_armed b ~page:0x1040)
 
 let () =
   Alcotest.run "analysis"
@@ -330,6 +653,29 @@ let () =
             test_crash_guests_clean;
           Alcotest.test_case "capture-card guest" `Quick
             test_capture_guest_clean;
+        ] );
+      ( "races",
+        [
+          Alcotest.test_case "(g) unmasked rmw vs handler" `Quick
+            test_seed_irq_race;
+          Alcotest.test_case "masked rmw clean" `Quick test_race_masked_clean;
+          Alcotest.test_case "disjoint handler clean" `Quick
+            test_race_disjoint_clean;
+          Alcotest.test_case "(h) divergent mask" `Quick
+            test_seed_divergent_mask;
+          Alcotest.test_case "(h) hlt wedge" `Quick test_seed_hlt_wedge;
+          Alcotest.test_case "jr degrades summary" `Quick
+            test_jr_summary_incomplete;
+          Alcotest.test_case "kernel summaries" `Quick test_kernel_summaries;
+          Alcotest.test_case "site wire round-trip" `Quick test_site_roundtrip;
+        ] );
+      ("fixpoint", qsuite [ prop_fixpoint_deterministic ]);
+      ( "witness",
+        [
+          Alcotest.test_case "static site witnessed end to end" `Quick
+            test_witnessed_race;
+          Alcotest.test_case "observe sites survive detach" `Quick
+            test_observe_sites_survive_detach;
         ] );
       ( "report",
         [ Alcotest.test_case "qV summary" `Quick test_summary_format ] );
